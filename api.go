@@ -1,0 +1,142 @@
+package datatrace
+
+import (
+	"datatrace/internal/compile"
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// --- stream model ----------------------------------------------------------
+
+// Event is one element of a stream: a key-value item or a marker.
+type Event = stream.Event
+
+// Marker is a periodic synchronization marker (linearly ordered,
+// carries an event-time watermark).
+type Marker = stream.Marker
+
+// Unit is the unit key type Ut.
+type Unit = stream.Unit
+
+// Type is a practical data-trace type: U(K,V) or O(K,V).
+type Type = stream.Type
+
+// Item constructs a key-value item event.
+func Item(key, value any) Event { return stream.Item(key, value) }
+
+// Mark constructs a marker event.
+func Mark(m Marker) Event { return stream.Mark(m) }
+
+// U constructs the unordered data-trace type U(key, val).
+func U(key, val string) Type { return stream.U(key, val) }
+
+// O constructs the ordered data-trace type O(key, val).
+func O(key, val string) Type { return stream.O(key, val) }
+
+// Equivalent reports whether two event sequences denote the same data
+// trace of type t — the library's notion of semantic equality.
+func Equivalent(t Type, a, b []Event) bool { return stream.Equivalent(t, a, b) }
+
+// Render formats an event sequence for debugging.
+func Render(events []Event) string { return stream.Render(events) }
+
+// MergeEvents merges complete event streams with marker alignment
+// (the MRG transduction, batch form).
+func MergeEvents(inputs ...[]Event) []Event { return stream.MergeEvents(inputs...) }
+
+// --- operator templates ----------------------------------------------------
+
+// Emit is the output callback of the operator templates.
+type Emit[L, W any] = core.Emit[L, W]
+
+// Stateless is the OpStateless template: U(K,V) → U(L,W), output
+// depends only on the current event.
+type Stateless[K, V, L, W any] = core.Stateless[K, V, L, W]
+
+// KeyedOrdered is the OpKeyedOrdered template: O(K,V) → O(K,W),
+// order-dependent per-key state.
+type KeyedOrdered[K comparable, V, W, S any] = core.KeyedOrdered[K, V, W, S]
+
+// KeyedUnordered is the OpKeyedUnordered template: U(K,V) → U(L,W),
+// per-key state updated at markers through a commutative monoid.
+type KeyedUnordered[K comparable, V, L, W, S, A any] = core.KeyedUnordered[K, V, L, W, S, A]
+
+// Sort is the SORT built-in: U(K,V) → O(K,V), imposing a per-key
+// total order on the items between markers.
+type Sort[K comparable, V any] = core.Sort[K, V]
+
+// SlidingAggregate is the specialized sliding-window template
+// (section 8's proposed extension): per key, the aggregate of the
+// last WindowBlocks marker periods, maintained in O(1) amortized time
+// per block.
+type SlidingAggregate[K comparable, V, A any] = core.SlidingAggregate[K, V, A]
+
+// Operator is a typed processing vertex (what templates produce and
+// DAGs consume).
+type Operator = core.Operator
+
+// Instance is one running operator copy.
+type Instance = core.Instance
+
+// --- transduction DAGs -----------------------------------------------------
+
+// DAG is a transduction DAG: a typed dataflow graph of sources,
+// operators and sinks.
+type DAG = core.DAG
+
+// Node is a DAG vertex.
+type Node = core.Node
+
+// NewDAG creates an empty transduction DAG.
+func NewDAG() *DAG { return core.NewDAG() }
+
+// RunInstance runs a single operator instance over a complete input —
+// the operator's sequential denotation.
+func RunInstance(op Operator, input []Event) []Event { return core.RunInstance(op, input) }
+
+// RunParallel deploys one operator at the given parallelism (HASH or
+// RR splitter per its mode) and merges the results — the right-hand
+// side of the Theorem 4.3 equations.
+func RunParallel(op Operator, input []Event, parallelism int) []Event {
+	return core.RunParallel(op, input, parallelism, nil)
+}
+
+// --- compilation and runtime -----------------------------------------------
+
+// SourceSpec tells the compiler how to realize a DAG source as spout
+// instances.
+type SourceSpec = compile.SourceSpec
+
+// CompileOptions tunes DAG compilation.
+type CompileOptions = compile.Options
+
+// Topology is a runnable dataflow on the Storm-style runtime.
+type Topology = storm.Topology
+
+// Result is a completed topology run: sink streams plus stats.
+type Result = storm.Result
+
+// Spout is an event source for the runtime.
+type Spout = storm.Spout
+
+// Bolt is a processing vertex for hand-written topologies; template
+// instances satisfy it directly.
+type Bolt = storm.Bolt
+
+// BoltFunc adapts a function to a Bolt.
+type BoltFunc = storm.BoltFunc
+
+// SliceSpout replays a fixed event sequence.
+func SliceSpout(events []Event) Spout { return storm.SliceSpout(events) }
+
+// Compile translates a type-checked DAG into a topology, inserting
+// the groupings, marker propagation and merge/sort fusion of the
+// paper's section 5. A nil options selects the defaults.
+func Compile(d *DAG, sources map[string]SourceSpec, opts *CompileOptions) (*Topology, error) {
+	return compile.Compile(d, sources, opts)
+}
+
+// NewTopology creates an empty runtime topology for hand-written
+// deployments.
+func NewTopology(name string) *Topology { return storm.NewTopology(name) }

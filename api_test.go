@@ -1,0 +1,194 @@
+package datatrace
+
+// Integration tests of the public API surface: everything a downstream
+// user touches, exercised through the re-exports only.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// apiStream builds a small keyed stream with markers.
+func apiStream(blocks, perBlock, keys int) []Event {
+	r := rand.New(rand.NewSource(71))
+	var out []Event
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < perBlock; i++ {
+			out = append(out, Item(r.Intn(keys), float64(r.Intn(100))))
+		}
+		out = append(out, Mark(Marker{Seq: int64(b), Timestamp: int64(b + 1)}))
+	}
+	return out
+}
+
+func apiFilter() *Stateless[int, float64, int, float64] {
+	return &Stateless[int, float64, int, float64]{
+		OpName: "filterEven",
+		In:     U("Int", "Float"),
+		Out:    U("Int", "Float"),
+		OnItem: func(emit Emit[int, float64], k int, v float64) {
+			if k%2 == 0 {
+				emit(k, v)
+			}
+		},
+	}
+}
+
+func apiSum() *KeyedUnordered[int, float64, int, float64, float64, float64] {
+	return &KeyedUnordered[int, float64, int, float64, float64, float64]{
+		OpName:       "sumPerKey",
+		InT:          U("Int", "Float"),
+		OutT:         U("Int", "Float"),
+		In:           func(_ int, v float64) float64 { return v },
+		ID:           func() float64 { return 0 },
+		Combine:      func(x, y float64) float64 { return x + y },
+		InitialState: func() float64 { return 0 },
+		UpdateState:  func(_, agg float64) float64 { return agg },
+		OnMarker: func(emit Emit[int, float64], st float64, k int, m Marker) {
+			emit(k, st)
+		},
+	}
+}
+
+func TestPublicAPIFullPipeline(t *testing.T) {
+	in := apiStream(4, 20, 6)
+	dag := NewDAG()
+	src := dag.Source("source", U("Int", "Float"))
+	f := dag.Op(apiFilter(), 2, src)
+	s := dag.Op(apiSum(), 3, f)
+	dag.Sink("printer", s)
+
+	ref, err := dag.Eval(map[string][]Event{"source": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := Compile(dag, map[string]SourceSpec{
+		"source": {Parallelism: 1, Factory: func(int) Spout { return SliceSpout(in) }},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(U("Int", "Float"), ref["printer"], res.Sinks["printer"]) {
+		t.Fatalf("deployment differs from reference:\n ref %s\n got %s",
+			Render(ref["printer"]), Render(res.Sinks["printer"]))
+	}
+}
+
+func TestPublicAPITypeCheckErrors(t *testing.T) {
+	dag := NewDAG()
+	src := dag.Source("src", O("Int", "Float")) // ordered source
+	dag.Sink("out", dag.Op(apiFilter(), 1, src))
+	// O flows into U: fine by subtyping — must pass.
+	if err := dag.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := NewDAG()
+	bsrc := bad.Source("src", U("String", "Float"))
+	bad.Sink("out", bad.Op(apiSum(), 1, bsrc))
+	err := bad.Check()
+	if err == nil || !strings.Contains(err.Error(), "expects input U(Int,Float)") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPublicAPISortAndRunParallel(t *testing.T) {
+	srt := &Sort[int, float64]{
+		OpName: "SORT",
+		In:     U("Int", "Float"),
+		Out:    O("Int", "Float"),
+		Less:   func(a, b float64) bool { return a < b },
+	}
+	in := apiStream(3, 15, 4)
+	ref := RunInstance(srt, in)
+	for par := 2; par <= 4; par++ {
+		got := RunParallel(srt, in, par)
+		if !Equivalent(O("Int", "Float"), ref, got) {
+			t.Fatalf("par %d changed the sort's trace", par)
+		}
+	}
+}
+
+func TestPublicAPIMergeEvents(t *testing.T) {
+	a := []Event{Item(1, 1.0), Mark(Marker{Seq: 0, Timestamp: 1})}
+	b := []Event{Item(2, 2.0), Mark(Marker{Seq: 0, Timestamp: 1})}
+	merged := MergeEvents(a, b)
+	want := []Event{Item(1, 1.0), Item(2, 2.0), Mark(Marker{Seq: 0, Timestamp: 1})}
+	if !Equivalent(U("Int", "Float"), merged, want) {
+		t.Fatalf("got %s", Render(merged))
+	}
+}
+
+func TestPublicAPIHandwrittenTopology(t *testing.T) {
+	in := apiStream(2, 10, 3)
+	top := NewTopology("manual")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("scale", 2, func(int) Bolt {
+		return BoltFunc(func(e Event, emit func(Event)) {
+			if e.IsMarker {
+				emit(e)
+				return
+			}
+			emit(Item(e.Key, e.Value.(float64)*2))
+		})
+	}).ShuffleGrouping("src", true)
+	top.AddSink("sink", "scale")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := 0
+	for _, e := range res.Sinks["sink"] {
+		if !e.IsMarker {
+			items++
+		}
+	}
+	if items != 20 {
+		t.Fatalf("hand-written topology delivered %d items, want 20", items)
+	}
+}
+
+func TestPublicAPISlidingAggregate(t *testing.T) {
+	win := &SlidingAggregate[int, float64, float64]{
+		OpName:       "slidingSum",
+		InT:          U("Int", "Float"),
+		OutT:         U("Int", "Float"),
+		WindowBlocks: 2,
+		In:           func(_ int, v float64) float64 { return v },
+		ID:           func() float64 { return 0 },
+		Combine:      func(x, y float64) float64 { return x + y },
+		EmitEmpty:    true,
+	}
+	in := []Event{
+		Item(1, 10.0), Mark(Marker{Seq: 0, Timestamp: 1}),
+		Item(1, 5.0), Mark(Marker{Seq: 1, Timestamp: 2}),
+		Mark(Marker{Seq: 2, Timestamp: 3}),
+	}
+	out := RunInstance(win, in)
+	var vals []float64
+	for _, e := range out {
+		if !e.IsMarker {
+			vals = append(vals, e.Value.(float64))
+		}
+	}
+	want := []float64{10, 15, 5}
+	if len(vals) != len(want) {
+		t.Fatalf("got %v want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("got %v want %v", vals, want)
+		}
+	}
+}
+
+func TestUnitRendering(t *testing.T) {
+	if (Unit{}).String() != "Ut" {
+		t.Fatal("unit must render as Ut")
+	}
+}

@@ -1,0 +1,92 @@
+// Command dttbench regenerates the paper's evaluation figures on the
+// in-process runtime:
+//
+//	dttbench -figure 4          # Queries I–VI, generated vs handcrafted (Figure 4)
+//	dttbench -figure 6          # Smart Homes scaling (Figure 6)
+//	dttbench -figure all        # everything, plus the section 2 experiment
+//	dttbench -section2          # only the motivation experiment
+//	dttbench -figure 4 -csv     # machine-readable output
+//
+// Workload knobs: -eps (events/second), -seconds (event-time length),
+// -workers (max simulated cluster size), -opdelay (simulated DB call
+// latency), -sources (source partitions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"datatrace/internal/bench"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends or all")
+		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		workers  = flag.Int("workers", 8, "maximum simulated cluster size")
+		eps      = flag.Int("eps", 2000, "Yahoo workload events per second")
+		seconds  = flag.Int("seconds", 15, "Yahoo workload event-time length")
+		shSecs   = flag.Int("sh-seconds", 300, "Smart Homes event-time length")
+		opDelay  = flag.Duration("opdelay", 2*time.Microsecond, "simulated DB per-call latency")
+		sources  = flag.Int("sources", 2, "source partitions")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.MaxWorkers = *workers
+	cfg.Yahoo.EventsPerSecond = *eps
+	cfg.Yahoo.Seconds = *seconds
+	cfg.SmartHome.Seconds = *shSecs
+	cfg.OpDelay = *opDelay
+	cfg.SourcePar = *sources
+
+	if *section2 {
+		runSection2()
+		return
+	}
+
+	switch *figure {
+	case "4":
+		emitFigure(bench.Figure4, cfg, *csv)
+	case "6":
+		emitFigure(bench.Figure6, cfg, *csv)
+	case "backends":
+		emitFigure(bench.BackendComparison, cfg, *csv)
+	case "all":
+		emitFigure(bench.Figure4, cfg, *csv)
+		emitFigure(bench.Figure6, cfg, *csv)
+		emitFigure(bench.BackendComparison, cfg, *csv)
+		runSection2()
+	default:
+		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6 or all)\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func emitFigure(build func(bench.Config) (*bench.Figure, error), cfg bench.Config, csv bool) {
+	fig, err := build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(fig.CSV())
+		return
+	}
+	fmt.Println(fig.Table())
+}
+
+func runSection2() {
+	res, err := bench.Section2(2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== section 2: semantics of parallel deployment (Map ×2 → LI → MaxOfAvg) ==")
+	fmt.Printf("naive shuffle deployment ≡ specification:  %v   (expected false)\n", res.NaiveEquivalent)
+	fmt.Printf("typed deployment ≡ specification:          %v   (expected true)\n", res.TypedEquivalent)
+	fmt.Printf("type checker rejects the sort-free DAG:    %v   (expected true)\n", res.TypeCheckRejectsNaive)
+}

@@ -1,0 +1,47 @@
+// Package datatrace is a Go implementation of data-trace types and
+// data-trace transductions for distributed stream processing, after
+// "Data-Trace Types for Distributed Stream Processing Systems"
+// (Mamouras, Stanford, Alur, Ives, Tannen; PLDI 2019).
+//
+// The package re-exports the library's public surface:
+//
+//   - Stream model: events, periodic synchronization markers, and the
+//     practical data-trace types U(K,V) (unordered between markers)
+//     and O(K,V) (ordered per key between markers).
+//   - Operator templates: Stateless, KeyedOrdered and KeyedUnordered
+//     (the paper's Table 1), plus the built-in SORT. Programs written
+//     against the templates are consistent by construction (Theorem
+//     4.2): their semantics is a function of the input data trace,
+//     independent of arrival interleaving.
+//   - Transduction DAGs: typed dataflow graphs with a data-trace type
+//     on every edge, a static type checker, and a sequential
+//     reference evaluator.
+//   - A compiler that deploys a DAG — at any parallelism — onto a
+//     Storm-style concurrent runtime while preserving its semantics
+//     (Theorem 4.3, Corollary 4.4), inserting splitters, marker
+//     propagation, merge alignment and sort fusion automatically.
+//
+// A minimal program (the paper's Figure 2):
+//
+//	dag := datatrace.NewDAG()
+//	src := dag.Source("source", datatrace.U("Int", "Float"))
+//	filt := dag.Op(&datatrace.Stateless[int, float64, int, float64]{
+//		OpName: "filterEven",
+//		In:     datatrace.U("Int", "Float"),
+//		Out:    datatrace.U("Int", "Float"),
+//		OnItem: func(emit datatrace.Emit[int, float64], k int, v float64) {
+//			if k%2 == 0 {
+//				emit(k, v)
+//			}
+//		},
+//	}, 2, src)
+//	sum := dag.Op(sumOp, 3, filt) // a KeyedUnordered aggregation
+//	dag.Sink("printer", sum)
+//	top, err := datatrace.Compile(dag, sources, nil)
+//	res, err := top.Run()
+//
+// The formal model backing all of this — Mazurkiewicz-style data
+// traces, dependence relations, trace equivalence, and data-trace
+// transductions — lives in internal/trace and internal/transduction
+// and is exercised by the library's property tests.
+package datatrace

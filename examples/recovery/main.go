@@ -1,0 +1,73 @@
+// Recovery: marker-aligned checkpointing on the micro-batch backend.
+//
+// The IoT pipeline runs for a few batches, a checkpoint is taken at a
+// marker boundary (a consistent cut: every operator has processed
+// exactly the same prefix of blocks), the engine is discarded
+// ("crash"), a fresh engine is restored from the checkpoint, and the
+// run resumes. The concatenated output is verified trace-equivalent
+// to an uninterrupted run — state recovery does not change the
+// computation's semantics.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datatrace/internal/iot"
+	"datatrace/internal/microbatch"
+	"datatrace/internal/stream"
+)
+
+func main() {
+	cfg := iot.DefaultSensorConfig()
+	cfg.Seconds = 80
+	inputs := map[string][]stream.Event{"hub": iot.Stream(cfg)}
+	blocks := cfg.Seconds / cfg.MarkerPeriod
+
+	full, err := microbatch.RunDAG(iot.PipelineDAG(cfg, 2), inputs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cut := blocks / 2
+	e1, err := microbatch.New(iot.PipelineDAG(cfg, 2), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := e1.RunBatches(inputs, 0, cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := e1.Checkpoint(cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytes := 0
+	for _, parts := range cp.State {
+		for _, b := range parts {
+			bytes += len(b)
+		}
+	}
+	fmt.Printf("processed %d/%d batches, checkpoint taken: %d operator partitions, %d bytes of state\n",
+		cut, blocks, len(cp.State), bytes)
+
+	// "Crash": e1 is abandoned. Restore a fresh engine and resume.
+	e2, err := microbatch.Restore(iot.PipelineDAG(cfg, 2), cp, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rest, err := e2.RunBatches(inputs, cp.Batch, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored and resumed: %d more batches\n", rest.Batches)
+
+	combined := append(append([]stream.Event(nil), first.Sinks["sink"]...), rest.Sinks["sink"]...)
+	equal := stream.Equivalent(iot.SinkType(), combined, full.Sinks["sink"])
+	fmt.Println("resumed output ≡ uninterrupted run:", equal)
+	if !equal {
+		log.Fatal("recovery changed the semantics")
+	}
+}

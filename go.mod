@@ -1,0 +1,3 @@
+module datatrace
+
+go 1.24

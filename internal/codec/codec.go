@@ -1,0 +1,107 @@
+// Package codec serializes stream events, modelling the
+// tuple-serialization boundary a real distributed deployment has on
+// every inter-worker connection (the paper's §2 pipeline exists
+// precisely because deserialization is the expensive stage worth
+// parallelizing). The storm runtime can be configured to encode and
+// decode every routed event (Topology.SetCodec), which both charges a
+// realistic per-hop cost and enforces that all keys and values are
+// actually serializable — as Apache Storm's Kryo boundary does.
+//
+// Encoding is gob-based: concrete key/value types are registered
+// once, and per-connection stream encoders amortize gob's type
+// descriptions the way a long-lived connection would.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"datatrace/internal/stream"
+)
+
+// wire is the serialized form of one event. Key and Value ride as
+// interfaces, so their concrete types must be registered.
+type wire struct {
+	IsMarker bool
+	Seq      int64
+	Ts       int64
+	Key      any
+	Value    any
+}
+
+// Codec encodes and decodes events. Safe for concurrent use; each
+// call uses a fresh gob encoder (see Conn for the amortized form).
+type Codec struct{}
+
+// New creates a codec.
+func New() *Codec { return &Codec{} }
+
+// Register declares a concrete key or value type, like gob.Register.
+// Register every type that flows through serialized connections.
+func Register(v any) { gob.Register(v) }
+
+// Encode serializes one event.
+func (c *Codec) Encode(e stream.Event) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(toWire(e)); err != nil {
+		return nil, fmt.Errorf("codec: encode %s: %w", e, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes one event produced by Encode.
+func (c *Codec) Decode(b []byte) (stream.Event, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return stream.Event{}, fmt.Errorf("codec: decode: %w", err)
+	}
+	return fromWire(w), nil
+}
+
+func toWire(e stream.Event) wire {
+	return wire{IsMarker: e.IsMarker, Seq: e.Marker.Seq, Ts: e.Marker.Timestamp, Key: e.Key, Value: e.Value}
+}
+
+func fromWire(w wire) stream.Event {
+	if w.IsMarker {
+		return stream.Mark(stream.Marker{Seq: w.Seq, Timestamp: w.Ts})
+	}
+	return stream.Item(w.Key, w.Value)
+}
+
+// Conn is a long-lived encode/decode pair for one logical connection:
+// gob transmits each type's description once per Conn, as a TCP
+// connection between workers would. Conn is not safe for concurrent
+// use; give each connection its own.
+type Conn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn creates a connected encoder/decoder pair (loopback).
+func NewConn() *Conn {
+	c := &Conn{}
+	c.enc = gob.NewEncoder(&c.buf)
+	c.dec = gob.NewDecoder(&c.buf)
+	return c
+}
+
+// RoundTrip encodes the event into the connection and decodes it back
+// — the cost one serialized hop pays.
+func (c *Conn) RoundTrip(e stream.Event) (stream.Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(toWire(e)); err != nil {
+		return stream.Event{}, fmt.Errorf("codec: conn encode %s: %w", e, err)
+	}
+	var w wire
+	if err := c.dec.Decode(&w); err != nil {
+		return stream.Event{}, fmt.Errorf("codec: conn decode: %w", err)
+	}
+	return fromWire(w), nil
+}

@@ -1,0 +1,182 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// This file is a chaos harness for Corollary 4.4: it generates random
+// typed DAGs — random depth, random operator kinds, random
+// parallelism, occasional diamonds — and checks that the compiled
+// concurrent execution produces the reference denotation's trace on
+// random inputs. Every shape the generator can produce is legal by
+// construction, so any inequivalence is a compiler or runtime bug.
+
+// randomOp builds a random operator with int keys and values.
+// kindIn says whether the upstream channel is ordered.
+func randomOp(r *rand.Rand, id int, inOrdered bool) (op core.Operator, outOrdered bool) {
+	name := func(k string) string { return fmt.Sprintf("%s-%d", k, id) }
+	if inOrdered {
+		// Ordered input: keyed-ordered stage (running sum) or forget
+		// order with a stateless stage.
+		if r.Intn(2) == 0 {
+			return &core.KeyedOrdered[int, int, int, int]{
+				OpName:       name("runsum"),
+				In:           stream.O("Int", "Int"),
+				Out:          stream.O("Int", "Int"),
+				InitialState: func() int { return 0 },
+				OnItem: func(emit func(int), st, k, v int) int {
+					st += v
+					emit(st)
+					return st
+				},
+			}, true
+		}
+		return &core.Stateless[int, int, int, int]{
+			OpName: name("scale"),
+			In:     stream.U("Int", "Int"),
+			Out:    stream.U("Int", "Int"),
+			OnItem: func(emit core.Emit[int, int], k, v int) { emit(k, v*3) },
+		}, false
+	}
+	switch r.Intn(4) {
+	case 0: // stateless filter
+		return &core.Stateless[int, int, int, int]{
+			OpName: name("filter"),
+			In:     stream.U("Int", "Int"),
+			Out:    stream.U("Int", "Int"),
+			OnItem: func(emit core.Emit[int, int], k, v int) {
+				if v%3 != 0 {
+					emit(k, v)
+				}
+			},
+		}, false
+	case 1: // keyed-unordered block sum
+		return &core.KeyedUnordered[int, int, int, int, int, int]{
+			OpName:       name("blocksum"),
+			InT:          stream.U("Int", "Int"),
+			OutT:         stream.U("Int", "Int"),
+			In:           func(_, v int) int { return v },
+			ID:           func() int { return 0 },
+			Combine:      func(x, y int) int { return x + y },
+			InitialState: func() int { return 0 },
+			UpdateState:  func(_, agg int) int { return agg },
+			OnMarker: func(emit core.Emit[int, int], st, k int, m stream.Marker) {
+				emit(k, st)
+			},
+		}, false
+	case 2: // sliding window
+		return &core.SlidingAggregate[int, int, int]{
+			OpName:       name("window"),
+			InT:          stream.U("Int", "Int"),
+			OutT:         stream.U("Int", "Int"),
+			WindowBlocks: 1 + r.Intn(3),
+			In:           func(_, v int) int { return v },
+			ID:           func() int { return 0 },
+			Combine:      func(x, y int) int { return x + y },
+			EmitEmpty:    r.Intn(2) == 0,
+		}, false
+	default: // sort
+		return &core.Sort[int, int]{
+			OpName: name("sort"),
+			In:     stream.U("Int", "Int"),
+			Out:    stream.O("Int", "Int"),
+			Less:   func(a, b int) bool { return a < b },
+		}, true
+	}
+}
+
+// randomDAG builds a random legal DAG and returns a constructor so
+// identical fresh DAGs can be built for reference and deployment.
+func randomDAG(seed int64) func(maxPar int, r *rand.Rand) *core.DAG {
+	return func(maxPar int, r *rand.Rand) *core.DAG {
+		shape := rand.New(rand.NewSource(seed)) // shape decisions are seed-stable
+		d := core.NewDAG()
+		src := d.Source("src", stream.U("Int", "Int"))
+		cur := src
+		ordered := false
+		depth := 2 + shape.Intn(4)
+		for i := 0; i < depth; i++ {
+			op, outOrdered := randomOp(shape, i, ordered)
+			// Always draw so the shape RNG stream is identical for
+			// every maxPar (Intn(1) is a no-op draw).
+			par := 1 + shape.Intn(maxPar)
+			cur = d.Op(op, par, cur)
+			ordered = outOrdered
+		}
+		// Occasionally a diamond: fan the last unordered stage into two
+		// branches merged by a final aggregator.
+		if !ordered && shape.Intn(3) == 0 {
+			left := d.Op(&core.Stateless[int, int, int, int]{
+				OpName: "diamond-l",
+				In:     stream.U("Int", "Int"),
+				Out:    stream.U("Int", "Int"),
+				OnItem: func(emit core.Emit[int, int], k, v int) { emit(k, v+1) },
+			}, 1+shape.Intn(maxPar), cur)
+			right := d.Op(&core.Stateless[int, int, int, int]{
+				OpName: "diamond-r",
+				In:     stream.U("Int", "Int"),
+				Out:    stream.U("Int", "Int"),
+				OnItem: func(emit core.Emit[int, int], k, v int) { emit(k, v+2) },
+			}, 1+shape.Intn(maxPar), cur)
+			cur = d.Op(&core.KeyedUnordered[int, int, int, int, int, int]{
+				OpName:       "diamond-join",
+				InT:          stream.U("Int", "Int"),
+				OutT:         stream.U("Int", "Int"),
+				In:           func(_, v int) int { return v },
+				ID:           func() int { return 0 },
+				Combine:      func(x, y int) int { return x + y },
+				InitialState: func() int { return 0 },
+				UpdateState:  func(old, agg int) int { return old + agg },
+				OnMarker: func(emit core.Emit[int, int], st, k int, m stream.Marker) {
+					emit(k, st)
+				},
+			}, 1+shape.Intn(maxPar), left, right)
+		}
+		d.Sink("out", cur)
+		return d
+	}
+}
+
+func TestChaosCompiledDAGsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		build := randomDAG(int64(1000 + trial))
+		in := randomStream(r, 2+r.Intn(4), 10, 5)
+
+		refDag := build(1, r)
+		if err := refDag.Check(); err != nil {
+			t.Fatalf("trial %d: generated an ill-typed DAG: %v", trial, err)
+		}
+		ref, err := refDag.Eval(map[string][]stream.Event{"src": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dag := build(4, r)
+		for _, fuse := range []bool{true, false} {
+			top, err := Compile(dag, map[string]SourceSpec{
+				"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+			}, &Options{FuseSort: fuse})
+			if err != nil {
+				t.Fatalf("trial %d fuse=%v: %v", trial, fuse, err)
+			}
+			res, err := top.Run()
+			if err != nil {
+				t.Fatalf("trial %d fuse=%v: %v", trial, fuse, err)
+			}
+			if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+				t.Fatalf("trial %d fuse=%v:\n%s\n%v", trial, fuse, dag.Dot(), err)
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package compile translates type-checked transduction DAGs (package
+// core) into executable storm topologies (package storm), the
+// counterpart of the paper's section 5 compilation procedure onto
+// Apache Storm.
+//
+// The compiler:
+//
+//   - maps every DAG source to a spout and every operator to a bolt
+//     at its declared parallelism;
+//   - selects the grouping each connection needs for the deployment
+//     to be semantics-preserving (Theorem 4.3): shuffle for stateless
+//     consumers, fields (key hash) for keyed consumers, global for
+//     non-parallelizable ones;
+//   - inserts the marker-propagation glue: markers are broadcast on
+//     every connection and each consumer merges its input channels
+//     with the MRG alignment discipline. The merge runs inside the
+//     consumer's executor, which is the paper's "fuse MRG with the
+//     operator that follows" optimization;
+//   - optionally fuses a SORT vertex into its (sole) downstream
+//     operator so sorting happens in the consumer's executor without
+//     an extra network hop, the paper's second fusion rule.
+//
+// By Corollary 4.4, the resulting topology — at any parallelism — is
+// equivalent to the DAG's reference denotation (core.DAG.Eval); the
+// package tests check exactly that, over the truly concurrent
+// runtime.
+package compile
+
+import (
+	"fmt"
+
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// SourceSpec tells the compiler how to realize a DAG source as a
+// spout.
+type SourceSpec struct {
+	// Parallelism is the number of spout instances (≥1). Multiple
+	// instances model partitioned sources (Yahoo0..YahooN in the
+	// paper's Figure 3); each instance must emit the same marker
+	// sequence for alignment downstream.
+	Parallelism int
+	// Factory builds the spout for one instance.
+	Factory func(instance int) storm.Spout
+}
+
+// Options tune the compilation.
+type Options struct {
+	// FuseSort fuses every SORT vertex that has exactly one operator
+	// consumer into that consumer's bolt. Enabled by default in
+	// Compile's nil-Options path.
+	FuseSort bool
+	// Hash overrides the fields-grouping key hash (nil = stream.DefaultHash).
+	Hash func(any) int
+	// ChannelCap bounds executor inboxes (0 = runtime default).
+	ChannelCap int
+}
+
+// sorter is implemented by core.Sort instances' operator; used to
+// recognize SORT vertices for fusion. Any keyed operator whose name
+// reports itself as a sort could match; we detect by concrete type
+// via an interface the core package satisfies.
+type sorter interface{ IsSort() bool }
+
+// Compile translates the DAG into a storm topology. sources must
+// provide a SourceSpec for every DAG source. A nil opts selects the
+// defaults (sort fusion on).
+func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.Topology, error) {
+	if opts == nil {
+		opts = &Options{FuseSort: true}
+	}
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	for _, src := range d.Sources() {
+		if _, ok := sources[src.Name]; !ok {
+			return nil, fmt.Errorf("compile: no SourceSpec for source %q", src.Name)
+		}
+	}
+
+	// consumers[node] = downstream nodes.
+	consumers := map[int][]*core.Node{}
+	for _, n := range d.Nodes() {
+		for _, in := range n.Inputs {
+			consumers[in.ID] = append(consumers[in.ID], n)
+		}
+	}
+
+	// Decide fusion: fusedInto[sortNodeID] = consumer node.
+	fusedInto := map[int]*core.Node{}
+	if opts.FuseSort {
+		for _, n := range d.Nodes() {
+			if n.Kind != core.OpNode || !isSortOp(n.Op) {
+				continue
+			}
+			cs := consumers[n.ID]
+			if len(cs) == 1 && cs[0].Kind == core.OpNode && cs[0].Op.Mode() != core.ParNone {
+				fusedInto[n.ID] = cs[0]
+			}
+		}
+	}
+
+	top := storm.NewTopology("compiled")
+	top.ChannelCap = opts.ChannelCap
+	if opts.Hash != nil {
+		top.SetHash(opts.Hash)
+	}
+
+	for _, n := range d.Nodes() {
+		switch n.Kind {
+		case core.SourceNode:
+			spec := sources[n.Name]
+			par := spec.Parallelism
+			if par < 1 {
+				par = 1
+			}
+			top.AddSpout(n.Name, par, spec.Factory)
+		case core.OpNode:
+			if _, fusedAway := fusedInto[n.ID]; fusedAway {
+				continue
+			}
+			// If an input of n is a fused sort, n's bolt runs the sort
+			// instance in front of its own and takes the sort's inputs.
+			var fusedSort core.Operator
+			inputs := n.Inputs
+			for _, in := range n.Inputs {
+				if fusedInto[in.ID] == n {
+					fusedSort = in.Op
+					inputs = in.Inputs
+					break
+				}
+			}
+			op := n.Op
+			sortOp := fusedSort
+			top.AddBolt(n.Name, n.Parallelism, func(int) storm.Bolt {
+				inst := op.New()
+				if sortOp != nil {
+					return chain(sortOp.New(), inst)
+				}
+				return instanceBolt{inst}
+			})
+			decl := boltDecl(top, n.Name)
+			grouping := groupingFor(n, fusedSort != nil)
+			for _, in := range inputs {
+				connect(decl, in.Name, grouping)
+			}
+		case core.SinkNode:
+			in := n.Inputs[0]
+			// A sink consuming a fused-away sort cannot occur: fusion
+			// requires the consumer to be an OpNode.
+			top.AddSink(n.Name, in.Name)
+		}
+	}
+	return top, nil
+}
+
+// isSortOp recognizes core.Sort operators structurally: they are the
+// only built-in whose input is unordered and whose output is the
+// ordered type with identical key and value names.
+func isSortOp(op core.Operator) bool {
+	if s, ok := op.(sorter); ok {
+		return s.IsSort()
+	}
+	in, out := op.InType(), op.OutType()
+	return in.Kind == stream.Unordered && out.Kind == stream.Ordered &&
+		in.Key == out.Key && in.Val == out.Val && op.Mode() == core.ParKeyed
+}
+
+// groupingFor selects the semantics-preserving grouping for the
+// connection into node n (Theorem 4.3). A fused sort forces key
+// routing even if the downstream operator alone would allow shuffle.
+func groupingFor(n *core.Node, hasFusedSort bool) storm.Grouping {
+	if hasFusedSort {
+		return storm.Fields
+	}
+	switch n.Op.Mode() {
+	case core.ParAny:
+		return storm.Shuffle
+	case core.ParKeyed:
+		return storm.Fields
+	default:
+		return storm.Global
+	}
+}
+
+// boltDecl re-opens a bolt declaration for wiring. The storm builder
+// returns the declaration at AddBolt time; this helper exists so the
+// compiler can keep its loop flat.
+func boltDecl(t *storm.Topology, name string) *storm.BoltDecl {
+	return t.Decl(name)
+}
+
+func connect(d *storm.BoltDecl, from string, g storm.Grouping) {
+	switch g {
+	case storm.Shuffle:
+		d.ShuffleGrouping(from, true)
+	case storm.Fields:
+		d.FieldsGrouping(from, true)
+	case storm.Global:
+		d.GlobalGrouping(from, true)
+	default:
+		d.BroadcastGrouping(from, true)
+	}
+}
+
+// instanceBolt adapts a core.Instance to a storm.Bolt (identical
+// method sets; the named type keeps the dependency direction
+// explicit).
+type instanceBolt struct{ inst core.Instance }
+
+// Next implements storm.Bolt.
+func (b instanceBolt) Next(e stream.Event, emit func(stream.Event)) { b.inst.Next(e, emit) }
+
+// chain runs instance a and feeds its emissions into instance b — the
+// fusion of two operators into one bolt. The intermediate closure is
+// allocated once, not per event.
+func chain(a, b core.Instance) storm.Bolt {
+	var outer func(stream.Event)
+	mid := func(e stream.Event) { b.Next(e, outer) }
+	return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+		outer = emit
+		a.Next(e, mid)
+	})
+}

@@ -1,0 +1,271 @@
+package compile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+func mk(seq, ts int64) stream.Event { return stream.Mark(stream.Marker{Seq: seq, Timestamp: ts}) }
+
+func randomStream(r *rand.Rand, nBlocks, maxPerBlock, keys int) []stream.Event {
+	var out []stream.Event
+	ts := int64(0)
+	for b := 0; b < nBlocks; b++ {
+		n := r.Intn(maxPerBlock + 1)
+		for i := 0; i < n; i++ {
+			out = append(out, stream.Item(r.Intn(keys), r.Intn(100)))
+		}
+		ts += 10
+		out = append(out, stream.Mark(stream.Marker{Seq: int64(b), Timestamp: ts}))
+	}
+	return out
+}
+
+func evenFilter() core.Operator {
+	return &core.Stateless[int, int, int, int]{
+		OpName: "filterEven",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Int"),
+		OnItem: func(emit core.Emit[int, int], key, value int) {
+			if key%2 == 0 {
+				emit(key, value)
+			}
+		},
+	}
+}
+
+func sumPerKey() core.Operator {
+	return &core.KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "sumPerKey",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return value },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return x + y },
+		InitialState: func() int { return 0 },
+		UpdateState:  func(old, agg int) int { return agg },
+		OnMarker: func(emit core.Emit[int, int], newState int, key int, m stream.Marker) {
+			emit(key, newState)
+		},
+	}
+}
+
+func runningSum() core.Operator {
+	return &core.KeyedOrdered[int, int, int, int]{
+		OpName:       "runningSum",
+		In:           stream.O("Int", "Int"),
+		Out:          stream.O("Int", "Int"),
+		InitialState: func() int { return 0 },
+		OnItem: func(emit func(int), state, key, value int) int {
+			state += value
+			emit(state)
+			return state
+		},
+	}
+}
+
+func sortOp() core.Operator {
+	return &core.Sort[int, int]{
+		OpName: "SORT",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.O("Int", "Int"),
+		Less:   func(a, b int) bool { return a < b },
+	}
+}
+
+// pipelineDAG: source → filter(par a) → sum(par b) → sink.
+func pipelineDAG(parFilter, parSum int) *core.DAG {
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	f := d.Op(evenFilter(), parFilter, src)
+	s := d.Op(sumPerKey(), parSum, f)
+	d.Sink("out", s)
+	return d
+}
+
+// sortedDAG: source → SORT(par a) → runningSum(par b) → sink (the
+// Example 4.1 / Figure 1 shape).
+func sortedDAG(parSort, parSum int) *core.DAG {
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	so := d.Op(sortOp(), parSort, src)
+	rs := d.Op(runningSum(), parSum, so)
+	d.Sink("out", rs)
+	return d
+}
+
+func runCompiled(t *testing.T, d *core.DAG, in []stream.Event, opts *Options) map[string][]stream.Event {
+	t.Helper()
+	top, err := Compile(d, map[string]SourceSpec{
+		"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Sinks
+}
+
+// TestCompiledMatchesReference is the central compiler correctness
+// property (Corollary 4.4, on the real concurrent runtime): the
+// compiled topology's sink traces equal the DAG's reference
+// denotation, for random inputs and parallelism settings, with and
+// without sort fusion.
+func TestCompiledMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	builders := []struct {
+		name  string
+		build func(p1, p2 int) *core.DAG
+	}{
+		{"filter-sum", pipelineDAG},
+		{"sort-runningSum", sortedDAG},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				in := randomStream(r, 2+r.Intn(3), 12, 6)
+				ref, err := b.build(1, 1).Eval(map[string][]stream.Event{"src": in})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pars := range [][2]int{{1, 1}, {2, 3}, {4, 2}} {
+					for _, fuse := range []bool{false, true} {
+						d := b.build(pars[0], pars[1])
+						got := runCompiled(t, d, in, &Options{FuseSort: fuse})
+						if err := d.EquivalentOutputs(ref, got); err != nil {
+							t.Fatalf("pars=%v fuse=%v: %v", pars, fuse, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompileRejectsMissingSource(t *testing.T) {
+	d := pipelineDAG(1, 1)
+	_, err := Compile(d, map[string]SourceSpec{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no SourceSpec") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCompileRejectsIllTypedDAG(t *testing.T) {
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	d.Sink("out", d.Op(runningSum(), 1, src)) // U into O: ill-typed
+	_, err := Compile(d, map[string]SourceSpec{
+		"src": {Factory: func(int) storm.Spout { return storm.SliceSpout(nil) }},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "ill-typed") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSortFusionRemovesComponent(t *testing.T) {
+	d := sortedDAG(2, 2)
+	in := randomStream(rand.New(rand.NewSource(1)), 2, 8, 4)
+	srcs := map[string]SourceSpec{
+		"src": {Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+	}
+	fused, err := Compile(d, srcs, &Options{FuseSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fused.String(), "bolt SORT") {
+		t.Fatalf("fused topology still has a SORT bolt:\n%s", fused.String())
+	}
+	plain, err := Compile(sortedDAG(2, 2), srcs, &Options{FuseSort: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "bolt SORT") {
+		t.Fatalf("unfused topology lost its SORT bolt:\n%s", plain.String())
+	}
+}
+
+func TestSortNotFusedAcrossFanOut(t *testing.T) {
+	// SORT with two consumers must not be fused.
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	so := d.Op(sortOp(), 1, src)
+	a := d.Op(runningSum(), 1, so)
+	b := d.Op(&core.KeyedOrdered[int, int, int, int]{
+		OpName:       "runningSum2",
+		In:           stream.O("Int", "Int"),
+		Out:          stream.O("Int", "Int"),
+		InitialState: func() int { return 0 },
+		OnItem: func(emit func(int), state, key, value int) int {
+			return state + value
+		},
+	}, 1, so)
+	d.Sink("outA", a)
+	d.Sink("outB", b)
+	top, err := Compile(d, map[string]SourceSpec{
+		"src": {Factory: func(int) storm.Spout { return storm.SliceSpout(nil) }},
+	}, &Options{FuseSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(top.String(), "bolt SORT") {
+		t.Fatalf("SORT with fan-out must not be fused:\n%s", top.String())
+	}
+}
+
+func TestPartitionedSources(t *testing.T) {
+	// Two spout instances each producing half the items with the same
+	// marker sequence model the Yahoo0..YahooN partitioned source; the
+	// merged result must equal the reference on the union stream.
+	half1 := []stream.Event{stream.Item(2, 1), mk(0, 10), stream.Item(2, 3), mk(1, 20)}
+	half2 := []stream.Event{stream.Item(4, 2), mk(0, 10), mk(1, 20)}
+	union := stream.MergeEvents(half1, half2)
+
+	d := pipelineDAG(2, 2)
+	ref, err := pipelineDAG(1, 1).Eval(map[string][]stream.Event{"src": union})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := Compile(d, map[string]SourceSpec{
+		"src": {Parallelism: 2, Factory: func(i int) storm.Spout {
+			if i == 0 {
+				return storm.SliceSpout(half1)
+			}
+			return storm.SliceSpout(half2)
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EquivalentOutputs(ref, res.Sinks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupingSelection(t *testing.T) {
+	d := pipelineDAG(2, 2)
+	top, err := Compile(d, map[string]SourceSpec{
+		"src": {Factory: func(int) storm.Spout { return storm.SliceSpout(nil) }},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := top.String()
+	if !strings.Contains(s, "filterEven ×2 ← src(shuffle,aligned)") {
+		t.Fatalf("stateless consumer must use shuffle:\n%s", s)
+	}
+	if !strings.Contains(s, "sumPerKey ×2 ← filterEven(fields,aligned)") {
+		t.Fatalf("keyed consumer must use fields:\n%s", s)
+	}
+}

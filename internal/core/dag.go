@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"datatrace/internal/stream"
+)
+
+// NodeKind distinguishes the three vertex kinds of a transduction DAG.
+type NodeKind int
+
+const (
+	// SourceNode produces an input stream (one outgoing edge type).
+	SourceNode NodeKind = iota
+	// OpNode applies an Operator.
+	OpNode
+	// SinkNode consumes a stream (one incoming edge).
+	SinkNode
+)
+
+// Node is a vertex of a transduction DAG. Nodes are created through
+// the DAG's Source/Op/Sink methods, which guarantee acyclicity by
+// construction (an edge can only point to an already existing node).
+type Node struct {
+	// ID is the node's index in creation (= topological) order.
+	ID int
+	// Kind is the vertex kind.
+	Kind NodeKind
+	// Name labels the node; unique within the DAG.
+	Name string
+	// Op is the operator of an OpNode (nil otherwise).
+	Op Operator
+	// Parallelism is the deployment parallelism hint (≥ 1).
+	Parallelism int
+	// Type is the data-trace type of the node's outgoing channel
+	// (for sinks: of the incoming channel).
+	Type stream.Type
+	// Inputs are the upstream nodes.
+	Inputs []*Node
+}
+
+// DAG is a transduction DAG (section 4): a labelled acyclic dataflow
+// graph whose edges carry data-trace types and whose processing
+// vertices are template-built operators. Build it with Source, Op and
+// Sink; Check validates the data-trace type discipline; Eval computes
+// its denotation.
+type DAG struct {
+	nodes []*Node
+	names map[string]bool
+	errs  []error
+}
+
+// NewDAG creates an empty transduction DAG.
+func NewDAG() *DAG { return &DAG{names: map[string]bool{}} }
+
+// Nodes returns the nodes in creation (topological) order.
+func (d *DAG) Nodes() []*Node { return d.nodes }
+
+// Sources returns the source nodes in creation order.
+func (d *DAG) Sources() []*Node { return d.byKind(SourceNode) }
+
+// Sinks returns the sink nodes in creation order.
+func (d *DAG) Sinks() []*Node { return d.byKind(SinkNode) }
+
+func (d *DAG) byKind(k NodeKind) []*Node {
+	var out []*Node
+	for _, n := range d.nodes {
+		if n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *DAG) add(n *Node) *Node {
+	if d.names[n.Name] {
+		d.errs = append(d.errs, fmt.Errorf("duplicate node name %q", n.Name))
+	}
+	d.names[n.Name] = true
+	n.ID = len(d.nodes)
+	d.nodes = append(d.nodes, n)
+	return n
+}
+
+// Source adds a named stream source whose outgoing channel has the
+// given data-trace type.
+func (d *DAG) Source(name string, typ stream.Type) *Node {
+	return d.add(&Node{Kind: SourceNode, Name: name, Parallelism: 1, Type: typ})
+}
+
+// Op adds a processing vertex applying op with the given parallelism
+// hint, consuming the given upstream nodes. Multiple inputs are
+// merged (MRG) before the operator, aligned on markers.
+func (d *DAG) Op(op Operator, parallelism int, inputs ...*Node) *Node {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	n := &Node{Kind: OpNode, Name: op.Name(), Op: op, Parallelism: parallelism, Type: op.OutType(), Inputs: inputs}
+	return d.add(n)
+}
+
+// Sink adds a named sink consuming one upstream node.
+func (d *DAG) Sink(name string, input *Node) *Node {
+	n := &Node{Kind: SinkNode, Name: name, Parallelism: 1, Inputs: []*Node{input}}
+	if input != nil {
+		n.Type = input.Type
+	}
+	return d.add(n)
+}
+
+// mergedInputType computes the type flowing into a node after the
+// implicit MRG of its input channels, following the paper's two merge
+// variants: identical unordered channels, or ordered channels with
+// pairwise disjoint key sets (whose union is written K1∪K2).
+func mergedInputType(inputs []*Node) (stream.Type, error) {
+	if len(inputs) == 0 {
+		return stream.Type{}, fmt.Errorf("no input channels")
+	}
+	first := inputs[0].Type
+	same := true
+	for _, in := range inputs[1:] {
+		if !in.Type.Equal(first) {
+			same = false
+			break
+		}
+	}
+	if same {
+		return first, nil
+	}
+	// Ordered variant: all O(Ki, V) with the same value type.
+	keys := make([]string, 0, len(inputs))
+	for _, in := range inputs {
+		t := in.Type
+		if t.Kind != stream.Ordered || t.Val != first.Val {
+			return stream.Type{}, fmt.Errorf(
+				"cannot merge input channels %s: MRG needs identical unordered types or ordered types with one value type",
+				renderTypes(inputs))
+		}
+		keys = append(keys, t.Key)
+	}
+	return stream.O(strings.Join(keys, "∪"), first.Val), nil
+}
+
+func renderTypes(inputs []*Node) string {
+	parts := make([]string, len(inputs))
+	for i, in := range inputs {
+		parts[i] = in.Type.String()
+	}
+	return strings.Join(parts, " × ")
+}
+
+// Check validates the DAG: structural rules (sources have no inputs,
+// sinks exactly one, ops at least one), template completeness, the
+// data-trace type discipline on every edge, and that parallelism
+// hints respect each operator's mode. It returns all violations
+// joined into one error, or nil.
+func (d *DAG) Check() error {
+	errs := append([]error(nil), d.errs...)
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	consumers := map[int]int{}
+	for _, n := range d.nodes {
+		for _, in := range n.Inputs {
+			consumers[in.ID]++
+		}
+	}
+	for _, n := range d.nodes {
+		switch n.Kind {
+		case SourceNode:
+			if len(n.Inputs) != 0 {
+				fail("source %s must not have inputs", n.Name)
+			}
+		case SinkNode:
+			if len(n.Inputs) != 1 || n.Inputs[0] == nil {
+				fail("sink %s must have exactly one input", n.Name)
+			} else if n.Inputs[0].Kind == SinkNode {
+				fail("sink %s cannot consume another sink", n.Name)
+			}
+		case OpNode:
+			if err := n.Op.Validate(); err != nil {
+				fail("operator %s: %v", n.Name, err)
+			}
+			if len(n.Inputs) == 0 {
+				fail("operator %s has no input channels", n.Name)
+			} else {
+				merged, err := mergedInputType(n.Inputs)
+				if err != nil {
+					fail("operator %s: %v", n.Name, err)
+				} else if !stream.AssignableTo(merged, n.Op.InType()) {
+					fail("operator %s expects input %s but its channels carry %s",
+						n.Name, n.Op.InType(), merged)
+				}
+			}
+			for _, in := range n.Inputs {
+				if in.Kind == SinkNode {
+					fail("operator %s cannot consume sink %s", n.Name, in.Name)
+				}
+			}
+			if n.Parallelism > 1 && n.Op.Mode() == ParNone {
+				fail("operator %s cannot be parallelized (mode none) but has parallelism %d",
+					n.Name, n.Parallelism)
+			}
+		}
+	}
+	for _, n := range d.nodes {
+		if n.Kind != SinkNode && consumers[n.ID] == 0 {
+			fail("%s output is never consumed", n.Name)
+		}
+	}
+	d.checkGoTypes(fail)
+	if len(errs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = e.Error()
+	}
+	return fmt.Errorf("transduction DAG ill-typed:\n  %s", strings.Join(parts, "\n  "))
+}
+
+// Dot renders the typed DAG in Graphviz format, labelling every edge
+// with its data-trace type — the diagrams of Figures 1, 3 and 5.
+func (d *DAG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph transduction {\n  rankdir=LR;\n")
+	for _, n := range d.nodes {
+		shape := "box"
+		extra := ""
+		switch n.Kind {
+		case SourceNode:
+			shape = "ellipse"
+		case SinkNode:
+			shape = "ellipse"
+		case OpNode:
+			if n.Parallelism > 1 {
+				extra = fmt.Sprintf(" ×%d", n.Parallelism)
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s,label=%q];\n", n.ID, shape, n.Name+extra)
+	}
+	for _, n := range d.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", in.ID, n.ID, in.Type.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

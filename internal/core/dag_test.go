@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"datatrace/internal/stream"
+)
+
+// figure2DAG builds the DAG of the paper's Figure 2: source → filter
+// (par 2) → per-key sum (par 3) → printer sink.
+func figure2DAG() (*DAG, *Node) {
+	d := NewDAG()
+	src := d.Source("source", stream.U("Int", "Int"))
+	filt := d.Op(evenFilter(), 2, src)
+	sum := d.Op(sumPerKey(), 3, filt)
+	sink := d.Sink("printer", sum)
+	return d, sink
+}
+
+func TestFigure2DAGTypeChecks(t *testing.T) {
+	d, _ := figure2DAG()
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsTypeMismatch(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("src", stream.U("String", "Float"))
+	d.Sink("sink", d.Op(sumPerKey(), 1, src))
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "expects input U(Int,Int)") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckAllowsOrderedIntoUnordered(t *testing.T) {
+	// O(K,V) flows into a stateless operator expecting U(K,V):
+	// forgetting order is sound (Figure 5's Map stage).
+	d := NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	srt := d.Op(&Sort[int, int]{
+		OpName: "SORT", In: stream.U("Int", "Int"), Out: stream.O("Int", "Int"),
+		Less: func(a, b int) bool { return a < b },
+	}, 1, src)
+	d.Sink("sink", d.Op(evenFilter(), 1, srt))
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsUnorderedIntoOrdered(t *testing.T) {
+	// U(K,V) must NOT flow into an operator expecting O(K,V) — that is
+	// exactly the unsound deployment of section 2.
+	d := NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	d.Sink("sink", d.Op(runningSum(), 1, src))
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "expects input O(Int,Int)") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckRejectsOverParallelizedGlobalOp(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("src", stream.U("K", "V"))
+	d.Sink("sink", d.Op(&unsplittableOp{}, 4, src))
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "cannot be parallelized") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckRejectsDanglingOutput(t *testing.T) {
+	d := NewDAG()
+	d.Source("src", stream.U("K", "V"))
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "never consumed") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckRejectsDuplicateNames(t *testing.T) {
+	d := NewDAG()
+	a := d.Source("x", stream.U("Int", "Int"))
+	b := d.Source("x", stream.U("Int", "Int"))
+	d.Sink("s1", a)
+	d.Sink("s2", b)
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "duplicate node name") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckMergeOrderedDisjointKeys(t *testing.T) {
+	// MRG : O(K1,V) × O(K2,V) → O(K1∪K2,V).
+	d := NewDAG()
+	s1 := d.Source("s1", stream.O("K1", "V"))
+	s2 := d.Source("s2", stream.O("K2", "V"))
+	op := &KeyedOrdered[string, string, string, int]{
+		OpName:       "consume",
+		In:           stream.O("K1∪K2", "V"),
+		Out:          stream.O("K1∪K2", "W"),
+		InitialState: func() int { return 0 },
+		OnItem:       func(emit func(string), s int, k, v string) int { return s },
+	}
+	d.Sink("sink", d.Op(op, 1, s1, s2))
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsMixedMerge(t *testing.T) {
+	d := NewDAG()
+	s1 := d.Source("s1", stream.U("K", "V"))
+	s2 := d.Source("s2", stream.O("K", "V"))
+	d.Sink("sink", d.Op(evenFilter(), 1, s1, s2))
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "cannot merge") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	d, _ := figure2DAG()
+	dot := d.Dot()
+	for _, want := range []string{"digraph", "filterEven ×2", "sumPerKey ×3", "U(Int,Int)"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestNodesAccessors(t *testing.T) {
+	d, sink := figure2DAG()
+	if len(d.Nodes()) != 4 {
+		t.Fatalf("want 4 nodes, got %d", len(d.Nodes()))
+	}
+	if len(d.Sources()) != 1 || d.Sources()[0].Name != "source" {
+		t.Fatal("sources accessor wrong")
+	}
+	if len(d.Sinks()) != 1 || d.Sinks()[0] != sink {
+		t.Fatal("sinks accessor wrong")
+	}
+	if sink.Type != stream.U("Int", "Int") {
+		t.Fatalf("sink type %s", sink.Type)
+	}
+}
+
+// TestCheckGoTypesCatchesRepresentationMismatch: two operators whose
+// stream.Type names agree but whose Go instantiations do not must be
+// rejected at Check() time instead of panicking inside an executor.
+func TestCheckGoTypesCatchesRepresentationMismatch(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	// Emits int64 values but calls the type name "Int".
+	a := d.Op(&Stateless[int, int, int, int64]{
+		OpName: "widen",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Int"), // the name lies about int64
+		OnItem: func(emit Emit[int, int64], k, v int) { emit(k, int64(v)) },
+	}, 1, src)
+	// Consumes int values.
+	b := d.Op(evenFilter(), 1, a)
+	d.Sink("out", b)
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "representation mismatch") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckGoTypesAllowsInterfaceConsumers(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	a := d.Op(&Stateless[int, int, int, int64]{
+		OpName: "widen",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Any"),
+		OnItem: func(emit Emit[int, int64], k, v int) { emit(k, int64(v)) },
+	}, 1, src)
+	// An any-valued consumer accepts every representation.
+	b := d.Op(&Stateless[int, any, int, int]{
+		OpName: "sink-ish",
+		In:     stream.U("Int", "Any"),
+		Out:    stream.U("Int", "Int"),
+		OnItem: func(emit Emit[int, int], k int, v any) {},
+	}, 1, a)
+	d.Sink("out", b)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribeGoTypes(t *testing.T) {
+	d, _ := figure2DAG()
+	desc := d.DescribeGoTypes()
+	if !strings.Contains(desc, "filterEven : (int,int) → (int,int)") {
+		t.Fatalf("missing description:\n%s", desc)
+	}
+}

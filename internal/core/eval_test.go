@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"datatrace/internal/stream"
+)
+
+func TestEvalFigure2Pipeline(t *testing.T) {
+	d, _ := figure2DAG()
+	in := []stream.Event{
+		stream.Item(2, 10), stream.Item(3, 99), stream.Item(2, 5), stream.Item(4, 1),
+		mk(0, 1),
+		stream.Item(2, 7), mk(1, 2),
+	}
+	out, err := d.Eval(map[string][]stream.Event{"source": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out["printer"]
+	// Block 0: key2 → 15, key4 → 1 (key 3 filtered). Block 1: key2 → 7, key4 → 0.
+	want := []stream.Event{
+		stream.Item(2, 15), stream.Item(4, 1), mk(0, 1),
+		stream.Item(2, 7), stream.Item(4, 0), mk(1, 2),
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), got, want) {
+		t.Fatalf("got %s want %s", stream.Render(got), stream.Render(want))
+	}
+}
+
+func TestEvalFailsOnIllTypedDAG(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	d.Sink("sink", d.Op(runningSum(), 1, src))
+	if _, err := d.Eval(nil); err == nil {
+		t.Fatal("Eval must refuse an ill-typed DAG")
+	}
+}
+
+// TestCorollary4_4_DeploymentEquivalence is the executable Corollary
+// 4.4: for a type-checked DAG, the deployed evaluation (splitters,
+// replicas and merges inserted per parallelism hints) is equivalent
+// to the reference denotation, for random inputs and hints.
+func TestCorollary4_4_DeploymentEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		d, _ := figure2DAG()
+		in := randomStream(r, 1+r.Intn(5), 10, 6)
+		ref, err := d.Eval(map[string][]stream.Event{"source": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := d.EvalDeployed(map[string][]stream.Event{"source": in}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EquivalentOutputs(ref, dep); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestCorollary4_4_SortPipeline deploys a U → SORT → keyed-ordered
+// pipeline (the Example 4.1 shape) in parallel and checks equivalence.
+func TestCorollary4_4_SortPipeline(t *testing.T) {
+	build := func() *DAG {
+		d := NewDAG()
+		src := d.Source("hub", stream.U("Int", "Int"))
+		srt := d.Op(&Sort[int, int]{
+			OpName: "SORT", In: stream.U("Int", "Int"), Out: stream.O("Int", "Int"),
+			Less: func(a, b int) bool { return a < b },
+		}, 3, src)
+		rs := d.Op(runningSum(), 2, srt)
+		d.Sink("sink", rs)
+		return d
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		d := build()
+		in := randomStream(r, 1+r.Intn(4), 8, 5)
+		ref, err := d.Eval(map[string][]stream.Event{"hub": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := d.EvalDeployed(map[string][]stream.Event{"hub": in}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EquivalentOutputs(ref, dep); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSection2NaiveParallelizationBreaksSemantics reproduces the
+// motivating example: replicating an order-sensitive stage behind a
+// round-robin splitter (what a grouping-oblivious system does) changes
+// the output, while the typed deployment does not. The order-sensitive
+// stage here emits the running per-key sum, whose value depends on the
+// per-key arrival order.
+func TestSection2NaiveParallelizationBreaksSemantics(t *testing.T) {
+	// An input whose per-key order matters: key 1 sees 10 then 1.
+	in := []stream.Event{
+		stream.Item(1, 10), stream.Item(1, 1), stream.Item(1, 5), stream.Item(1, 2),
+		mk(0, 1),
+	}
+	ref := RunInstance(runningSum(), in)
+
+	// Naive deployment: round-robin split (breaks per-key order), run
+	// replicas, merge. This is unsound for keyed-ordered operators —
+	// exactly the transformation section 2 warns about.
+	parts := stream.SplitRoundRobin(in, 2)
+	naive := stream.MergeEvents(RunInstance(runningSum(), parts[0]), RunInstance(runningSum(), parts[1]))
+	if stream.Equivalent(stream.O("Int", "Int"), ref, naive) {
+		t.Fatal("expected the naive RR deployment to change the output trace")
+	}
+
+	// Typed deployment (HASH for keyed operators) preserves semantics.
+	typed := RunParallel(runningSum(), in, 2, nil)
+	if !stream.Equivalent(stream.O("Int", "Int"), ref, typed) {
+		t.Fatalf("typed deployment changed semantics:\n ref %s\n got %s",
+			stream.Render(ref), stream.Render(typed))
+	}
+}
+
+func TestEvalMultiSourceMerge(t *testing.T) {
+	d := NewDAG()
+	s1 := d.Source("a", stream.U("Int", "Int"))
+	s2 := d.Source("b", stream.U("Int", "Int"))
+	sum := d.Op(sumPerKey(), 1, s1, s2)
+	d.Sink("out", sum)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	inA := []stream.Event{stream.Item(1, 1), mk(0, 1)}
+	inB := []stream.Event{stream.Item(1, 2), mk(0, 1)}
+	out, err := d.Eval(map[string][]stream.Event{"a": inA, "b": inB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Event{stream.Item(1, 3), mk(0, 1)}
+	if !stream.Equivalent(stream.U("Int", "Int"), out["out"], want) {
+		t.Fatalf("got %s want %s", stream.Render(out["out"]), stream.Render(want))
+	}
+}
+
+func TestEquivalentOutputsReportsSink(t *testing.T) {
+	d, _ := figure2DAG()
+	a := map[string][]stream.Event{"printer": {stream.Item(2, 1)}}
+	b := map[string][]stream.Event{"printer": {stream.Item(2, 2)}}
+	if err := d.EquivalentOutputs(a, b); err == nil {
+		t.Fatal("differing outputs must be reported")
+	}
+	if err := d.EquivalentOutputs(a, a); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package core implements the paper's primary contribution (section
+// 4): the typed programming model for distributed stream processing.
+// It provides the three operator templates of Table 1 (OpStateless,
+// OpKeyedOrdered, OpKeyedUnordered) as Go generics, the built-in
+// merge / split / sort elements, transduction DAGs with data-trace
+// type checking, a sequential reference evaluator that computes a
+// DAG's denotation, and a simulated parallel deployment evaluator
+// that exercises the semantics-preserving parallelization rewrites of
+// Theorem 4.3 and Corollary 4.4.
+package core
+
+import (
+	"datatrace/internal/stream"
+)
+
+// ParMode says how an operator may be replicated without changing the
+// DAG's semantics (Theorem 4.3).
+type ParMode int
+
+const (
+	// ParNone forbids replication: the operator must run as a single
+	// instance (e.g. an operator whose state spans keys).
+	ParNone ParMode = iota
+	// ParKeyed allows replication behind a key-hash splitter: keyed
+	// operators compute independently per key.
+	ParKeyed
+	// ParAny allows replication behind any splitter (round-robin
+	// included): stateless operators commute with arbitrary splits.
+	ParAny
+)
+
+// String renders the mode.
+func (m ParMode) String() string {
+	switch m {
+	case ParKeyed:
+		return "keyed"
+	case ParAny:
+		return "any"
+	default:
+		return "none"
+	}
+}
+
+// Instance is one running copy of an operator. Instances are used by
+// a single goroutine at a time: the sequential evaluator or one storm
+// executor. User code never emits markers; the instance forwards each
+// input marker exactly once after its onMarker logic runs, which is
+// how the compiler keeps marker propagation automatic (section 5).
+type Instance interface {
+	// Next consumes one event and emits any number of output events.
+	Next(e stream.Event, emit func(stream.Event))
+}
+
+// Operator is a typed processing vertex: the object a template
+// produces and a DAG consumes. Operators are immutable descriptions;
+// each call to New yields an independent instance, so one Operator
+// can be deployed at any parallelism.
+type Operator interface {
+	// Name identifies the operator in error messages and topologies.
+	Name() string
+	// InType and OutType are the data-trace types of the operator's
+	// input and output channels.
+	InType() stream.Type
+	OutType() stream.Type
+	// Mode reports the sound parallelization discipline.
+	Mode() ParMode
+	// New creates a fresh instance with initial state.
+	New() Instance
+	// Validate checks that the template's configuration is complete
+	// and its types follow the template's typing rule.
+	Validate() error
+}

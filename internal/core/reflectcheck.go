@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"datatrace/internal/stream"
+)
+
+// TypedOperator is the optional Operator extension that exposes the
+// operator's actual Go key/value types (derived from its generic
+// instantiation). The DAG checker uses it to verify that adjacent
+// operators agree on the runtime representation, not merely on the
+// human-readable type names of their stream.Types — catching at
+// Check() time the mismatches that would otherwise surface as cast
+// panics inside a running executor.
+type TypedOperator interface {
+	// InKV returns the Go types of the operator's input keys and
+	// values.
+	InKV() (key, value reflect.Type)
+	// OutKV returns the Go types of the operator's output keys and
+	// values.
+	OutKV() (key, value reflect.Type)
+}
+
+// InKV implements TypedOperator.
+func (s *Stateless[K, V, L, W]) InKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// OutKV implements TypedOperator.
+func (s *Stateless[K, V, L, W]) OutKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[L](), reflect.TypeFor[W]()
+}
+
+// InKV implements TypedOperator.
+func (o *KeyedOrdered[K, V, W, S]) InKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// OutKV implements TypedOperator.
+func (o *KeyedOrdered[K, V, W, S]) OutKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[W]()
+}
+
+// InKV implements TypedOperator.
+func (o *KeyedUnordered[K, V, L, W, S, A]) InKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// OutKV implements TypedOperator.
+func (o *KeyedUnordered[K, V, L, W, S, A]) OutKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[L](), reflect.TypeFor[W]()
+}
+
+// InKV implements TypedOperator.
+func (s *Sort[K, V]) InKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// OutKV implements TypedOperator.
+func (s *Sort[K, V]) OutKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// InKV implements TypedOperator.
+func (o *SlidingAggregate[K, V, A]) InKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[V]()
+}
+
+// OutKV implements TypedOperator.
+func (o *SlidingAggregate[K, V, A]) OutKV() (reflect.Type, reflect.Type) {
+	return reflect.TypeFor[K](), reflect.TypeFor[A]()
+}
+
+// kvAssignable reports whether a produced Go type can flow into a
+// consumed one: identical types, or a consumer that accepts any
+// (interface with no methods), or a consumer interface the producer
+// implements.
+func kvAssignable(produced, consumed reflect.Type) bool {
+	if produced == consumed {
+		return true
+	}
+	if consumed.Kind() == reflect.Interface {
+		return produced.Implements(consumed)
+	}
+	return false
+}
+
+// checkGoTypes verifies runtime-representation compatibility along
+// every edge whose endpoints both expose TypedOperator.
+func (d *DAG) checkGoTypes(fail func(format string, args ...any)) {
+	for _, n := range d.nodes {
+		if n.Kind != OpNode {
+			continue
+		}
+		consumer, ok := n.Op.(TypedOperator)
+		if !ok {
+			continue
+		}
+		inK, inV := consumer.InKV()
+		for _, in := range n.Inputs {
+			if in.Kind != OpNode {
+				continue // sources carry no Go types
+			}
+			producer, ok := in.Op.(TypedOperator)
+			if !ok {
+				continue
+			}
+			outK, outV := producer.OutKV()
+			if !kvAssignable(outK, inK) {
+				fail("operator %s emits keys of Go type %v but %s consumes %v (the stream.Type names %s/%s hide a representation mismatch)",
+					in.Name, outK, n.Name, inK, in.Type, n.Op.InType())
+			}
+			if !kvAssignable(outV, inV) {
+				fail("operator %s emits values of Go type %v but %s consumes %v (the stream.Type names %s/%s hide a representation mismatch)",
+					in.Name, outV, n.Name, inV, in.Type, n.Op.InType())
+			}
+		}
+	}
+}
+
+// DescribeGoTypes renders the Go-level typing of the DAG's operators,
+// for dttcheck-style diagnostics.
+func (d *DAG) DescribeGoTypes() string {
+	out := ""
+	for _, n := range d.nodes {
+		if n.Kind != OpNode {
+			continue
+		}
+		to, ok := n.Op.(TypedOperator)
+		if !ok {
+			continue
+		}
+		ik, iv := to.InKV()
+		ok2, ov := to.OutKV()
+		out += fmt.Sprintf("%s : (%v,%v) → (%v,%v) as %s → %s\n",
+			n.Name, ik, iv, ok2, ov, n.Op.InType(), n.Op.OutType())
+	}
+	return out
+}
+
+// streamTypeOfSource is a documentation hook: sources only declare a
+// stream.Type; their Go types are fixed by the first consumer.
+var _ = stream.Type{}

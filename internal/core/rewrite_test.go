@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"datatrace/internal/stream"
+)
+
+// This file property-tests the "Reordering MRG and HASH" rewrite
+// table of section 4 — the equational steps Corollary 4.4's proof
+// composes — plus the splitter law for fused compositions.
+
+// TestReorderMergeHash checks the first rule of the table:
+//
+//	(MRG ; HASH_n)  =  (HASH_n ∥ HASH_n) ; (MRG × n)
+//
+// pushing a hash split through a merge of m channels: hashing the
+// merged stream equals hashing each channel and merging the matching
+// partitions.
+func TestReorderMergeHash(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	typ := stream.U("Int", "Int")
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + r.Intn(2) // input channels
+		n := 2 + r.Intn(3) // hash partitions
+		channels := make([][]stream.Event, m)
+		for c := range channels {
+			channels[c] = randomStream(r, 1+r.Intn(3), 6, 5)
+			// All channels must carry the same marker count for MRG.
+		}
+		blocks := 3
+		for c := range channels {
+			channels[c] = randomStream(r, blocks, 6, 5)
+		}
+
+		// Left side: merge then hash.
+		left := stream.SplitHash(stream.MergeEvents(channels...), n, nil)
+
+		// Right side: hash each channel, then merge partition-wise.
+		parts := make([][][]stream.Event, m)
+		for c := range channels {
+			parts[c] = stream.SplitHash(channels[c], n, nil)
+		}
+		for p := 0; p < n; p++ {
+			var slice [][]stream.Event
+			for c := 0; c < m; c++ {
+				slice = append(slice, parts[c][p])
+			}
+			right := stream.MergeEvents(slice...)
+			if !stream.Equivalent(typ, left[p], right) {
+				t.Fatalf("trial %d (m=%d n=%d) partition %d:\n left  %s\n right %s",
+					trial, m, n, p, stream.Render(left[p]), stream.Render(right))
+			}
+		}
+	}
+}
+
+// TestHashOfHashedPartitionIsIdentity checks the table's degenerate
+// case: re-hashing a partition with the same hash and modulus routes
+// everything to one output channel, so HASH after HASH is equivalent
+// to the identity on each partition.
+func TestHashOfHashedPartitionIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	typ := stream.U("Int", "Int")
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(3)
+		in := randomStream(r, 1+r.Intn(4), 8, 6)
+		for p, part := range stream.SplitHash(in, n, nil) {
+			again := stream.SplitHash(part, n, nil)
+			// All items must land on channel p; others carry only markers.
+			if !stream.Equivalent(typ, again[p], part) {
+				t.Fatalf("re-hash changed partition %d", p)
+			}
+			for q, other := range again {
+				if q == p {
+					continue
+				}
+				for _, e := range other {
+					if !e.IsMarker {
+						t.Fatalf("item leaked to partition %d on re-hash", q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitterLawForCompositions is the generalization used in
+// Corollary 4.4's proof: for any splitter SPLIT and stateless β,
+// SPLIT ≫ (β ∥ … ∥ β) ≫ MRG = β.
+func TestSplitterLawForCompositions(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	typ := stream.U("Int", "Int")
+	for trial := 0; trial < 40; trial++ {
+		in := randomStream(r, 1+r.Intn(4), 8, 6)
+		ref := RunInstance(evenFilter(), in)
+		for n := 2; n <= 4; n++ {
+			for _, split := range [][][]stream.Event{
+				stream.SplitRoundRobin(in, n),
+				stream.SplitHash(in, n, nil),
+			} {
+				outs := make([][]stream.Event, n)
+				for i, part := range split {
+					outs[i] = RunInstance(evenFilter(), part)
+				}
+				got := stream.MergeEvents(outs...)
+				if !stream.Equivalent(typ, got, ref) {
+					t.Fatalf("splitter law violated at n=%d", n)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedHashPreservation checks the ordered variant: HASH on
+// O(K,V) keeps each key's order, so per-partition per-key sequences
+// match the input's.
+func TestOrderedHashPreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 40; trial++ {
+		in := randomStream(r, 1+r.Intn(3), 10, 4)
+		n := 2 + r.Intn(3)
+		perKeyIn := map[int][]int{}
+		for _, e := range in {
+			if !e.IsMarker {
+				perKeyIn[e.Key.(int)] = append(perKeyIn[e.Key.(int)], e.Value.(int))
+			}
+		}
+		for _, part := range stream.SplitHash(in, n, nil) {
+			perKeyOut := map[int][]int{}
+			for _, e := range part {
+				if !e.IsMarker {
+					perKeyOut[e.Key.(int)] = append(perKeyOut[e.Key.(int)], e.Value.(int))
+				}
+			}
+			for k, seq := range perKeyOut {
+				want := perKeyIn[k]
+				if len(seq) != len(want) {
+					t.Fatalf("key %d lost items in partitioning", k)
+				}
+				for i := range seq {
+					if seq[i] != want[i] {
+						t.Fatalf("key %d order changed: %v vs %v", k, seq, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"datatrace/internal/stream"
+	"datatrace/internal/trace"
+)
+
+// --- shared fixtures -------------------------------------------------------
+
+// evenFilter is a stateless U(int,int) → U(int,int) operator keeping
+// even keys, as in the paper's Figure 2 example.
+func evenFilter() Operator {
+	return &Stateless[int, int, int, int]{
+		OpName: "filterEven",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Int"),
+		OnItem: func(emit Emit[int, int], key, value int) {
+			if key%2 == 0 {
+				emit(key, value)
+			}
+		},
+	}
+}
+
+// sumPerKey is the paper's Figure 2 second stage: per-key sum of the
+// values between markers, emitted at each marker.
+func sumPerKey() Operator {
+	return &KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "sumPerKey",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return value },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return x + y },
+		InitialState: func() int { return 0 },
+		UpdateState:  func(old, agg int) int { return agg },
+		OnMarker: func(emit Emit[int, int], newState int, key int, m stream.Marker) {
+			emit(key, newState)
+		},
+	}
+}
+
+// runningSum is a keyed-ordered operator: cumulative per-key sum
+// emitted on every item (order-dependent output values would differ
+// under reordering of the same key's items, which O(K,V) forbids).
+func runningSum() Operator {
+	return &KeyedOrdered[int, int, int, int]{
+		OpName:       "runningSum",
+		In:           stream.O("Int", "Int"),
+		Out:          stream.O("Int", "Int"),
+		InitialState: func() int { return 0 },
+		OnItem: func(emit func(int), state, key, value int) int {
+			state += value
+			emit(state)
+			return state
+		},
+	}
+}
+
+func mk(seq, ts int64) stream.Event { return stream.Mark(stream.Marker{Seq: seq, Timestamp: ts}) }
+
+// checkConsistent enumerates up to limit representatives of the input
+// trace (BFS over adjacent swaps the input type permits) and verifies
+// the operator produces equivalent output traces for all of them —
+// the executable form of Definition 3.5 / Theorem 4.2.
+func checkConsistent(t *testing.T, op Operator, input []stream.Event, limit int) {
+	t.Helper()
+	inDep := op.InType().Dep()
+	outDep := op.OutType().Dep()
+	tag := func(e stream.Event) trace.Tag {
+		if e.IsMarker {
+			return stream.MarkerTag
+		}
+		return stream.ItemTag(e.Key)
+	}
+	seen := map[string]bool{stream.Render(input): true}
+	queue := [][]stream.Event{input}
+	ref := stream.ToItems(RunInstance(op, input))
+	checked := 1
+	for len(queue) > 0 && checked < limit {
+		cur := queue[0]
+		queue = queue[1:]
+		for i := 0; i+1 < len(cur); i++ {
+			if inDep.Dependent(tag(cur[i]), tag(cur[i+1])) {
+				continue
+			}
+			next := make([]stream.Event, len(cur))
+			copy(next, cur)
+			next[i], next[i+1] = next[i+1], next[i]
+			k := stream.Render(next)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			queue = append(queue, next)
+			got := stream.ToItems(RunInstance(op, next))
+			if !trace.Equivalent(outDep, ref, got) {
+				t.Fatalf("operator %s inconsistent (Thm 4.2 violated):\n  input  %s\n  output %s\n  vs reference output %s",
+					op.Name(), k, trace.Render(got), trace.Render(ref))
+			}
+			checked++
+			if checked >= limit {
+				return
+			}
+		}
+	}
+}
+
+// --- OpStateless -----------------------------------------------------------
+
+func TestStatelessFiltersAndForwardsMarkers(t *testing.T) {
+	in := []stream.Event{
+		stream.Item(1, 10), stream.Item(2, 20), mk(0, 1),
+		stream.Item(4, 40), mk(1, 2),
+	}
+	out := RunInstance(evenFilter(), in)
+	want := []stream.Event{stream.Item(2, 20), mk(0, 1), stream.Item(4, 40), mk(1, 2)}
+	if !stream.Equivalent(stream.U("Int", "Int"), out, want) {
+		t.Fatalf("got %s want %s", stream.Render(out), stream.Render(want))
+	}
+}
+
+func TestStatelessOnMarkerHook(t *testing.T) {
+	op := &Stateless[int, int, int, int]{
+		OpName: "markerTap",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Int"),
+		OnItem: func(emit Emit[int, int], key, value int) {},
+		OnMarker: func(emit Emit[int, int], m stream.Marker) {
+			emit(int(m.Seq), int(m.Timestamp))
+		},
+	}
+	out := RunInstance(op, []stream.Event{mk(0, 7)})
+	if len(out) != 2 || out[0].Key != 0 || out[0].Value != 7 || !out[1].IsMarker {
+		t.Fatalf("got %s", stream.Render(out))
+	}
+}
+
+func TestTheorem4_2_Stateless(t *testing.T) {
+	in := []stream.Event{
+		stream.Item(1, 1), stream.Item(2, 2), stream.Item(3, 3), mk(0, 1),
+		stream.Item(4, 4), stream.Item(6, 6), mk(1, 2),
+	}
+	checkConsistent(t, evenFilter(), in, 500)
+}
+
+// --- OpKeyedOrdered --------------------------------------------------------
+
+func TestKeyedOrderedPerKeyState(t *testing.T) {
+	in := []stream.Event{
+		stream.Item(1, 10), stream.Item(2, 100), stream.Item(1, 5), mk(0, 1),
+		stream.Item(2, 1), mk(1, 2),
+	}
+	out := RunInstance(runningSum(), in)
+	want := []stream.Event{
+		stream.Item(1, 10), stream.Item(2, 100), stream.Item(1, 15), mk(0, 1),
+		stream.Item(2, 101), mk(1, 2),
+	}
+	if !stream.Equivalent(stream.O("Int", "Int"), out, want) {
+		t.Fatalf("got %s want %s", stream.Render(out), stream.Render(want))
+	}
+}
+
+func TestKeyedOrderedEmitPreservesKey(t *testing.T) {
+	// The API makes key changes impossible; verify the key on outputs.
+	out := RunInstance(runningSum(), []stream.Event{stream.Item(7, 1), stream.Item(9, 2)})
+	for _, e := range out {
+		if e.Key != 7 && e.Key != 9 {
+			t.Fatalf("emitted key %v not an input key", e.Key)
+		}
+	}
+}
+
+func TestKeyedOrderedOnMarker(t *testing.T) {
+	op := &KeyedOrdered[int, int, int, int]{
+		OpName:       "countToMarker",
+		In:           stream.O("Int", "Int"),
+		Out:          stream.O("Int", "Int"),
+		InitialState: func() int { return 0 },
+		OnItem: func(emit func(int), state, key, value int) int {
+			return state + 1
+		},
+		OnMarker: func(emit func(int), state, key int, m stream.Marker) int {
+			emit(state)
+			return 0
+		},
+	}
+	in := []stream.Event{
+		stream.Item(1, 0), stream.Item(1, 0), stream.Item(2, 0), mk(0, 1),
+		stream.Item(1, 0), mk(1, 2),
+	}
+	out := RunInstance(op, in)
+	// Block 0: key1→2, key2→1. Block 1: key1→1, key2→0.
+	want := []stream.Event{
+		stream.Item(1, 2), stream.Item(2, 1), mk(0, 1),
+		stream.Item(1, 1), stream.Item(2, 0), mk(1, 2),
+	}
+	if !stream.Equivalent(stream.O("Int", "Int"), out, want) {
+		t.Fatalf("got %s want %s", stream.Render(out), stream.Render(want))
+	}
+}
+
+func TestTheorem4_2_KeyedOrdered(t *testing.T) {
+	// Inputs with interleaved keys: cross-key swaps are allowed by
+	// O(K,V) and must not change the output trace.
+	in := []stream.Event{
+		stream.Item(1, 10), stream.Item(2, 100), stream.Item(1, 5),
+		stream.Item(2, 2), mk(0, 1), stream.Item(1, 3),
+	}
+	checkConsistent(t, runningSum(), in, 500)
+}
+
+// --- OpKeyedUnordered ------------------------------------------------------
+
+func TestKeyedUnorderedTable3Semantics(t *testing.T) {
+	in := []stream.Event{
+		stream.Item(1, 10), stream.Item(2, 100), stream.Item(1, 5), mk(0, 1),
+		stream.Item(1, 7), mk(1, 2),
+		mk(2, 3),
+	}
+	out := RunInstance(sumPerKey(), in)
+	// Marker 0: key1 sum 15, key2 sum 100. Marker 1: key1 7, key2 0.
+	// Marker 2: both 0 (UpdateState replaces state with the block agg).
+	want := []stream.Event{
+		stream.Item(1, 15), stream.Item(2, 100), mk(0, 1),
+		stream.Item(1, 7), stream.Item(2, 0), mk(1, 2),
+		stream.Item(1, 0), stream.Item(2, 0), mk(2, 3),
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), out, want) {
+		t.Fatalf("got %s want %s", stream.Render(out), stream.Render(want))
+	}
+}
+
+func TestKeyedUnorderedStartStateTracksMarkers(t *testing.T) {
+	// A key first seen in block 2 must start from a state that has
+	// absorbed two empty blocks (Table 3's startS bookkeeping). With a
+	// counting UpdateState the effect is observable.
+	op := &KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "blockCount",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return 0 },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return x + y },
+		InitialState: func() int { return 0 },
+		UpdateState:  func(old, agg int) int { return old + 1 },
+		OnMarker: func(emit Emit[int, int], newState, key int, m stream.Marker) {
+			emit(key, newState)
+		},
+	}
+	in := []stream.Event{
+		mk(0, 1), mk(1, 2), stream.Item(5, 0), mk(2, 3),
+	}
+	out := RunInstance(op, in)
+	// Key 5 appears in block 2; at marker 2 its state must be 3
+	// (three UpdateState applications: blocks 0, 1 via startS, 2).
+	var got int
+	for _, e := range out {
+		if !e.IsMarker && e.Key == 5 {
+			got = e.Value.(int)
+		}
+	}
+	if got != 3 {
+		t.Fatalf("late key state = %d, want 3 (startS must advance at every marker)", got)
+	}
+}
+
+func TestKeyedUnorderedOnItemSeesLastSnapshot(t *testing.T) {
+	op := &KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "snapshot",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return value },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return x + y },
+		InitialState: func() int { return -1 },
+		UpdateState:  func(old, agg int) int { return agg },
+		OnItem: func(emit Emit[int, int], lastState, key, value int) {
+			emit(key, lastState)
+		},
+	}
+	in := []stream.Event{
+		stream.Item(1, 10), mk(0, 1), stream.Item(1, 20), stream.Item(1, 30), mk(1, 2),
+	}
+	out := RunInstance(op, in)
+	// Items in block 0 see -1; items in block 1 see 10 (block 0's agg),
+	// regardless of how many items arrived earlier in the same block.
+	var vals []int
+	for _, e := range out {
+		if !e.IsMarker {
+			vals = append(vals, e.Value.(int))
+		}
+	}
+	want := []int{-1, 10, 10}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("OnItem snapshots = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestTheorem4_2_KeyedUnordered(t *testing.T) {
+	in := []stream.Event{
+		stream.Item(1, 1), stream.Item(2, 2), stream.Item(1, 3), mk(0, 1),
+		stream.Item(2, 4), stream.Item(1, 5), mk(1, 2),
+	}
+	checkConsistent(t, sumPerKey(), in, 800)
+}
+
+func TestTheorem4_2_DetectsNonCommutativeCombine(t *testing.T) {
+	// 2x+y is neither associative nor commutative; folding it over two
+	// arrival orders gives different aggregates. This guards the
+	// checker itself: order dependence must be observable.
+	bad := &KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "badCombine",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return value },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return 2*x + y },
+		InitialState: func() int { return 0 },
+		UpdateState:  func(old, agg int) int { return agg },
+		OnMarker: func(emit Emit[int, int], newState, key int, m stream.Marker) {
+			emit(key, newState)
+		},
+	}
+	in := []stream.Event{stream.Item(1, 3), stream.Item(1, 5), mk(0, 1)}
+	// Run the two orders directly.
+	a := RunInstance(bad, in)
+	b := RunInstance(bad, []stream.Event{in[1], in[0], in[2]})
+	if stream.Equivalent(stream.U("Int", "Int"), a, b) {
+		t.Fatal("non-commutative combine should produce order-dependent output")
+	}
+}
+
+// --- Validate --------------------------------------------------------------
+
+func TestValidateRejectsBadTypings(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Operator
+		want string
+	}{
+		{"stateless missing OnItem", &Stateless[int, int, int, int]{
+			OpName: "x", In: stream.U("K", "V"), Out: stream.U("L", "W"),
+		}, "OnItem is required"},
+		{"stateless ordered input", &Stateless[int, int, int, int]{
+			OpName: "x", In: stream.O("K", "V"), Out: stream.U("L", "W"),
+			OnItem: func(Emit[int, int], int, int) {},
+		}, "typed U(K,V)"},
+		{"keyed ordered key change", &KeyedOrdered[int, int, int, int]{
+			OpName: "x", In: stream.O("K", "V"), Out: stream.O("J", "W"),
+			InitialState: func() int { return 0 },
+			OnItem:       func(func(int), int, int, int) int { return 0 },
+		}, "preserve the key type"},
+		{"keyed unordered missing monoid", &KeyedUnordered[int, int, int, int, int, int]{
+			OpName: "x", InT: stream.U("K", "V"), OutT: stream.U("L", "W"),
+		}, "required"},
+		{"sort missing less", &Sort[int, int]{
+			OpName: "x", In: stream.U("K", "V"), Out: stream.O("K", "V"),
+		}, "Less is required"},
+		{"sort type change", &Sort[int, int]{
+			OpName: "x", In: stream.U("K", "V"), Out: stream.O("K", "W"),
+			Less: func(a, b int) bool { return a < b },
+		}, "preserve key and value"},
+		{"unnamed", &Stateless[int, int, int, int]{
+			In: stream.U("K", "V"), Out: stream.U("L", "W"),
+			OnItem: func(Emit[int, int], int, int) {},
+		}, "needs a name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.op.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCastErrorsAreDescriptive(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "filterEven") {
+			t.Fatalf("expected a panic naming the operator, got %v", r)
+		}
+	}()
+	RunInstance(evenFilter(), []stream.Event{stream.Item("oops", 1)})
+}

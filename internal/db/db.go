@@ -1,0 +1,392 @@
+// Package db is a small embedded in-memory relational database, the
+// stand-in for the Apache Derby instance the paper's evaluation uses
+// for enrichment lookups (Query I/III/IV/V/VI) and for persisting
+// per-key aggregates (Query II).
+//
+// It provides typed tables with a primary key, secondary hash
+// indexes, point lookups, upserts, scans and hash joins, all safe for
+// concurrent use by parallel bolt instances. An optional per-operation
+// delay models the latency of the out-of-process database the paper's
+// pipelines pay on every lookup, which is what makes the enrichment
+// stages compute-heavy and worth parallelizing.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ColType is a column's declared type.
+type ColType int
+
+const (
+	// Any accepts every Go value.
+	Any ColType = iota
+	// Int accepts int64 (and int, converted on insert).
+	Int
+	// Float accepts float64.
+	Float
+	// String accepts string.
+	String
+)
+
+// String renders the type name.
+func (c ColType) String() string {
+	switch c {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "STRING"
+	default:
+		return "ANY"
+	}
+}
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Row is one table row; values are positional per the table schema.
+type Row []any
+
+// Table is a relational table with a primary key and optional
+// secondary hash indexes. All methods are safe for concurrent use.
+type Table struct {
+	name    string
+	cols    []Column
+	colIdx  map[string]int
+	pk      int
+	mu      sync.RWMutex
+	rows    map[any]Row           // pk value → row
+	indexes map[int]map[any][]any // col → value → pk values
+	delay   *time.Duration
+}
+
+// DB is a collection of named tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	// delay is added to every table operation to model an external
+	// database's per-call latency; zero disables it.
+	delay time.Duration
+}
+
+// New creates an empty database.
+func New() *DB { return &DB{tables: map[string]*Table{}} }
+
+// SetOpDelay makes every subsequent table operation spin for d,
+// simulating the round-trip cost of an out-of-process database.
+func (db *DB) SetOpDelay(d time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.delay = d
+	for _, t := range db.tables {
+		t.delay = &db.delay
+	}
+}
+
+// CreateTable declares a table with the given columns; pkCol names
+// the primary-key column.
+func (db *DB) CreateTable(name string, cols []Column, pkCol string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	t := &Table{
+		name:    name,
+		cols:    append([]Column(nil), cols...),
+		colIdx:  make(map[string]int, len(cols)),
+		pk:      -1,
+		rows:    map[any]Row{},
+		indexes: map[int]map[any][]any{},
+		delay:   &db.delay,
+	}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("db: table %q: duplicate column %q", name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+		if c.Name == pkCol {
+			t.pk = i
+		}
+	}
+	if t.pk < 0 {
+		return nil, fmt.Errorf("db: table %q: primary key column %q not declared", name, pkCol)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table panicking on error, for initialization code.
+func (db *DB) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// simulate busy-waits for the configured per-op delay. A busy wait
+// (rather than time.Sleep) mirrors a synchronous client call: the
+// executor is occupied, which is what the throughput model measures.
+func (t *Table) simulate() {
+	d := *t.delay
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// normalize coerces Go ints to int64 for Int columns and checks
+// declared types.
+func (t *Table) normalize(col int, v any) (any, error) {
+	switch t.cols[col].Type {
+	case Int:
+		switch x := v.(type) {
+		case int:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+		return nil, fmt.Errorf("db: %s.%s: want INT, got %T", t.name, t.cols[col].Name, v)
+	case Float:
+		if x, ok := v.(float64); ok {
+			return x, nil
+		}
+		return nil, fmt.Errorf("db: %s.%s: want FLOAT, got %T", t.name, t.cols[col].Name, v)
+	case String:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+		return nil, fmt.Errorf("db: %s.%s: want STRING, got %T", t.name, t.cols[col].Name, v)
+	default:
+		return v, nil
+	}
+}
+
+// Col returns the index of a column by name.
+func (t *Table) Col(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("db: table %q has no column %q", t.name, name)
+	}
+	return i, nil
+}
+
+// CreateIndex builds a secondary hash index on the column.
+func (t *Table) CreateIndex(col string) error {
+	ci, err := t.Col(col)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := map[any][]any{}
+	for pk, row := range t.rows {
+		idx[row[ci]] = append(idx[row[ci]], pk)
+	}
+	t.indexes[ci] = idx
+	return nil
+}
+
+// Insert adds a row (values positional per schema). It fails on a
+// duplicate primary key; use Upsert to overwrite.
+func (t *Table) Insert(values ...any) error {
+	return t.put(values, false)
+}
+
+// Upsert adds or replaces the row with the same primary key.
+func (t *Table) Upsert(values ...any) error {
+	return t.put(values, true)
+}
+
+func (t *Table) put(values []any, replace bool) error {
+	if len(values) != len(t.cols) {
+		return fmt.Errorf("db: table %q: got %d values, want %d", t.name, len(values), len(t.cols))
+	}
+	row := make(Row, len(values))
+	for i, v := range values {
+		nv, err := t.normalize(i, v)
+		if err != nil {
+			return err
+		}
+		row[i] = nv
+	}
+	t.simulate()
+	pk := row[t.pk]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, exists := t.rows[pk]; exists {
+		if !replace {
+			return fmt.Errorf("db: table %q: duplicate primary key %v", t.name, pk)
+		}
+		for ci, idx := range t.indexes {
+			removePK(idx, old[ci], pk)
+		}
+	}
+	t.rows[pk] = row
+	for ci, idx := range t.indexes {
+		idx[row[ci]] = append(idx[row[ci]], pk)
+	}
+	return nil
+}
+
+func removePK(idx map[any][]any, val, pk any) {
+	pks := idx[val]
+	for i, p := range pks {
+		if p == pk {
+			idx[val] = append(pks[:i], pks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk any) (Row, bool) {
+	t.simulate()
+	if nv, err := t.normalize(t.pk, pk); err == nil {
+		pk = nv
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, false
+	}
+	return append(Row(nil), row...), true
+}
+
+// LookupIndexed returns all rows whose indexed column equals val. The
+// column must have an index (CreateIndex).
+func (t *Table) LookupIndexed(col string, val any) ([]Row, error) {
+	ci, err := t.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	if nv, err := t.normalize(ci, val); err == nil {
+		val = nv
+	}
+	t.simulate()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[ci]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q: column %q is not indexed", t.name, col)
+	}
+	pks := idx[val]
+	rows := make([]Row, 0, len(pks))
+	for _, pk := range pks {
+		rows = append(rows, append(Row(nil), t.rows[pk]...))
+	}
+	return rows, nil
+}
+
+// UpdateCol sets one column of the row with the given primary key,
+// returning false if the row does not exist.
+func (t *Table) UpdateCol(pk any, col string, val any) (bool, error) {
+	ci, err := t.Col(col)
+	if err != nil {
+		return false, err
+	}
+	nv, err := t.normalize(ci, val)
+	if err != nil {
+		return false, err
+	}
+	if p, err := t.normalize(t.pk, pk); err == nil {
+		pk = p
+	}
+	t.simulate()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return false, nil
+	}
+	if idx, indexed := t.indexes[ci]; indexed {
+		removePK(idx, row[ci], pk)
+		idx[nv] = append(idx[nv], pk)
+	}
+	row[ci] = nv
+	return true, nil
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Scan calls fn for every row (in unspecified order) until fn returns
+// false. The row passed to fn is a copy.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.simulate()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, row := range t.rows {
+		if !fn(append(Row(nil), row...)) {
+			return
+		}
+	}
+}
+
+// Join hash-joins two tables on leftCol = rightCol and returns the
+// concatenated rows (left columns then right columns).
+func Join(left, right *Table, leftCol, rightCol string) ([]Row, error) {
+	li, err := left.Col(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.Col(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	build := map[any][]Row{}
+	right.Scan(func(r Row) bool {
+		build[r[ri]] = append(build[r[ri]], r)
+		return true
+	})
+	var out []Row
+	left.Scan(func(l Row) bool {
+		for _, r := range build[l[li]] {
+			combined := make(Row, 0, len(l)+len(r))
+			combined = append(combined, l...)
+			combined = append(combined, r...)
+			out = append(out, combined)
+		}
+		return true
+	})
+	return out, nil
+}

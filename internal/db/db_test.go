@@ -1,0 +1,258 @@
+package db
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func adsTable(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	d := New()
+	tab, err := d.CreateTable("ads", []Column{
+		{Name: "ad_id", Type: Int},
+		{Name: "campaign_id", Type: Int},
+		{Name: "label", Type: String},
+	}, "ad_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tab
+}
+
+func TestInsertGet(t *testing.T) {
+	_, tab := adsTable(t)
+	if err := tab.Insert(1, 100, "shoes"); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := tab.Get(1)
+	if !ok {
+		t.Fatal("row not found")
+	}
+	if row[1] != int64(100) || row[2] != "shoes" {
+		t.Fatalf("row = %v", row)
+	}
+	if _, ok := tab.Get(2); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestIntNormalization(t *testing.T) {
+	_, tab := adsTable(t)
+	if err := tab.Insert(int64(7), 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup with plain int must find the int64-keyed row.
+	if _, ok := tab.Get(7); !ok {
+		t.Fatal("int/int64 normalization broken")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	_, tab := adsTable(t)
+	err := tab.Insert("not-an-int", 1, "x")
+	if err == nil || !strings.Contains(err.Error(), "want INT") {
+		t.Fatalf("got %v", err)
+	}
+	err = tab.Insert(1, 2, 3)
+	if err == nil || !strings.Contains(err.Error(), "want STRING") {
+		t.Fatalf("got %v", err)
+	}
+	err = tab.Insert(1, 2)
+	if err == nil || !strings.Contains(err.Error(), "got 2 values") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDuplicatePKAndUpsert(t *testing.T) {
+	_, tab := adsTable(t)
+	if err := tab.Insert(1, 100, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(1, 200, "b"); err == nil {
+		t.Fatal("duplicate insert must fail")
+	}
+	if err := tab.Upsert(1, 200, "b"); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tab.Get(1)
+	if row[1] != int64(200) {
+		t.Fatalf("upsert did not replace: %v", row)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	_, tab := adsTable(t)
+	for i := 0; i < 10; i++ {
+		if err := tab.Insert(i, 100+i%2, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.CreateIndex("campaign_id"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tab.LookupIndexed("campaign_id", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	// Index must track upserts.
+	if err := tab.Upsert(0, 101, "x"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = tab.LookupIndexed("campaign_id", 100)
+	if len(rows) != 4 {
+		t.Fatalf("after upsert: got %d rows, want 4", len(rows))
+	}
+	rows, _ = tab.LookupIndexed("campaign_id", 101)
+	if len(rows) != 6 {
+		t.Fatalf("after upsert: got %d rows, want 6", len(rows))
+	}
+}
+
+func TestLookupUnindexedFails(t *testing.T) {
+	_, tab := adsTable(t)
+	_, err := tab.LookupIndexed("label", "x")
+	if err == nil || !strings.Contains(err.Error(), "not indexed") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUpdateCol(t *testing.T) {
+	_, tab := adsTable(t)
+	if err := tab.Insert(1, 100, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("campaign_id"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tab.UpdateCol(1, "campaign_id", 999)
+	if err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	rows, _ := tab.LookupIndexed("campaign_id", 999)
+	if len(rows) != 1 {
+		t.Fatal("index not maintained by UpdateCol")
+	}
+	ok, err = tab.UpdateCol(42, "campaign_id", 1)
+	if err != nil || ok {
+		t.Fatalf("update of missing row: %v %v", ok, err)
+	}
+}
+
+func TestScanAndJoin(t *testing.T) {
+	d := New()
+	ads, _ := d.CreateTable("ads", []Column{
+		{Name: "ad_id", Type: Int}, {Name: "campaign_id", Type: Int},
+	}, "ad_id")
+	camps, _ := d.CreateTable("campaigns", []Column{
+		{Name: "campaign_id", Type: Int}, {Name: "name", Type: String},
+	}, "campaign_id")
+	for i := 0; i < 6; i++ {
+		if err := ads.Insert(i, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := camps.Insert(0, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := camps.Insert(1, "beta"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Join(ads, camps, "campaign_id", "campaign_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("join rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] != r[2] {
+			t.Fatalf("join key mismatch in %v", r)
+		}
+	}
+	count := 0
+	ads.Scan(func(Row) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("scan early stop broken: %d", count)
+	}
+}
+
+func TestRowsAreCopies(t *testing.T) {
+	_, tab := adsTable(t)
+	if err := tab.Insert(1, 100, "a"); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tab.Get(1)
+	row[2] = "mutated"
+	row2, _ := tab.Get(1)
+	if row2[2] != "a" {
+		t.Fatal("Get must return a copy")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	_, tab := adsTable(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = tab.Upsert(w*1000+i, i, "x")
+				tab.Get(w*1000 + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != 800 {
+		t.Fatalf("len = %d, want 800", tab.Len())
+	}
+}
+
+func TestOpDelay(t *testing.T) {
+	d, tab := adsTable(t)
+	if err := tab.Insert(1, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	d.SetOpDelay(2 * time.Millisecond)
+	start := time.Now()
+	tab.Get(1)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("op delay not applied: %v", elapsed)
+	}
+	d.SetOpDelay(0)
+	start = time.Now()
+	tab.Get(1)
+	if elapsed := time.Since(start); elapsed > time.Millisecond {
+		t.Fatalf("op delay not cleared: %v", elapsed)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	d := New()
+	if _, err := d.CreateTable("t", []Column{{Name: "a"}, {Name: "a"}}, "a"); err == nil {
+		t.Fatal("duplicate column must fail")
+	}
+	if _, err := d.CreateTable("t", []Column{{Name: "a"}}, "zz"); err == nil {
+		t.Fatal("missing pk column must fail")
+	}
+	if _, err := d.CreateTable("t", []Column{{Name: "a"}}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("t", []Column{{Name: "a"}}, "a"); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	if _, err := d.Table("nope"); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	if got := d.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("tables = %v", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package dsl is the fluent embedded DSL over the core templates —
+// the Go counterpart of the paper's Java EDSL (its Figure 2 is
+// exactly such a program). Streams are generic values whose Go type
+// records both the key/value types and the ordering kind, so the
+// data-trace type discipline of section 4 becomes a Go compile-time
+// property:
+//
+//   - StreamU[K,V] is a channel of type U(K,V);
+//   - StreamO[K,V] is a channel of type O(K,V);
+//   - order-requiring combinators (OrderedState) accept only StreamO,
+//     and the only way to produce a StreamO from a StreamU is SortBy —
+//     the section 2 mistake (feeding unordered data to an
+//     order-sensitive stage) does not type-check in Go at all.
+//
+// Type names for the underlying stream.Types are derived from the Go
+// types via reflection, so they cannot lie; the DAG-level checker
+// (including the reflect-based representation check) still runs at
+// Build time as a second line of defence.
+//
+// A small program:
+//
+//	b := dsl.NewBuilder()
+//	src := dsl.Source[int, float64](b, "source")
+//	evens := dsl.Filter(src, "filterEven", 2,
+//		func(k int, v float64) bool { return k%2 == 0 })
+//	sums := dsl.AggregatePerKey(evens, "sumPerKey", 3,
+//		dsl.Monoid[float64]{ID: func() float64 { return 0 },
+//			Combine: func(x, y float64) float64 { return x + y }},
+//		func(_ int, v float64) float64 { return v })
+//	dsl.SinkOf(sums, "printer")
+//	dag, err := b.Build()
+package dsl
+
+import (
+	"fmt"
+	"reflect"
+
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// Builder accumulates a transduction DAG.
+type Builder struct {
+	dag  *core.DAG
+	errs []error
+}
+
+// NewBuilder creates an empty builder.
+func NewBuilder() *Builder { return &Builder{dag: core.NewDAG()} }
+
+// Build type-checks and returns the DAG.
+func (b *Builder) Build() (*core.DAG, error) {
+	for _, err := range b.errs {
+		return nil, err
+	}
+	if err := b.dag.Check(); err != nil {
+		return nil, err
+	}
+	return b.dag, nil
+}
+
+// DAG returns the DAG without checking (for Dot dumps of partial
+// graphs).
+func (b *Builder) DAG() *core.DAG { return b.dag }
+
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// typeName renders a Go type for use in stream.Type metadata.
+func typeName[T any]() string { return reflect.TypeFor[T]().String() }
+
+// uType builds the U(K,V) stream.Type for the Go types K, V.
+func uType[K comparable, V any]() stream.Type { return stream.U(typeName[K](), typeName[V]()) }
+
+// oType builds the O(K,V) stream.Type.
+func oType[K comparable, V any]() stream.Type { return stream.O(typeName[K](), typeName[V]()) }
+
+// StreamU is a channel of data-trace type U(K,V): items unordered
+// between markers.
+type StreamU[K comparable, V any] struct {
+	b    *Builder
+	node *core.Node
+}
+
+// StreamO is a channel of data-trace type O(K,V): items additionally
+// ordered per key between markers.
+type StreamO[K comparable, V any] struct {
+	b    *Builder
+	node *core.Node
+}
+
+// Monoid packages the commutative-monoid interface the unordered
+// aggregation combinators require (Combine must be associative and
+// commutative; ID its identity).
+type Monoid[A any] struct {
+	ID      func() A
+	Combine func(x, y A) A
+}
+
+// Source declares a named source of type U(K,V). The spout realizing
+// it is supplied at compile time (compile.SourceSpec).
+func Source[K comparable, V any](b *Builder, name string) StreamU[K, V] {
+	return StreamU[K, V]{b: b, node: b.dag.Source(name, uType[K, V]())}
+}
+
+// SinkOf terminates an unordered stream in a named sink.
+func SinkOf[K comparable, V any](s StreamU[K, V], name string) {
+	s.b.dag.Sink(name, s.node)
+}
+
+// SinkOfOrdered terminates an ordered stream in a named sink.
+func SinkOfOrdered[K comparable, V any](s StreamO[K, V], name string) {
+	s.b.dag.Sink(name, s.node)
+}
+
+// --- stateless combinators (U → U) ------------------------------------------
+
+// FlatMap applies f to every item; f may emit any number of output
+// pairs. The most general stateless combinator.
+func FlatMap[K comparable, V any, L comparable, W any](
+	s StreamU[K, V], name string, par int, f func(emit func(L, W), k K, v V),
+) StreamU[L, W] {
+	op := &core.Stateless[K, V, L, W]{
+		OpName: name,
+		In:     uType[K, V](),
+		Out:    uType[L, W](),
+		OnItem: func(emit core.Emit[L, W], k K, v V) { f(func(l L, w W) { emit(l, w) }, k, v) },
+	}
+	return StreamU[L, W]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// Map transforms every item one-to-one.
+func Map[K comparable, V any, L comparable, W any](
+	s StreamU[K, V], name string, par int, f func(k K, v V) (L, W),
+) StreamU[L, W] {
+	return FlatMap(s, name, par, func(emit func(L, W), k K, v V) {
+		emit(f(k, v))
+	})
+}
+
+// Filter keeps the items satisfying the predicate.
+func Filter[K comparable, V any](
+	s StreamU[K, V], name string, par int, keep func(k K, v V) bool,
+) StreamU[K, V] {
+	return FlatMap(s, name, par, func(emit func(K, V), k K, v V) {
+		if keep(k, v) {
+			emit(k, v)
+		}
+	})
+}
+
+// KeyBy re-keys the stream.
+func KeyBy[K comparable, V any, L comparable](
+	s StreamU[K, V], name string, par int, key func(k K, v V) L,
+) StreamU[L, V] {
+	return Map(s, name, par, func(k K, v V) (L, V) { return key(k, v), v })
+}
+
+// MapOrdered transforms an ordered stream's values one-to-one,
+// preserving the key (and therefore the per-key order).
+func MapOrdered[K comparable, V, W any](
+	s StreamO[K, V], name string, par int, f func(k K, v V) W,
+) StreamO[K, W] {
+	op := &core.KeyedOrdered[K, V, W, struct{}]{
+		OpName:       name,
+		In:           oType[K, V](),
+		Out:          oType[K, W](),
+		InitialState: func() struct{} { return struct{}{} },
+		OnItem: func(emit func(W), _ struct{}, k K, v V) struct{} {
+			emit(f(k, v))
+			return struct{}{}
+		},
+	}
+	return StreamO[K, W]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// Forget downgrades an ordered stream to its unordered supertype
+// (always sound; the subtyping rule O(K,V) ⊑ U(K,V)).
+func Forget[K comparable, V any](s StreamO[K, V]) StreamU[K, V] {
+	return StreamU[K, V]{b: s.b, node: s.node}
+}
+
+// --- ordering combinators -----------------------------------------------------
+
+// SortBy imposes a per-key total order on the items between markers —
+// the only constructor of StreamO from StreamU, which is exactly the
+// paper's discipline: order must be (re)established explicitly.
+func SortBy[K comparable, V any](
+	s StreamU[K, V], name string, par int, less func(a, b V) bool,
+) StreamO[K, V] {
+	op := &core.Sort[K, V]{
+		OpName: name,
+		In:     uType[K, V](),
+		Out:    oType[K, V](),
+		Less:   less,
+	}
+	return StreamO[K, V]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// OrderedState runs an order-dependent stateful computation per key
+// (OpKeyedOrdered): onItem sees the items of each key in order and
+// may emit values for that key.
+func OrderedState[K comparable, V, W, S any](
+	s StreamO[K, V], name string, par int,
+	initial func() S,
+	onItem func(emit func(W), state S, k K, v V) S,
+) StreamO[K, W] {
+	op := &core.KeyedOrdered[K, V, W, S]{
+		OpName:       name,
+		In:           oType[K, V](),
+		Out:          oType[K, W](),
+		InitialState: initial,
+		OnItem:       onItem,
+	}
+	return StreamO[K, W]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// --- keyed unordered combinators ----------------------------------------------
+
+// AggregatePerKey folds each key's items into the monoid and emits
+// the running total (over the whole history) at every marker.
+func AggregatePerKey[K comparable, V any, A any](
+	s StreamU[K, V], name string, par int, m Monoid[A], in func(k K, v V) A,
+) StreamU[K, A] {
+	if m.ID == nil || m.Combine == nil {
+		s.b.fail("dsl: AggregatePerKey %q needs a complete monoid", name)
+		m = Monoid[A]{ID: func() A { var z A; return z }, Combine: func(x, y A) A { return x }}
+	}
+	op := &core.KeyedUnordered[K, V, K, A, A, A]{
+		OpName:       name,
+		InT:          uType[K, V](),
+		OutT:         uType[K, A](),
+		In:           in,
+		ID:           m.ID,
+		Combine:      m.Combine,
+		InitialState: m.ID,
+		UpdateState:  m.Combine,
+		OnMarker: func(emit core.Emit[K, A], st A, k K, mk stream.Marker) {
+			emit(k, st)
+		},
+	}
+	return StreamU[K, A]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// AggregateBlocks folds each key's items per marker block and emits
+// each block's aggregate at its marker (a tumbling window of one
+// block).
+func AggregateBlocks[K comparable, V any, A any](
+	s StreamU[K, V], name string, par int, m Monoid[A], in func(k K, v V) A,
+) StreamU[K, A] {
+	op := &core.KeyedUnordered[K, V, K, A, A, A]{
+		OpName:       name,
+		InT:          uType[K, V](),
+		OutT:         uType[K, A](),
+		In:           in,
+		ID:           m.ID,
+		Combine:      m.Combine,
+		InitialState: m.ID,
+		UpdateState:  func(_, agg A) A { return agg },
+		OnMarker: func(emit core.Emit[K, A], st A, k K, mk stream.Marker) {
+			emit(k, st)
+		},
+	}
+	return StreamU[K, A]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// SlidingWindow folds each key's items over the last windowBlocks
+// marker periods (the §8 extension template) and emits the window
+// aggregate at every marker.
+func SlidingWindow[K comparable, V any, A any](
+	s StreamU[K, V], name string, par, windowBlocks int, m Monoid[A], in func(k K, v V) A,
+) StreamU[K, A] {
+	op := &core.SlidingAggregate[K, V, A]{
+		OpName:       name,
+		InT:          uType[K, V](),
+		OutT:         uType[K, A](),
+		WindowBlocks: windowBlocks,
+		In:           in,
+		ID:           m.ID,
+		Combine:      m.Combine,
+	}
+	return StreamU[K, A]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// StatefulPerKey is the full OpKeyedUnordered template in fluent
+// form, for computations that need distinct aggregate and state types
+// or marker-driven output.
+func StatefulPerKey[K comparable, V any, L comparable, W, S, A any](
+	s StreamU[K, V], name string, par int,
+	m Monoid[A], in func(k K, v V) A,
+	initial func() S, update func(old S, agg A) S,
+	onMarker func(emit func(L, W), state S, k K, mk stream.Marker),
+) StreamU[L, W] {
+	op := &core.KeyedUnordered[K, V, L, W, S, A]{
+		OpName:       name,
+		InT:          uType[K, V](),
+		OutT:         uType[L, W](),
+		In:           in,
+		ID:           m.ID,
+		Combine:      m.Combine,
+		InitialState: initial,
+		UpdateState:  update,
+	}
+	if onMarker != nil {
+		op.OnMarker = func(emit core.Emit[L, W], st S, k K, mk stream.Marker) {
+			onMarker(func(l L, w W) { emit(l, w) }, st, k, mk)
+		}
+	}
+	return StreamU[L, W]{b: s.b, node: s.b.dag.Op(op, par, s.node)}
+}
+
+// MergeU merges several unordered streams of the same type (the MRG
+// of section 4 happens implicitly at the consuming operator; MergeU
+// makes the fan-in explicit in the graph by attaching all inputs to
+// the next operator).
+func MergeU[K comparable, V any](name string, par int, streams ...StreamU[K, V]) StreamU[K, V] {
+	if len(streams) == 0 {
+		panic("dsl: MergeU needs at least one stream")
+	}
+	b := streams[0].b
+	nodes := make([]*core.Node, len(streams))
+	for i, s := range streams {
+		if s.b != b {
+			b.fail("dsl: MergeU %q mixes streams from different builders", name)
+		}
+		nodes[i] = s.node
+	}
+	op := &core.Stateless[K, V, K, V]{
+		OpName: name,
+		In:     uType[K, V](),
+		Out:    uType[K, V](),
+		OnItem: func(emit core.Emit[K, V], k K, v V) { emit(k, v) },
+	}
+	return StreamU[K, V]{b: b, node: b.dag.Op(op, par, nodes...)}
+}

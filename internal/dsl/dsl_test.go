@@ -1,0 +1,266 @@
+package dsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datatrace/internal/compile"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+func mk(seq, ts int64) stream.Event { return stream.Mark(stream.Marker{Seq: seq, Timestamp: ts}) }
+
+func sumMonoid() Monoid[float64] {
+	return Monoid[float64]{ID: func() float64 { return 0 }, Combine: func(x, y float64) float64 { return x + y }}
+}
+
+func randomStream(r *rand.Rand, blocks, perBlock, keys int) []stream.Event {
+	var out []stream.Event
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < perBlock; i++ {
+			out = append(out, stream.Item(r.Intn(keys), float64(r.Intn(100))))
+		}
+		out = append(out, mk(int64(b), int64(b+1)))
+	}
+	return out
+}
+
+// figure2 builds the paper's Figure 2 program through the DSL.
+func figure2() (*Builder, error) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "source")
+	evens := Filter(src, "filterEven", 2, func(k int, v float64) bool { return k%2 == 0 })
+	sums := AggregateBlocks(evens, "sumPerKey", 3, sumMonoid(), func(_ int, v float64) float64 { return v })
+	SinkOf(sums, "printer")
+	return b, nil
+}
+
+func TestFigure2ThroughDSL(t *testing.T) {
+	b, _ := figure2()
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []stream.Event{
+		stream.Item(2, 10.0), stream.Item(3, 99.0), stream.Item(2, 5.0), mk(0, 1),
+		stream.Item(4, 1.0), mk(1, 2),
+	}
+	out, err := dag.Eval(map[string][]stream.Event{"source": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Event{
+		stream.Item(2, 15.0), mk(0, 1),
+		stream.Item(2, 0.0), stream.Item(4, 1.0), mk(1, 2),
+	}
+	if !stream.Equivalent(stream.U("int", "float64"), out["printer"], want) {
+		t.Fatalf("got %s want %s", stream.Render(out["printer"]), stream.Render(want))
+	}
+}
+
+func TestDSLTypeNamesAreDerived(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	SinkOf(src, "out")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dag.Sources()[0].Type.String(); got != "U(int,float64)" {
+		t.Fatalf("derived type = %s", got)
+	}
+}
+
+// TestOrderingDisciplineIsCompileTime documents the central DSL
+// property: there is no combinator that turns StreamU into an
+// order-requiring stage without SortBy. (A negative compile test
+// cannot run; this test exercises the legal path end to end.)
+func TestOrderingDisciplineIsCompileTime(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	sorted := SortBy(src, "SORT", 2, func(a, c float64) bool { return a < c })
+	running := OrderedState(sorted, "running", 2, func() float64 { return 0 },
+		func(emit func(float64), st float64, k int, v float64) float64 {
+			st += v
+			emit(st)
+			return st
+		})
+	doubled := MapOrdered(running, "double", 2, func(_ int, v float64) float64 { return v * 2 })
+	SinkOfOrdered(doubled, "out")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []stream.Event{
+		stream.Item(1, 3.0), stream.Item(1, 1.0), mk(0, 1),
+	}
+	out, err := dag.Eval(map[string][]stream.Event{"src": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted per key: 1 then 3 → running sums 1, 4 → doubled 2, 8.
+	var vals []float64
+	for _, e := range out["out"] {
+		if !e.IsMarker {
+			vals = append(vals, e.Value.(float64))
+		}
+	}
+	if len(vals) != 2 || vals[0] != 2 || vals[1] != 8 {
+		t.Fatalf("got %v, want [2 8]", vals)
+	}
+}
+
+func TestForgetIsSubtyping(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	sorted := SortBy(src, "SORT", 1, func(a, c float64) bool { return a < c })
+	// Forget the order and aggregate as a bag.
+	agg := AggregatePerKey(Forget(sorted), "agg", 1, sumMonoid(), func(_ int, v float64) float64 { return v })
+	SinkOf(agg, "out")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingWindowAndKeyBy(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	byParity := KeyBy(src, "parity", 2, func(k int, _ float64) string {
+		if k%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	})
+	win := SlidingWindow(byParity, "win", 2, 2, sumMonoid(), func(_ string, v float64) float64 { return v })
+	SinkOf(win, "out")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []stream.Event{
+		stream.Item(2, 1.0), stream.Item(3, 10.0), mk(0, 1),
+		stream.Item(4, 2.0), mk(1, 2),
+		mk(2, 3),
+	}
+	out, err := dag.Eval(map[string][]stream.Event{"src": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window=2 blocks: even: [1], [1,2], [2]; odd: [10], [10], gone.
+	got := map[string][]float64{}
+	for _, e := range out["out"] {
+		if !e.IsMarker {
+			got[e.Key.(string)] = append(got[e.Key.(string)], e.Value.(float64))
+		}
+	}
+	if want := []float64{1, 3, 2}; len(got["even"]) != 3 || got["even"][0] != want[0] || got["even"][1] != want[1] || got["even"][2] != want[2] {
+		t.Fatalf("even windows = %v, want %v", got["even"], want)
+	}
+	if len(got["odd"]) != 2 || got["odd"][0] != 10 || got["odd"][1] != 10 {
+		t.Fatalf("odd windows = %v, want [10 10]", got["odd"])
+	}
+}
+
+func TestMergeU(t *testing.T) {
+	b := NewBuilder()
+	s1 := Source[int, float64](b, "a")
+	s2 := Source[int, float64](b, "b")
+	merged := MergeU("merge", 1, s1, s2)
+	agg := AggregateBlocks(merged, "sum", 1, sumMonoid(), func(_ int, v float64) float64 { return v })
+	SinkOf(agg, "out")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dag.Eval(map[string][]stream.Event{
+		"a": {stream.Item(1, 1.0), mk(0, 1)},
+		"b": {stream.Item(1, 2.0), mk(0, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Event{stream.Item(1, 3.0), mk(0, 1)}
+	if !stream.Equivalent(stream.U("int", "float64"), out["out"], want) {
+		t.Fatalf("got %s", stream.Render(out["out"]))
+	}
+}
+
+func TestStatefulPerKeyFullTemplate(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	// Count items per key per block, re-keyed to a constant for a
+	// global view, and emit only when the count is positive.
+	counted := StatefulPerKey(src, "count", 2,
+		Monoid[int]{ID: func() int { return 0 }, Combine: func(x, y int) int { return x + y }},
+		func(int, float64) int { return 1 },
+		func() int { return 0 },
+		func(_, agg int) int { return agg },
+		func(emit func(string, int), st int, k int, _ stream.Marker) {
+			if st > 0 {
+				emit("total", st)
+			}
+		})
+	SinkOf(counted, "out")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []stream.Event{stream.Item(1, 1.0), stream.Item(2, 2.0), mk(0, 1), mk(1, 2)}
+	out, err := dag.Eval(map[string][]stream.Event{"src": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := 0
+	for _, e := range out["out"] {
+		if !e.IsMarker {
+			items++
+			if e.Key != "total" {
+				t.Fatalf("re-keying failed: %v", e.Key)
+			}
+		}
+	}
+	if items != 2 { // one per key in block 0, none in block 1
+		t.Fatalf("got %d emissions, want 2", items)
+	}
+}
+
+func TestBuilderReportsIncompleteMonoid(t *testing.T) {
+	b := NewBuilder()
+	src := Source[int, float64](b, "src")
+	agg := AggregatePerKey(src, "bad", 1, Monoid[float64]{}, func(_ int, v float64) float64 { return v })
+	SinkOf(agg, "out")
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "complete monoid") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestDSLPipelineCompilesAndRuns: a DSL-built DAG goes through the
+// full compile-and-run path and matches its own denotation.
+func TestDSLPipelineCompilesAndRuns(t *testing.T) {
+	b, _ := figure2()
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomStream(rand.New(rand.NewSource(111)), 4, 15, 6)
+	ref, err := dag.Eval(map[string][]stream.Event{"source": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := compile.Compile(dag, map[string]compile.SourceSpec{
+		"source": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package dsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"datatrace/internal/compile"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// joinDAG builds: two sources → per-block equi-join → sink.
+func joinDAG(par int) (*Builder, error) {
+	b := NewBuilder()
+	orders := Source[int, string](b, "orders")
+	users := Source[int, float64](b, "users")
+	joined := JoinBlocks(orders, users, "join", par)
+	SinkOf(joined, "out")
+	return b, nil
+}
+
+func TestJoinBlocksBasic(t *testing.T) {
+	b, _ := joinDAG(1)
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dag.Eval(map[string][]stream.Event{
+		"orders": {
+			stream.Item(1, "a"), stream.Item(1, "b"), stream.Item(2, "c"), mk(0, 1),
+			stream.Item(1, "d"), mk(1, 2),
+		},
+		"users": {
+			stream.Item(1, 1.5), stream.Item(3, 9.9), mk(0, 1),
+			mk(1, 2),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0: key 1 joins {a,b}×{1.5}; key 2 and 3 have no partner.
+	// Block 1: key 1 has no right side.
+	var pairs []Pair[string, float64]
+	block := 0
+	for _, e := range out["out"] {
+		if e.IsMarker {
+			block++
+			continue
+		}
+		if block != 0 {
+			t.Fatalf("join result in block %d", block)
+		}
+		if e.Key != 1 {
+			t.Fatalf("join result for key %v", e.Key)
+		}
+		pairs = append(pairs, e.Value.(Pair[string, float64]))
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.Right != 1.5 {
+			t.Fatalf("pair %v has wrong right side", p)
+		}
+		seen[p.Left] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("missing join partners: %v", pairs)
+	}
+}
+
+// TestJoinBlocksConsistent: the derived join is a consistent
+// transduction — its compiled parallel deployments produce the
+// reference trace for random inputs.
+func TestJoinBlocksConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(121))
+	mkSide := func(blocks int, valf func(i int) any) []stream.Event {
+		var out []stream.Event
+		for bl := 0; bl < blocks; bl++ {
+			n := r.Intn(6)
+			for i := 0; i < n; i++ {
+				out = append(out, stream.Item(r.Intn(4), valf(r.Intn(50))))
+			}
+			out = append(out, mk(int64(bl), int64(bl+1)))
+		}
+		return out
+	}
+	for trial := 0; trial < 6; trial++ {
+		blocks := 2 + r.Intn(3)
+		orders := mkSide(blocks, func(i int) any { return string(rune('a' + i%26)) })
+		users := mkSide(blocks, func(i int) any { return float64(i) })
+		inputs := map[string][]stream.Event{"orders": orders, "users": users}
+
+		refB, _ := joinDAG(1)
+		refDag, err := refB.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := refDag.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, par := range []int{2, 3} {
+			b, _ := joinDAG(par)
+			dag, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			top, err := compile.Compile(dag, map[string]compile.SourceSpec{
+				"orders": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(orders) }},
+				"users":  {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(users) }},
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := top.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+				t.Fatalf("trial %d par %d: %v", trial, par, err)
+			}
+		}
+	}
+}
+
+func TestJoinBlocksCrossBuilderRejected(t *testing.T) {
+	b1 := NewBuilder()
+	b2 := NewBuilder()
+	l := Source[int, string](b1, "l")
+	r := Source[int, float64](b2, "r")
+	joined := JoinBlocks(l, r, "bad", 1)
+	SinkOf(joined, "out")
+	if _, err := b1.Build(); err == nil {
+		t.Fatal("cross-builder join must fail at Build")
+	}
+}

@@ -1,0 +1,141 @@
+package iot
+
+import (
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// This file implements the other "practical fix" section 2 discusses:
+// instead of typed markers and partial orders, attach sequence
+// numbers to stream elements at the source and re-sort downstream to
+// recover the order the parallel Map stage destroyed. The paper
+// argues this (a) increases the size of data items, (b) imposes a
+// total order even where a partial order suffices, and (c) makes
+// programs harder to maintain. RunSeqnum makes the approach concrete
+// so the overhead argument can be measured (see
+// BenchmarkSection2Seqnum vs BenchmarkSection2Typed at the repo
+// root): every item grows by a sequence number, and the re-ordering
+// stage buffers and releases a strictly sequential prefix — a global
+// serialization point the typed pipeline does not have.
+
+// Sequenced wraps a value with the source-assigned sequence number.
+type Sequenced struct {
+	N int64
+	V any
+}
+
+// seqnumSpout wraps a source, numbering every event (items and
+// markers share one counter so downstream can release a contiguous
+// prefix).
+func seqnumSpout(events []stream.Event) storm.SpoutFunc {
+	i := 0
+	n := int64(0)
+	return func() (stream.Event, bool) {
+		if i >= len(events) {
+			return stream.Event{}, false
+		}
+		e := events[i]
+		i++
+		if e.IsMarker {
+			// Markers carry their own order; number them too so the
+			// re-sorter can release them in place.
+			e = stream.Item(stream.Unit{}, Sequenced{N: n, V: e})
+		} else {
+			e = stream.Item(e.Key, Sequenced{N: n, V: e.Value})
+		}
+		n++
+		return e, true
+	}
+}
+
+// resequencer buffers out-of-order Sequenced items and releases the
+// contiguous prefix, restoring the exact source order — the classic
+// hand-rolled fix. It must see every sequence number exactly once.
+type resequencer struct {
+	next    int64
+	pending map[int64]stream.Event
+	deliver func(e stream.Event, emit func(stream.Event))
+}
+
+func newResequencer(deliver func(e stream.Event, emit func(stream.Event))) *resequencer {
+	return &resequencer{pending: map[int64]stream.Event{}, deliver: deliver}
+}
+
+// Next implements storm.Bolt.
+func (r *resequencer) Next(e stream.Event, emit func(stream.Event)) {
+	sq := e.Value.(Sequenced)
+	// Unwrap: the payload is either an embedded marker event or the
+	// original item value.
+	var orig stream.Event
+	if m, ok := sq.V.(stream.Event); ok && m.IsMarker {
+		orig = m
+	} else {
+		orig = stream.Item(e.Key, sq.V)
+	}
+	r.pending[sq.N] = orig
+	for {
+		ev, ok := r.pending[r.next]
+		if !ok {
+			return
+		}
+		delete(r.pending, r.next)
+		r.next++
+		r.deliver(ev, emit)
+	}
+}
+
+// RunSeqnum deploys the section 2 pipeline with the sequence-number
+// fix: the source numbers every event, Map runs at mapPar behind a
+// raw shuffle (numbers travel with the items), and a single
+// re-sequencing stage restores source order before LI and MaxOfAvg.
+// The output is correct — equivalent to the specification — but the
+// resequencer is a mandatory serial stage and every item carries the
+// extra number.
+func RunSeqnum(cfg SensorConfig, mapPar int) (*storm.Result, error) {
+	events := Stream(cfg)
+	top := storm.NewTopology("seqnum")
+	top.AddSpout("hub", 1, func(int) storm.Spout { return seqnumSpout(events) })
+	top.AddBolt("map", mapPar, func(int) storm.Bolt {
+		op := JFMOp(cfg).New()
+		return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			sq := e.Value.(Sequenced)
+			if m, ok := sq.V.(stream.Event); ok && m.IsMarker {
+				// Pass the numbered marker through untouched.
+				emit(e)
+				return
+			}
+			// Run JFM on the payload; re-wrap any output with the
+			// item's sequence number (JFM emits ≤1 item per input).
+			produced := false
+			op.Next(stream.Item(e.Key, sq.V), func(out stream.Event) {
+				produced = true
+				emit(stream.Item(out.Key, Sequenced{N: sq.N, V: out.Value}))
+			})
+			if !produced {
+				// Dropped items leave a hole in the numbering; fill it
+				// with an explicit skip so the resequencer can advance.
+				emit(stream.Item(e.Key, Sequenced{N: sq.N, V: skip{}}))
+			}
+		})
+	}).ShuffleGrouping("hub", false)
+	top.AddBolt("reseq-li", 1, func(int) storm.Bolt {
+		li := LIOp().New()
+		return newResequencer(func(ev stream.Event, emit func(stream.Event)) {
+			if !ev.IsMarker {
+				if _, isSkip := ev.Value.(skip); isSkip {
+					return
+				}
+			}
+			li.Next(ev, emit)
+		})
+	}).GlobalGrouping("map", false)
+	top.AddBolt("max", 1, func(int) storm.Bolt {
+		op := MaxOfAvgOp().New()
+		return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) { op.Next(e, emit) })
+	}).GlobalGrouping("reseq-li", false)
+	top.AddSink("sink", "max")
+	return top.Run()
+}
+
+// skip is the hole-filling payload for items the Map stage dropped.
+type skip struct{}

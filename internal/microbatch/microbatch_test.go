@@ -1,0 +1,237 @@
+package microbatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"datatrace/internal/compile"
+	"datatrace/internal/core"
+	"datatrace/internal/iot"
+	"datatrace/internal/smarthome"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+func mk(seq, ts int64) stream.Event { return stream.Mark(stream.Marker{Seq: seq, Timestamp: ts}) }
+
+func randomStream(r *rand.Rand, nBlocks, maxPerBlock, keys int) []stream.Event {
+	var out []stream.Event
+	for b := 0; b < nBlocks; b++ {
+		n := r.Intn(maxPerBlock + 1)
+		for i := 0; i < n; i++ {
+			out = append(out, stream.Item(r.Intn(keys), r.Intn(100)))
+		}
+		out = append(out, mk(int64(b), int64(10*(b+1))))
+	}
+	return out
+}
+
+func evenFilter() core.Operator {
+	return &core.Stateless[int, int, int, int]{
+		OpName: "filterEven",
+		In:     stream.U("Int", "Int"),
+		Out:    stream.U("Int", "Int"),
+		OnItem: func(emit core.Emit[int, int], key, value int) {
+			if key%2 == 0 {
+				emit(key, value)
+			}
+		},
+	}
+}
+
+func sumPerKey() core.Operator {
+	return &core.KeyedUnordered[int, int, int, int, int, int]{
+		OpName:       "sumPerKey",
+		InT:          stream.U("Int", "Int"),
+		OutT:         stream.U("Int", "Int"),
+		In:           func(key, value int) int { return value },
+		ID:           func() int { return 0 },
+		Combine:      func(x, y int) int { return x + y },
+		InitialState: func() int { return 0 },
+		UpdateState:  func(old, agg int) int { return old + agg },
+		OnMarker: func(emit core.Emit[int, int], st int, key int, m stream.Marker) {
+			emit(key, st)
+		},
+	}
+}
+
+func pipeline(p1, p2 int) *core.DAG {
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	f := d.Op(evenFilter(), p1, src)
+	s := d.Op(sumPerKey(), p2, f)
+	d.Sink("out", s)
+	return d
+}
+
+// TestMicroBatchMatchesReference: the micro-batch execution computes
+// the DAG's denotation, at several parallelism settings and random
+// inputs. The state must carry across batches (sumPerKey accumulates
+// history), which exercises the per-partition instance reuse.
+func TestMicroBatchMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 20; trial++ {
+		in := randomStream(r, 2+r.Intn(5), 10, 6)
+		ref, err := pipeline(1, 1).Eval(map[string][]stream.Event{"src": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pars := range [][2]int{{1, 1}, {2, 3}, {4, 2}} {
+			d := pipeline(pars[0], pars[1])
+			res, err := RunDAG(d, map[string][]stream.Event{"src": in}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.EquivalentOutputs(ref, res.Sinks); err != nil {
+				t.Fatalf("pars %v: %v", pars, err)
+			}
+		}
+	}
+}
+
+// TestBackendsAgree: the storm backend and the micro-batch backend
+// produce the same trace for the same DAG — the "other frameworks"
+// compilation claim of section 8, as a test.
+func TestBackendsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 8; trial++ {
+		in := randomStream(r, 3, 12, 5)
+		d := pipeline(3, 2)
+		mb, err := RunDAG(d, map[string][]stream.Event{"src": in}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := compile.Compile(pipeline(3, 2), map[string]compile.SourceSpec{
+			"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := topo.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stream.Equivalent(stream.U("Int", "Int"), mb.Sinks["out"], st.Sinks["out"]) {
+			t.Fatalf("backends disagree:\n micro-batch %s\n storm       %s",
+				stream.Render(mb.Sinks["out"]), stream.Render(st.Sinks["out"]))
+		}
+	}
+}
+
+// TestMicroBatchIoTPipeline runs the Example 4.1 pipeline (with SORT
+// and a keyed-ordered stage) on the micro-batch engine.
+func TestMicroBatchIoTPipeline(t *testing.T) {
+	cfg := iot.DefaultSensorConfig()
+	ref, err := iot.Reference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 3} {
+		d := iot.PipelineDAG(cfg, par)
+		res, err := RunDAG(d, map[string][]stream.Event{"hub": iot.Stream(cfg)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stream.Equivalent(iot.SinkType(), res.Sinks["sink"], ref["sink"]) {
+			t.Fatalf("par %d: micro-batch IoT pipeline differs from reference", par)
+		}
+	}
+}
+
+// TestMicroBatchSmartHome runs the seven-stage Figure 5 pipeline.
+func TestMicroBatchSmartHome(t *testing.T) {
+	cfg := workload.DefaultSmartHomeConfig()
+	cfg.Buildings = 2
+	cfg.UnitsPerBuilding = 2
+	cfg.PlugsPerUnit = 2
+	cfg.Seconds = 40
+	env, err := smarthome.NewEnv(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := smarthome.Reference(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := smarthome.PipelineDAG(env, 3)
+	res, err := RunDAG(d, map[string][]stream.Event{"hub": env.Gen.Events()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Equivalent(smarthome.SinkType(), res.Sinks["sink"], ref["sink"]) {
+		t.Fatal("micro-batch smart-home pipeline differs from reference")
+	}
+	if res.Batches != cfg.Seconds/cfg.MarkerPeriod {
+		t.Fatalf("processed %d batches, want %d", res.Batches, cfg.Seconds/cfg.MarkerPeriod)
+	}
+}
+
+func TestMicroBatchMultiSource(t *testing.T) {
+	d := core.NewDAG()
+	a := d.Source("a", stream.U("Int", "Int"))
+	b := d.Source("b", stream.U("Int", "Int"))
+	s := d.Op(sumPerKey(), 2, a, b)
+	d.Sink("out", s)
+	inA := []stream.Event{stream.Item(1, 1), mk(0, 1)}
+	inB := []stream.Event{stream.Item(1, 2), mk(0, 1)}
+	res, err := RunDAG(d, map[string][]stream.Event{"a": inA, "b": inB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Event{stream.Item(1, 3), mk(0, 1)}
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["out"], want) {
+		t.Fatalf("got %s want %s", stream.Render(res.Sinks["out"]), stream.Render(want))
+	}
+}
+
+func TestMicroBatchRejectsIllTypedDAG(t *testing.T) {
+	d := core.NewDAG()
+	src := d.Source("src", stream.U("Int", "Int"))
+	d.Sink("out", d.Op(&core.KeyedOrdered[int, int, int, int]{
+		OpName:       "needsOrder",
+		In:           stream.O("Int", "Int"),
+		Out:          stream.O("Int", "Int"),
+		InitialState: func() int { return 0 },
+		OnItem:       func(emit func(int), s, k, v int) int { return s },
+	}, 1, src))
+	if _, err := New(d, nil); err == nil {
+		t.Fatal("ill-typed DAG must be rejected")
+	}
+}
+
+func TestMicroBatchTrailingItems(t *testing.T) {
+	// Items after the last marker form a final partial batch and must
+	// not be lost.
+	d := pipeline(2, 2)
+	in := []stream.Event{
+		stream.Item(2, 1), mk(0, 1), stream.Item(2, 5), stream.Item(4, 2),
+	}
+	res, err := RunDAG(d, map[string][]stream.Event{"src": in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pipeline(1, 1).Eval(map[string][]stream.Event{"src": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EquivalentOutputs(ref, res.Sinks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicroBatchStats(t *testing.T) {
+	d := pipeline(2, 2)
+	in := randomStream(rand.New(rand.NewSource(83)), 4, 20, 4)
+	res, err := RunDAG(d, map[string][]stream.Event{"src": in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, _ := res.Stats.Component("filterEven")
+	if exec == 0 {
+		t.Fatal("stage stats not recorded")
+	}
+	if res.Stats.Makespan(2) <= 0 {
+		t.Fatal("makespan not computable")
+	}
+}

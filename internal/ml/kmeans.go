@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult is the output of a k-means run.
+type KMeansResult struct {
+	// Centroids are the k cluster centers.
+	Centroids [][]float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm seeded
+// by k-means++ (deterministic for a given seed). maxIter ≤ 0 selects
+// 100. It returns an error for k < 1 or fewer points than clusters.
+func KMeans(points [][]float64, k int, maxIter int, seed int64) (*KMeansResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ml: k must be ≥ 1, got %d", k)
+	}
+	if len(points) < k {
+		return nil, fmt.Errorf("ml: %d points cannot form %d clusters", len(points), k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("ml: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	r := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, len(points))
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		// Recompute centroids.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = append([]float64(nil), points[r.Intn(len(points))]...)
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Assign = assign
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ rule:
+// each next center is drawn with probability proportional to its
+// squared distance from the nearest chosen center.
+func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[r.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[r.Intn(len(points))]...))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stepData is piecewise-constant data a regression tree should fit
+// exactly: y = 1 if x0 <= 5 else 9.
+func stepData(n int, r *rand.Rand) Dataset {
+	var d Dataset
+	for i := 0; i < n; i++ {
+		x := r.Float64() * 10
+		y := 1.0
+		if x > 5 {
+			y = 9.0
+		}
+		d.Append([]float64{x}, y)
+	}
+	return d
+}
+
+func TestREPTreeFitsStepFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tree, err := TrainREPTree(stepData(400, r), DefaultREPTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{1}); math.Abs(got-1) > 0.5 {
+		t.Fatalf("Predict(1) = %v, want ≈1", got)
+	}
+	if got := tree.Predict([]float64{9}); math.Abs(got-9) > 0.5 {
+		t.Fatalf("Predict(9) = %v, want ≈9", got)
+	}
+}
+
+func TestREPTreeMultiFeature(t *testing.T) {
+	// y = 10*[x0>0.5] + [x1>0.5]; the tree should recover both splits.
+	r := rand.New(rand.NewSource(4))
+	var d Dataset
+	for i := 0; i < 2000; i++ {
+		x0, x1 := r.Float64(), r.Float64()
+		y := 0.0
+		if x0 > 0.5 {
+			y += 10
+		}
+		if x1 > 0.5 {
+			y++
+		}
+		d.Append([]float64{x0, x1}, y)
+	}
+	tree, err := TrainREPTree(d, DefaultREPTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := tree.MSE(d); mse > 0.5 {
+		t.Fatalf("training MSE = %v, want < 0.5", mse)
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("depth = %d, want ≥ 2 (both features used)", tree.Depth())
+	}
+}
+
+func TestREPTreePruningShrinksTree(t *testing.T) {
+	// Pure-noise labels: an unpruned tree overfits; REP pruning should
+	// collapse (most of) it.
+	r := rand.New(rand.NewSource(5))
+	var d Dataset
+	for i := 0; i < 500; i++ {
+		d.Append([]float64{r.Float64()}, r.NormFloat64())
+	}
+	unpruned, err := TrainREPTree(d, REPTreeConfig{MaxDepth: -1, MinInstances: 2, PruneFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := TrainREPTree(d, REPTreeConfig{MaxDepth: -1, MinInstances: 2, PruneFraction: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves() >= unpruned.Leaves() {
+		t.Fatalf("pruning did not shrink the tree: %d vs %d leaves", pruned.Leaves(), unpruned.Leaves())
+	}
+}
+
+func TestREPTreePredictionsWithinLabelRange(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var d Dataset
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 50; i++ {
+			y := r.Float64()*100 - 50
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+			d.Append([]float64{r.Float64(), r.Float64()}, y)
+		}
+		tree, err := TrainREPTree(d, DefaultREPTreeConfig())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tree.Predict([]float64{r.Float64(), r.Float64()})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestREPTreeErrors(t *testing.T) {
+	if _, err := TrainREPTree(Dataset{}, DefaultREPTreeConfig()); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+	d := Dataset{X: [][]float64{{1}, {1, 2}}, Y: []float64{1, 2}}
+	if _, err := TrainREPTree(d, DefaultREPTreeConfig()); err == nil {
+		t.Fatal("ragged features must fail")
+	}
+}
+
+func TestREPTreeMaxDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tree, err := TrainREPTree(stepData(300, r), REPTreeConfig{MaxDepth: 1, MinInstances: 2, PruneFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Fatalf("depth = %d, want ≤ 1", tree.Depth())
+	}
+}
+
+func TestREPTreeDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	d := stepData(200, r)
+	t1, _ := TrainREPTree(d, DefaultREPTreeConfig())
+	t2, _ := TrainREPTree(d, DefaultREPTreeConfig())
+	for i := 0; i < 20; i++ {
+		x := []float64{float64(i) / 2}
+		if t1.Predict(x) != t2.Predict(x) {
+			t.Fatal("training is not deterministic for a fixed seed")
+		}
+	}
+}
+
+// --- k-means ---------------------------------------------------------------
+
+// threeBlobs generates three well-separated Gaussian clusters.
+func threeBlobs(n int, r *rand.Rand) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var pts [][]float64
+	var labels []int
+	for i := 0; i < n; i++ {
+		c := i % 3
+		pts = append(pts, []float64{
+			centers[c][0] + r.NormFloat64(),
+			centers[c][1] + r.NormFloat64(),
+		})
+		labels = append(labels, c)
+	}
+	return pts, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts, labels := threeBlobs(300, r)
+	res, err := KMeans(pts, 3, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true cluster must map to exactly one found cluster.
+	mapping := map[int]int{}
+	for i, l := range labels {
+		if prev, ok := mapping[l]; ok && prev != res.Assign[i] {
+			t.Fatalf("true cluster %d split across k-means clusters", l)
+		}
+		mapping[l] = res.Assign[i]
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("found %d clusters, want 3", len(mapping))
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	pts, _ := threeBlobs(150, r)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		res, err := KMeans(pts, k, 100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia increased from k=%d to k=%d (%v → %v)", k-1, k, prev, res.Inertia)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pts, _ := threeBlobs(90, r)
+	a, _ := KMeans(pts, 3, 50, 42)
+	b, _ := KMeans(pts, 3, 50, 42)
+	if a.Inertia != b.Inertia {
+		t.Fatal("k-means not deterministic for fixed seed")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 0, 10, 1); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 10, 1); err == nil {
+		t.Fatal("fewer points than clusters must fail")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10, 1); err == nil {
+		t.Fatal("ragged points must fail")
+	}
+}
+
+func TestKMeansDegenerateIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(pts, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansAssignmentsConsistentWithCentroids(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	pts, _ := threeBlobs(120, r)
+	res, err := KMeans(pts, 3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range res.Centroids {
+			if d := sqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best != res.Assign[i] {
+			t.Fatalf("point %d assigned to %d but %d is closer", i, res.Assign[i], best)
+		}
+	}
+}

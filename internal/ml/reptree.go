@@ -1,0 +1,288 @@
+// Package ml implements the machine-learning substrate the paper's
+// evaluation depends on: a REPTree-style regression tree (the WEKA
+// learner the Smart Homes case study uses for power prediction) and
+// k-means clustering (Query VI's periodic per-location user
+// clustering). Both are written from scratch on the standard library
+// and are deterministic given a seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is a supervised regression dataset: X[i] is the i-th
+// feature vector and Y[i] its numeric label.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of instances.
+func (d Dataset) Len() int { return len(d.Y) }
+
+// Append adds one instance.
+func (d *Dataset) Append(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// split partitions indices into train and prune sets.
+func (d Dataset) split(pruneFrac float64, r *rand.Rand) (train, prune []int) {
+	idx := r.Perm(d.Len())
+	cut := int(float64(d.Len()) * (1 - pruneFrac))
+	return idx[:cut], idx[cut:]
+}
+
+// REPTreeConfig are the learner's hyperparameters, mirroring WEKA's
+// REPTree defaults where sensible.
+type REPTreeConfig struct {
+	// MaxDepth limits tree depth; ≤0 means unlimited.
+	MaxDepth int
+	// MinInstances is the minimum number of training instances per
+	// leaf (WEKA default 2).
+	MinInstances int
+	// MinVarianceProp stops splitting when a node's label variance
+	// falls below this proportion of the root variance (WEKA: 1e-3).
+	MinVarianceProp float64
+	// PruneFraction is the share of data held out for reduced-error
+	// pruning; 0 disables pruning.
+	PruneFraction float64
+	// Seed drives the train/prune shuffle.
+	Seed int64
+}
+
+// DefaultREPTreeConfig returns WEKA-like defaults with pruning on.
+func DefaultREPTreeConfig() REPTreeConfig {
+	return REPTreeConfig{MaxDepth: -1, MinInstances: 2, MinVarianceProp: 1e-3, PruneFraction: 0.25, Seed: 1}
+}
+
+// treeNode is one node of the regression tree.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64 // leaf prediction (mean of training labels)
+	count       int
+}
+
+func (n *treeNode) isLeaf() bool { return n.left == nil }
+
+// REPTree is a trained reduced-error-pruning regression tree.
+type REPTree struct {
+	root     *treeNode
+	features int
+}
+
+// TrainREPTree fits a regression tree with variance-minimizing binary
+// splits and (optionally) prunes it bottom-up against a held-out set.
+func TrainREPTree(data Dataset, cfg REPTreeConfig) (*REPTree, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	nf := len(data.X[0])
+	for i, x := range data.X {
+		if len(x) != nf {
+			return nil, fmt.Errorf("ml: instance %d has %d features, want %d", i, len(x), nf)
+		}
+	}
+	if cfg.MinInstances < 1 {
+		cfg.MinInstances = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	train := make([]int, data.Len())
+	for i := range train {
+		train[i] = i
+	}
+	var prune []int
+	if cfg.PruneFraction > 0 && data.Len() >= 8 {
+		train, prune = data.split(cfg.PruneFraction, r)
+	}
+	rootVar := variance(data, train)
+	b := &builder{data: data, cfg: cfg, minVar: rootVar * cfg.MinVarianceProp}
+	root := b.grow(train, 0)
+	tree := &REPTree{root: root, features: nf}
+	if len(prune) > 0 {
+		tree.pruneNode(root, data, prune)
+	}
+	return tree, nil
+}
+
+type builder struct {
+	data   Dataset
+	cfg    REPTreeConfig
+	minVar float64
+}
+
+func mean(d Dataset, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += d.Y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func variance(d Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	m := mean(d, idx)
+	s := 0.0
+	for _, i := range idx {
+		dv := d.Y[i] - m
+		s += dv * dv
+	}
+	return s / float64(len(idx))
+}
+
+func (b *builder) grow(idx []int, depth int) *treeNode {
+	node := &treeNode{value: mean(b.data, idx), count: len(idx)}
+	if len(idx) < 2*b.cfg.MinInstances ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		variance(b.data, idx) <= b.minVar {
+		return node
+	}
+	feature, threshold, ok := b.bestSplit(idx)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.data.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinInstances || len(right) < b.cfg.MinInstances {
+		return node
+	}
+	node.feature = feature
+	node.threshold = threshold
+	node.left = b.grow(left, depth+1)
+	node.right = b.grow(right, depth+1)
+	return node
+}
+
+// bestSplit finds the (feature, threshold) minimizing the weighted
+// child SSE, scanning sorted feature values with running sums.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	bestSSE := math.Inf(1)
+	nf := len(b.data.X[idx[0]])
+	type fv struct{ x, y float64 }
+	vals := make([]fv, len(idx))
+	for f := 0; f < nf; f++ {
+		for k, i := range idx {
+			vals[k] = fv{b.data.X[i][f], b.data.Y[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].x < vals[c].x })
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, v := range vals {
+			sumR += v.y
+			sqR += v.y * v.y
+		}
+		n := float64(len(vals))
+		nL := 0.0
+		for k := 0; k+1 < len(vals); k++ {
+			y := vals[k].y
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			nL++
+			if vals[k].x == vals[k+1].x {
+				continue // not a valid cut point
+			}
+			nR := n - nL
+			sse := (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR)
+			if sse < bestSSE-1e-12 {
+				bestSSE = sse
+				feature = f
+				threshold = (vals[k].x + vals[k+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// pruneNode performs reduced-error pruning: replace a subtree by a
+// leaf whenever the leaf's error on the prune set is no worse.
+// Returns the subtree's prune-set SSE after (possible) pruning.
+func (t *REPTree) pruneNode(n *treeNode, data Dataset, idx []int) float64 {
+	leafSSE := 0.0
+	for _, i := range idx {
+		d := data.Y[i] - n.value
+		leafSSE += d * d
+	}
+	if n.isLeaf() {
+		return leafSSE
+	}
+	var left, right []int
+	for _, i := range idx {
+		if data.X[i][n.feature] <= n.threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	subSSE := t.pruneNode(n.left, data, left) + t.pruneNode(n.right, data, right)
+	if leafSSE <= subSSE {
+		n.left, n.right = nil, nil
+		return leafSSE
+	}
+	return subSSE
+}
+
+// Predict returns the tree's estimate for the feature vector.
+func (t *REPTree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree's depth (a single leaf has depth 0).
+func (t *REPTree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n.isLeaf() {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *REPTree) Leaves() int { return leaves(t.root) }
+
+func leaves(n *treeNode) int {
+	if n.isLeaf() {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}
+
+// MSE evaluates the tree's mean squared error on a dataset.
+func (t *REPTree) MSE(data Dataset) float64 {
+	if data.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range data.Y {
+		d := data.Y[i] - t.Predict(data.X[i])
+		s += d * d
+	}
+	return s / float64(data.Len())
+}

@@ -1,0 +1,322 @@
+package queries
+
+import (
+	"sort"
+
+	"datatrace/internal/ml"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+// This file contains the hand-written Storm topologies (the paper's
+// blue line). They use raw connections — the runtime gives them no
+// marker alignment — so every bolt carries its own synchronization
+// code: a per-channel block buffer (syncBolt) plus manual windowing
+// state, exactly the "practical fixes" section 2 describes hand-tuned
+// code needing. The processing logic itself is written directly
+// against maps rather than through the operator templates.
+
+// syncBolt is the hand-rolled marker synchronization every
+// handcrafted bolt embeds: it tracks the producer task each tuple
+// came from (Storm's getSourceTask) and releases items block by
+// block, emitting one marker per completed block.
+type syncBolt struct {
+	merge *stream.MergeState
+	inner func(e stream.Event, emit func(stream.Event))
+}
+
+func newSyncBolt(nChannels int, inner func(e stream.Event, emit func(stream.Event))) *syncBolt {
+	return &syncBolt{merge: stream.NewMergeState(nChannels), inner: inner}
+}
+
+// NextFrom implements storm.ChannelBolt.
+func (b *syncBolt) NextFrom(ch int, e stream.Event, emit func(stream.Event)) {
+	b.merge.Next(ch, e, func(ev stream.Event) { b.inner(ev, emit) })
+}
+
+// Next implements storm.Bolt; raw-edge consumers always receive
+// NextFrom, but the interface requires Next.
+func (b *syncBolt) Next(e stream.Event, emit func(stream.Event)) { b.inner(e, emit) }
+
+// addSpouts declares the partitioned source.
+func addSpouts(top *storm.Topology, sources []workload.Iterator) {
+	top.AddSpout("yahoo", len(sources), func(i int) storm.Spout {
+		return storm.SpoutFunc(sources[i])
+	})
+}
+
+// QueryIHandcrafted: spout → enrich (shuffle) → sink.
+func QueryIHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	top := storm.NewTopology("queryI-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("enrich", par, func(int) storm.Bolt {
+		return newSyncBolt(nch, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				emit(e)
+				return
+			}
+			ev := e.Value.(workload.YahooEvent)
+			cid := env.CampaignOf(ev.AdID)
+			emit(stream.Item(cid, Enriched{Ev: ev, Campaign: cid}))
+		})
+	}).ShuffleGrouping("yahoo", false)
+	top.AddSink("sink", "enrich")
+	return top
+}
+
+// QueryIIHandcrafted: spout (keyed by user) → count+persist (fields)
+// → sink.
+func QueryIIHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	counts := env.DB.MustTable("user_counts")
+	top := storm.NewTopology("queryII-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("count", par, func(int) storm.Bolt {
+		state := map[int64]int64{}
+		var users []int64
+		return newSyncBolt(nch, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				for _, u := range users {
+					if err := counts.Upsert(u, state[u]); err != nil {
+						panic(err)
+					}
+					emit(stream.Item(u, state[u]))
+				}
+				emit(e)
+				return
+			}
+			u := e.Key.(int64)
+			if _, seen := state[u]; !seen {
+				users = append(users, u)
+			}
+			state[u]++
+		})
+	}).FieldsGrouping("yahoo", false)
+	top.AddSink("sink", "count")
+	return top
+}
+
+// QueryIIIHandcrafted: spout → locate (shuffle) → summarize (fields)
+// → sink.
+func QueryIIIHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	top := storm.NewTopology("queryIII-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("locate", par, func(int) storm.Bolt {
+		return newSyncBolt(nch, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				emit(e)
+				return
+			}
+			ev := e.Value.(workload.YahooEvent)
+			loc := env.LocationOf(ev.UserID)
+			emit(stream.Item(loc, Located{Ev: ev, Location: loc}))
+		})
+	}).ShuffleGrouping("yahoo", false)
+	top.AddBolt("summarize", par, func(int) storm.Bolt {
+		state := map[int64]int64{}
+		var locs []int64
+		return newSyncBolt(par, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				for _, l := range locs {
+					emit(stream.Item(l, state[l]))
+				}
+				emit(e)
+				return
+			}
+			l := e.Key.(int64)
+			if _, seen := state[l]; !seen {
+				locs = append(locs, l)
+			}
+			state[l]++
+		})
+	}).FieldsGrouping("locate", false)
+	top.AddSink("sink", "summarize")
+	return top
+}
+
+// filterMapBolt is the handcrafted Figure 3 first stage.
+func filterMapBolt(env *Env, nch int) storm.Bolt {
+	return newSyncBolt(nch, func(e stream.Event, emit func(stream.Event)) {
+		if e.IsMarker {
+			emit(e)
+			return
+		}
+		ev := e.Value.(workload.YahooEvent)
+		if ev.Type != workload.View {
+			return
+		}
+		emit(stream.Item(env.CampaignOf(ev.AdID), stream.Unit{}))
+	})
+}
+
+// QueryIVHandcrafted: spout → filter-map (shuffle) → sliding count
+// (fields) → sink.
+func QueryIVHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	top := storm.NewTopology("queryIV-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("filter-map", par, func(int) storm.Bolt { return filterMapBolt(env, nch) }).
+		ShuffleGrouping("yahoo", false)
+	top.AddBolt("count", par, func(int) storm.Bolt {
+		windows := map[int64][]int64{} // campaign → last blocks
+		current := map[int64]int64{}
+		var cids []int64
+		return newSyncBolt(par, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				for _, cid := range cids {
+					w := append(windows[cid], current[cid])
+					if len(w) > SlidingWindowBlocks {
+						w = w[len(w)-SlidingWindowBlocks:]
+					}
+					windows[cid] = w
+					current[cid] = 0
+					var total int64
+					for _, b := range w {
+						total += b
+					}
+					emit(stream.Item(cid, total))
+				}
+				emit(e)
+				return
+			}
+			cid := e.Key.(int64)
+			if _, seen := windows[cid]; !seen {
+				windows[cid] = nil
+				cids = append(cids, cid)
+			}
+			current[cid]++
+		})
+	}).FieldsGrouping("filter-map", false)
+	top.AddSink("sink", "count")
+	return top
+}
+
+// QueryVHandcrafted: like IV with tumbling windows.
+func QueryVHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	top := storm.NewTopology("queryV-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("filter-map", par, func(int) storm.Bolt { return filterMapBolt(env, nch) }).
+		ShuffleGrouping("yahoo", false)
+	top.AddBolt("count", par, func(int) storm.Bolt {
+		acc := map[int64]int64{}
+		current := map[int64]int64{}
+		var cids []int64
+		markers := 0
+		return newSyncBolt(par, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				markers++
+				flush := markers%TumblingWindowBlocks == 0
+				for _, cid := range cids {
+					acc[cid] += current[cid]
+					current[cid] = 0
+					if flush {
+						emit(stream.Item(cid, acc[cid]))
+						acc[cid] = 0
+					}
+				}
+				emit(e)
+				return
+			}
+			cid := e.Key.(int64)
+			if _, seen := acc[cid]; !seen {
+				acc[cid] = 0
+				cids = append(cids, cid)
+			}
+			current[cid]++
+		})
+	}).FieldsGrouping("filter-map", false)
+	top.AddSink("sink", "count")
+	return top
+}
+
+// QueryVIHandcrafted: spout → locate-by-user (shuffle) → features
+// (fields by user) → cluster (fields by location) → sink.
+func QueryVIHandcrafted(env *Env, par int, sources []workload.Iterator) *storm.Topology {
+	top := storm.NewTopology("queryVI-handcrafted")
+	addSpouts(top, sources)
+	nch := len(sources)
+	top.AddBolt("locate", par, func(int) storm.Bolt {
+		return newSyncBolt(nch, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				emit(e)
+				return
+			}
+			ev := e.Value.(workload.YahooEvent)
+			emit(stream.Item(ev.UserID, Located{Ev: ev, Location: env.LocationOf(ev.UserID)}))
+		})
+	}).ShuffleGrouping("yahoo", false)
+	top.AddBolt("features", par, func(int) storm.Bolt {
+		state := map[int64]Features{}
+		var users []int64
+		return newSyncBolt(par, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				for _, u := range users {
+					f := state[u]
+					emit(stream.Item(f.Location, UserFeatures{User: u, F: f}))
+				}
+				emit(e)
+				return
+			}
+			u := e.Key.(int64)
+			l := e.Value.(Located)
+			f, seen := state[u]
+			if !seen {
+				users = append(users, u)
+				f = Features{Location: l.Location}
+			}
+			switch l.Ev.Type {
+			case workload.View:
+				f.Views++
+			case workload.Click:
+				f.Clicks++
+			default:
+				f.Purchases++
+			}
+			state[u] = f
+		})
+	}).FieldsGrouping("locate", false)
+	top.AddBolt("cluster", par, func(int) storm.Bolt {
+		state := map[int64]map[int64]Features{} // location → user → features
+		var locs []int64
+		return newSyncBolt(par, func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				for _, loc := range locs {
+					perUser := state[loc]
+					if len(perUser) < ClusterK {
+						continue
+					}
+					users := make([]int64, 0, len(perUser))
+					for u := range perUser {
+						users = append(users, u)
+					}
+					sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+					points := make([][]float64, len(users))
+					for i, u := range users {
+						f := perUser[u]
+						points[i] = []float64{f.Views, f.Clicks, f.Purchases}
+					}
+					res, err := ml.KMeans(points, ClusterK, 50, 7)
+					if err != nil {
+						panic(err)
+					}
+					emit(stream.Item(loc, ClusterSummary{K: ClusterK, Size: len(points), Inertia: res.Inertia}))
+				}
+				emit(e)
+				return
+			}
+			loc := e.Key.(int64)
+			uf := e.Value.(UserFeatures)
+			if state[loc] == nil {
+				state[loc] = map[int64]Features{}
+				locs = append(locs, loc)
+			}
+			state[loc][uf.User] = uf.F
+		})
+	}).FieldsGrouping("features", false)
+	top.AddSink("sink", "cluster")
+	return top
+}

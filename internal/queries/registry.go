@@ -1,0 +1,158 @@
+package queries
+
+import (
+	"fmt"
+
+	"datatrace/internal/compile"
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+// Variant selects a query implementation.
+type Variant string
+
+const (
+	// Generated is the transduction-DAG implementation compiled by
+	// package compile (the paper's orange line).
+	Generated Variant = "generated"
+	// Handcrafted is the hand-written storm topology (the blue line).
+	Handcrafted Variant = "handcrafted"
+)
+
+// Def describes one registered query.
+type Def struct {
+	// Name is the roman numeral, "I" through "VI".
+	Name string
+	// Stages is the number of processing stages (for reporting).
+	Stages int
+	// Description is the paper's one-line characterization.
+	Description string
+	// KeyedSource is true when the source stream is keyed by user
+	// (Query II) instead of unit-keyed.
+	KeyedSource bool
+	// DAG builds the typed DAG at a given per-stage parallelism.
+	DAG func(env *Env, par int) *core.DAG
+	// Handcrafted builds the hand-written topology.
+	Handcrafted func(env *Env, par int, sources []workload.Iterator) *storm.Topology
+}
+
+// All returns the registered queries in evaluation order.
+func All() []Def {
+	return []Def{
+		{Name: "I", Stages: 1, Description: "stateless DB enrichment",
+			DAG: QueryIDAG, Handcrafted: QueryIHandcrafted},
+		{Name: "II", Stages: 1, Description: "per-key aggregation persisted to DB", KeyedSource: true,
+			DAG: QueryIIDAG, Handcrafted: QueryIIHandcrafted},
+		{Name: "III", Stages: 2, Description: "location enrichment + historical summarization",
+			DAG: QueryIIIDAG, Handcrafted: QueryIIIHandcrafted},
+		{Name: "IV", Stages: 2, Description: "Yahoo benchmark pipeline (10s sliding windows)",
+			DAG: QueryIVDAG, Handcrafted: QueryIVHandcrafted},
+		{Name: "V", Stages: 2, Description: "Yahoo pipeline with tumbling windows",
+			DAG: QueryVDAG, Handcrafted: QueryVHandcrafted},
+		{Name: "VI", Stages: 3, Description: "location enrichment + features + k-means",
+			DAG: QueryVIDAG, Handcrafted: QueryVIHandcrafted},
+	}
+}
+
+// ByName looks a query up by its roman numeral.
+func ByName(name string) (Def, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Def{}, fmt.Errorf("queries: unknown query %q (have I..VI)", name)
+}
+
+// KeyByUser rewrites a unit-keyed iterator into a user-keyed one
+// (Query II's source type U(UID, YItem)).
+func KeyByUser(it workload.Iterator) workload.Iterator {
+	return func() (stream.Event, bool) {
+		e, ok := it()
+		if !ok || e.IsMarker {
+			return e, ok
+		}
+		return stream.Item(e.Value.(workload.YahooEvent).UserID, e.Value), true
+	}
+}
+
+// Sources builds the query's partitioned source iterators.
+func (d Def) Sources(env *Env, n int) []workload.Iterator {
+	parts := env.Gen.Partitions(n)
+	if d.KeyedSource {
+		for i, p := range parts {
+			parts[i] = KeyByUser(p)
+		}
+	}
+	return parts
+}
+
+// ReferenceInput materializes the full (merged) source stream, for
+// reference evaluations.
+func (d Def) ReferenceInput(env *Env) []stream.Event {
+	it := env.Gen.Iter()
+	if d.KeyedSource {
+		it = KeyByUser(it)
+	}
+	return workload.Collect(it)
+}
+
+// Reference computes the query's denotation: the generated DAG
+// evaluated sequentially on the merged input.
+func (d Def) Reference(env *Env) (map[string][]stream.Event, error) {
+	return d.DAG(env, 1).Eval(map[string][]stream.Event{"yahoo": d.ReferenceInput(env)})
+}
+
+// Spec selects one benchmark run.
+type Spec struct {
+	// Query is the roman numeral.
+	Query string
+	// Variant picks generated or handcrafted.
+	Variant Variant
+	// Par is the per-stage parallelism.
+	Par int
+	// SourcePar is the number of source partitions (≥1).
+	SourcePar int
+}
+
+// Run executes the selected query variant to completion on the
+// environment's workload and returns the runtime result.
+func Run(env *Env, spec Spec) (*storm.Result, error) {
+	def, err := ByName(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Par < 1 {
+		spec.Par = 1
+	}
+	if spec.SourcePar < 1 {
+		spec.SourcePar = 1
+	}
+	sources := def.Sources(env, spec.SourcePar)
+	switch spec.Variant {
+	case Generated:
+		dag := def.DAG(env, spec.Par)
+		top, err := compile.Compile(dag, map[string]compile.SourceSpec{
+			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
+				return storm.SpoutFunc(sources[i])
+			}},
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return top.Run()
+	case Handcrafted:
+		return def.Handcrafted(env, spec.Par, sources).Run()
+	default:
+		return nil, fmt.Errorf("queries: unknown variant %q", spec.Variant)
+	}
+}
+
+// SinkType returns the data-trace type of the query's sink channel,
+// used to compare outputs as traces.
+func (d Def) SinkType(env *Env) stream.Type {
+	dag := d.DAG(env, 1)
+	return dag.Sinks()[0].Type
+}

@@ -1,0 +1,198 @@
+package smarthome
+
+import (
+	"testing"
+
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	cfg := workload.DefaultSmartHomeConfig()
+	cfg.Buildings = 3
+	cfg.UnitsPerBuilding = 2
+	cfg.PlugsPerUnit = 2
+	cfg.Seconds = 60
+	env, err := NewEnv(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestPipelineTypeChecks(t *testing.T) {
+	env := testEnv(t)
+	for _, par := range []int{1, 4} {
+		if err := PipelineDAG(env, par).Check(); err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+	}
+}
+
+func TestReferenceProducesPredictions(t *testing.T) {
+	env := testEnv(t)
+	ref, err := Reference(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := ref["sink"]
+	preds := 0
+	types := map[string]bool{}
+	for _, e := range sink {
+		if e.IsMarker {
+			continue
+		}
+		types[e.Key.(string)] = true
+		v := e.Value.(VT)
+		if v.Value <= 0 {
+			t.Fatalf("non-positive power prediction %v", v)
+		}
+		preds++
+	}
+	if preds == 0 {
+		t.Fatal("no predictions emitted")
+	}
+	if types["tv"] {
+		t.Fatal("filtered device type leaked through JFM")
+	}
+	if len(types) < 3 {
+		t.Fatalf("predictions for only %d device types", len(types))
+	}
+}
+
+// TestDeploymentEquivalence is Figure 5's correctness claim: the
+// parallel deployments of the pipeline produce the reference trace.
+func TestDeploymentEquivalence(t *testing.T) {
+	env := testEnv(t)
+	ref, err := Reference(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 3} {
+		res, err := Run(env, par, 3)
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		if !stream.Equivalent(SinkType(), res.Sinks["sink"], ref["sink"]) {
+			t.Fatalf("par %d: deployed output differs from reference (%d vs %d events)",
+				par, len(res.Sinks["sink"]), len(ref["sink"]))
+		}
+	}
+}
+
+func TestLinearInterpolationFillsGaps(t *testing.T) {
+	// Feed LI directly: measurements at ts 0 and 4 must produce points
+	// at 1, 2, 3, 4 with linearly interpolated values.
+	li := liOp()
+	key := workload.PlugKey{Building: 0, Unit: 0, Plug: 0}
+	in := []stream.Event{
+		stream.Item(key, VT{Value: 10, TS: 0}),
+		stream.Item(key, VT{Value: 18, TS: 4}),
+	}
+	inst := li.New()
+	var out []stream.Event
+	for _, e := range in {
+		inst.Next(e, func(e stream.Event) { out = append(out, e) })
+	}
+	want := []VT{{10, 0}, {12, 1}, {14, 2}, {16, 3}, {18, 4}}
+	if len(out) != len(want) {
+		t.Fatalf("got %d outputs, want %d: %v", len(out), len(want), out)
+	}
+	for i, e := range out {
+		v := e.Value.(VT)
+		if v != want[i] {
+			t.Fatalf("output %d = %+v, want %+v", i, v, want[i])
+		}
+	}
+}
+
+func TestLinearInterpolationDropsDuplicates(t *testing.T) {
+	li := liOp()
+	key := workload.PlugKey{}
+	inst := li.New()
+	var out []stream.Event
+	emit := func(e stream.Event) { out = append(out, e) }
+	inst.Next(stream.Item(key, VT{Value: 10, TS: 0}), emit)
+	inst.Next(stream.Item(key, VT{Value: 11, TS: 0}), emit) // duplicate ts
+	inst.Next(stream.Item(key, VT{Value: 13, TS: 1}), emit)
+	// First item emits itself; duplicate emits nothing but becomes the
+	// state; the ts=1 item interpolates from 11 → 13 over dt=1.
+	if len(out) != 2 {
+		t.Fatalf("got %d outputs: %v", len(out), out)
+	}
+	if v := out[1].Value.(VT); v != (VT{Value: 13, TS: 1}) {
+		t.Fatalf("second output %+v", v)
+	}
+}
+
+func TestAvgGroupsByTimestamp(t *testing.T) {
+	avg := avgOp()
+	inst := avg.New()
+	var out []stream.Event
+	emit := func(e stream.Event) { out = append(out, e) }
+	inst.Next(stream.Item("ac", VT{Value: 10, TS: 5}), emit)
+	inst.Next(stream.Item("ac", VT{Value: 20, TS: 5}), emit)
+	inst.Next(stream.Item("ac", VT{Value: 7, TS: 6}), emit)
+	inst.Next(stream.Mark(stream.Marker{Seq: 0, Timestamp: 10}), emit)
+	if len(out) != 3 { // avg(5), avg(6), marker
+		t.Fatalf("got %v", out)
+	}
+	if v := out[0].Value.(VT); v != (VT{Value: 15, TS: 5}) {
+		t.Fatalf("avg at ts 5 = %+v", v)
+	}
+	if v := out[1].Value.(VT); v != (VT{Value: 7, TS: 6}) {
+		t.Fatalf("avg at ts 6 = %+v", v)
+	}
+	if !out[2].IsMarker {
+		t.Fatal("marker not forwarded after flush")
+	}
+}
+
+func TestPredictionAccuracy(t *testing.T) {
+	// With modest noise the REPTree should track the ground-truth
+	// curves well: mean absolute percentage error under 15%.
+	env := testEnv(t)
+	ref, err := Reference(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape, n, err := PredictionError(env, ref["sink"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 50 {
+		t.Fatalf("only %d predictions scored", n)
+	}
+	if mape > 0.15 {
+		t.Fatalf("MAPE = %.3f, want ≤ 0.15", mape)
+	}
+}
+
+func TestPredictionErrorOnEmptySink(t *testing.T) {
+	env := testEnv(t)
+	if _, _, err := PredictionError(env, nil); err == nil {
+		t.Fatal("empty sink must error")
+	}
+}
+
+func TestKeepFilterCustomSet(t *testing.T) {
+	cfg := workload.DefaultSmartHomeConfig()
+	cfg.Buildings = 2
+	cfg.UnitsPerBuilding = 2
+	cfg.PlugsPerUnit = 2
+	cfg.Seconds = 30
+	env, err := NewEnv(cfg, []string{"ac"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ref["sink"] {
+		if !e.IsMarker && e.Key.(string) != "ac" {
+			t.Fatalf("unexpected device type %v", e.Key)
+		}
+	}
+}

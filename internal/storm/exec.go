@@ -1,0 +1,374 @@
+package storm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+// message is one unit on an executor's inbox: an event tagged with
+// the receiver-side input channel it arrived on, or an end-of-stream
+// notice for that channel.
+type message struct {
+	ch  int
+	ev  stream.Event
+	eos bool
+}
+
+const defaultChannelCap = 1024
+
+// Result is the outcome of running a topology to completion.
+type Result struct {
+	// Sinks maps each sink component's name to the event sequence it
+	// collected (a representative of the output data trace).
+	Sinks map[string][]stream.Event
+	// Stats holds per-instance execution metrics for throughput and
+	// scaling analysis.
+	Stats *metrics.Stats
+	// Wall is the real elapsed time of the run.
+	Wall time.Duration
+}
+
+// subscription is a resolved outgoing edge of a component.
+type subscription struct {
+	to       *runtimeComponent
+	grouping Grouping
+	// chBase is the receiver-side channel index of the sender's
+	// instance 0 for this edge; instance k uses chBase + k.
+	chBase int
+}
+
+// runtimeComponent is a component with resolved wiring.
+type runtimeComponent struct {
+	*component
+	inboxes           []chan message
+	subs              []subscription
+	nChannels         int // receiver-side input channel count
+	aligned           bool
+	serializerFactory func() Serializer
+	// workerOf[i] is the worker hosting instance i (-1: no placement,
+	// every serialized send pays the wire format).
+	workerOf []int
+	sinkMu   sync.Mutex
+	sinkOut  []stream.Event
+}
+
+// Run executes the topology to completion: every spout is drained,
+// end-of-stream propagates through the DAG, and all executors exit.
+// It returns the sinks' collected streams and execution statistics.
+func (t *Topology) Run() (*Result, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	cap := t.ChannelCap
+	if cap <= 0 {
+		cap = defaultChannelCap
+	}
+	hash := t.hash
+	if hash == nil {
+		hash = stream.DefaultHash
+	}
+
+	// Resolve components and receiver channel layouts.
+	rts := make(map[string]*runtimeComponent, len(t.order))
+	for _, name := range t.order {
+		c := t.components[name]
+		rc := &runtimeComponent{component: c}
+		rc.inboxes = make([]chan message, c.parallelism)
+		for i := range rc.inboxes {
+			rc.inboxes[i] = make(chan message, cap)
+		}
+		offset := 0
+		for _, in := range c.inputs {
+			offset += t.components[in.from].parallelism
+			if in.aligned {
+				rc.aligned = true
+			}
+		}
+		rc.nChannels = offset
+		rc.serializerFactory = t.serializer
+		rc.workerOf = make([]int, c.parallelism)
+		for i := range rc.workerOf {
+			rc.workerOf[i] = -1
+		}
+		rts[name] = rc
+	}
+	if t.workers > 0 {
+		// Round-robin executor placement in declaration order.
+		gi := 0
+		for _, name := range t.order {
+			rc := rts[name]
+			for i := range rc.workerOf {
+				rc.workerOf[i] = gi % t.workers
+				gi++
+			}
+		}
+	}
+	// Resolve senders' subscription tables.
+	for _, name := range t.order {
+		rc := rts[name]
+		offset := 0
+		for _, in := range rc.inputs {
+			src := rts[in.from]
+			src.subs = append(src.subs, subscription{to: rc, grouping: in.grouping, chBase: offset})
+			offset += src.parallelism
+		}
+	}
+
+	stats := metrics.NewStats()
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failures []error
+	start := time.Now()
+	for _, name := range t.order {
+		rc := rts[name]
+		for i := 0; i < rc.parallelism; i++ {
+			wg.Add(1)
+			is := stats.Instance(rc.name, i)
+			go func(rc *runtimeComponent, i int) {
+				defer wg.Done()
+				var err error
+				if rc.spout != nil {
+					err = runSpout(rc, i, is, hash)
+				} else {
+					err = runBolt(rc, i, is, hash)
+				}
+				if err != nil {
+					failMu.Lock()
+					failures = append(failures, err)
+					failMu.Unlock()
+				}
+			}(rc, i)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	stats.Normalize(wall)
+	res := &Result{Sinks: map[string][]stream.Event{}, Stats: stats, Wall: wall}
+	for _, name := range t.order {
+		rc := rts[name]
+		if rc.isSink {
+			res.Sinks[rc.name] = rc.sinkOut
+		}
+	}
+	if len(failures) > 0 {
+		msgs := make([]string, len(failures))
+		for i, f := range failures {
+			msgs[i] = f.Error()
+		}
+		return res, fmt.Errorf("storm: topology failed: %s", strings.Join(msgs, "; "))
+	}
+	return res, nil
+}
+
+// emitter routes one sender instance's output events to subscribers.
+type emitter struct {
+	rc       *runtimeComponent
+	instance int
+	hash     func(any) int
+	// rrNext is the per-subscription round-robin cursor.
+	rrNext []int
+	stats  *metrics.InstanceStats
+	// ser, when set, round-trips emitted events through the wire
+	// encoding (per send; skipped for same-worker destinations when
+	// placement is set).
+	ser Serializer
+	// worker is this executor's worker, or -1 without placement.
+	worker int
+}
+
+func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) *emitter {
+	em := &emitter{rc: rc, instance: instance, hash: hash, rrNext: make([]int, len(rc.subs)), stats: is, worker: rc.workerOf[instance]}
+	if rc.serializerFactory != nil && len(rc.subs) > 0 {
+		em.ser = rc.serializerFactory()
+	}
+	return em
+}
+
+// send delivers one event to a consumer instance, paying the wire
+// format when the hop crosses a worker boundary (or unconditionally
+// when no placement is configured).
+func (em *emitter) send(sub *subscription, target int, ch int, e stream.Event) {
+	if em.ser != nil && (em.worker < 0 || em.worker != sub.to.workerOf[target]) {
+		roundTripped, err := em.ser.RoundTrip(e)
+		if err != nil {
+			panic(err) // converted to an executor failure by guard
+		}
+		e = roundTripped
+	}
+	sub.to.inboxes[target] <- message{ch: ch, ev: e}
+}
+
+func (em *emitter) emit(e stream.Event) {
+	em.stats.Emitted++
+	for si := range em.rc.subs {
+		sub := &em.rc.subs[si]
+		ch := sub.chBase + em.instance
+		if e.IsMarker {
+			// Markers are always broadcast so they reach every
+			// consumer instance and can act as punctuations.
+			for k := range sub.to.inboxes {
+				em.send(sub, k, ch, e)
+			}
+			continue
+		}
+		switch sub.grouping {
+		case Shuffle:
+			k := em.rrNext[si]
+			em.rrNext[si] = (k + 1) % len(sub.to.inboxes)
+			em.send(sub, k, ch, e)
+		case Fields:
+			em.send(sub, em.hash(e.Key)%len(sub.to.inboxes), ch, e)
+		case Global:
+			em.send(sub, 0, ch, e)
+		case Broadcast:
+			for k := range sub.to.inboxes {
+				em.send(sub, k, ch, e)
+			}
+		}
+	}
+}
+
+// eos notifies every downstream instance that this sender instance's
+// channel has ended.
+func (em *emitter) eos() {
+	for si := range em.rc.subs {
+		sub := &em.rc.subs[si]
+		ch := sub.chBase + em.instance
+		for _, inbox := range sub.to.inboxes {
+			inbox <- message{ch: ch, eos: true}
+		}
+	}
+}
+
+// guard runs fn, converting a panic into an error so the topology can
+// shut down cleanly (the failed executor stops processing but still
+// participates in end-of-stream propagation).
+func guard(component string, instance int, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("storm: executor %s[%d] panicked: %v", component, instance, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) error {
+	em := newEmitter(rc, instance, is, hash)
+	err := guard(rc.name, instance, func() {
+		spout := rc.spout(instance)
+		for {
+			t0 := time.Now()
+			e, ok := spout.Next()
+			if !ok {
+				is.Busy += time.Since(t0)
+				break
+			}
+			is.Executed++
+			em.emit(e)
+			is.Busy += time.Since(t0)
+		}
+	})
+	em.eos()
+	return err
+}
+
+func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) error {
+	em := newEmitter(rc, instance, is, hash)
+	var bolt Bolt
+	if rc.isSink {
+		bolt = BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			rc.sinkMu.Lock()
+			rc.sinkOut = append(rc.sinkOut, e)
+			rc.sinkMu.Unlock()
+		})
+	} else {
+		bolt = rc.bolt(instance)
+	}
+
+	var merge *stream.MergeState
+	if rc.aligned {
+		merge = stream.NewMergeState(rc.nChannels)
+	}
+	emitFn := em.emit // one method-value closure per executor, not per event
+	deliver := func(e stream.Event) {
+		is.Executed++
+		bolt.Next(e, emitFn)
+	}
+	chBolt, chAware := bolt.(ChannelBolt)
+	eosLeft := rc.nChannels
+	inbox := rc.inboxes[instance]
+	var err error
+	for eosLeft > 0 {
+		m := <-inbox
+		if m.eos {
+			eosLeft--
+			continue
+		}
+		if err != nil {
+			continue // failed executor keeps draining to its EOS
+		}
+		err = guard(rc.name, instance, func() {
+			t0 := time.Now()
+			switch {
+			case merge != nil:
+				merge.Next(m.ch, m.ev, deliver)
+			case chAware:
+				is.Executed++
+				chBolt.NextFrom(m.ch, m.ev, emitFn)
+			default:
+				deliver(m.ev)
+			}
+			is.Busy += time.Since(t0)
+		})
+	}
+	if err == nil {
+		err = guard(rc.name, instance, func() {
+			t0 := time.Now()
+			if merge != nil {
+				// Items of the final incomplete block (after the last
+				// marker on every channel) are delivered unaligned at
+				// shutdown.
+				for _, e := range merge.Trailing() {
+					deliver(e)
+				}
+			}
+			if f, ok := bolt.(Flusher); ok {
+				f.Flush(emitFn)
+			}
+			is.Busy += time.Since(t0)
+		})
+	}
+	em.eos()
+	return err
+}
+
+// String renders the topology's structure for debugging.
+func (t *Topology) String() string {
+	s := fmt.Sprintf("topology %s:\n", t.name)
+	for _, name := range t.order {
+		c := t.components[name]
+		kind := "bolt"
+		if c.spout != nil {
+			kind = "spout"
+		}
+		if c.isSink {
+			kind = "sink"
+		}
+		s += fmt.Sprintf("  %s %s ×%d", kind, name, c.parallelism)
+		for _, in := range c.inputs {
+			al := ""
+			if in.aligned {
+				al = ",aligned"
+			}
+			s += fmt.Sprintf(" ← %s(%s%s)", in.from, in.grouping, al)
+		}
+		s += "\n"
+	}
+	return s
+}

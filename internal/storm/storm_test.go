@@ -1,0 +1,506 @@
+package storm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+func mk(seq, ts int64) stream.Event { return stream.Mark(stream.Marker{Seq: seq, Timestamp: ts}) }
+
+// testStream builds k blocks of items 0..n-1 with keys mod keys.
+func testStream(blocks, perBlock, keys int) []stream.Event {
+	var out []stream.Event
+	v := 0
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < perBlock; i++ {
+			out = append(out, stream.Item(v%keys, v))
+			v++
+		}
+		out = append(out, mk(int64(b), int64(10*(b+1))))
+	}
+	return out
+}
+
+func identityBolt(int) Bolt {
+	return BoltFunc(func(e stream.Event, emit func(stream.Event)) { emit(e) })
+}
+
+func TestLinearPipelineDeliversEverything(t *testing.T) {
+	in := testStream(3, 5, 2)
+	top := NewTopology("linear")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("id", 1, identityBolt).ShuffleGrouping("src", true)
+	top.AddSink("sink", "id")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], in) {
+		t.Fatalf("sink stream differs:\n in  %s\n out %s", stream.Render(in), stream.Render(res.Sinks["sink"]))
+	}
+}
+
+func TestParallelStatelessPreservesTrace(t *testing.T) {
+	in := testStream(4, 20, 5)
+	for par := 2; par <= 4; par++ {
+		top := NewTopology("par")
+		top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+		top.AddBolt("id", par, identityBolt).ShuffleGrouping("src", true)
+		top.AddSink("sink", "id")
+		res, err := top.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], in) {
+			t.Fatalf("parallelism %d: trace changed:\n in  %s\n out %s",
+				par, stream.Render(in), stream.Render(res.Sinks["sink"]))
+		}
+	}
+}
+
+func TestFieldsGroupingRoutesByKey(t *testing.T) {
+	in := testStream(2, 12, 4)
+	var mu sync.Mutex
+	seen := map[int]map[any]bool{} // instance -> keys
+	top := NewTopology("fields")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("tap", 3, func(inst int) Bolt {
+		return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			if !e.IsMarker {
+				mu.Lock()
+				if seen[inst] == nil {
+					seen[inst] = map[any]bool{}
+				}
+				seen[inst][e.Key] = true
+				mu.Unlock()
+			}
+			emit(e)
+		})
+	}).FieldsGrouping("src", true)
+	top.AddSink("sink", "tap")
+	if _, err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// No key may appear at two instances.
+	owner := map[any]int{}
+	for inst, keys := range seen {
+		for k := range keys {
+			if prev, ok := owner[k]; ok && prev != inst {
+				t.Fatalf("key %v processed by instances %d and %d", k, prev, inst)
+			}
+			owner[k] = inst
+		}
+	}
+}
+
+func TestMarkersBroadcastToAllInstances(t *testing.T) {
+	in := testStream(3, 4, 2)
+	var mu sync.Mutex
+	markerCount := map[int]int{}
+	top := NewTopology("markers")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("tap", 3, func(inst int) Bolt {
+		return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				mu.Lock()
+				markerCount[inst]++
+				mu.Unlock()
+			}
+		})
+	}).ShuffleGrouping("src", true)
+	top.AddSink("sink", "tap")
+	if _, err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for inst := 0; inst < 3; inst++ {
+		if markerCount[inst] != 3 {
+			t.Fatalf("instance %d saw %d markers, want 3", inst, markerCount[inst])
+		}
+	}
+}
+
+func TestAlignedSinkHasOneMarkerPerBlock(t *testing.T) {
+	in := testStream(3, 6, 3)
+	top := NewTopology("align")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("id", 4, identityBolt).ShuffleGrouping("src", true)
+	top.AddSink("sink", "id")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := 0
+	for _, e := range res.Sinks["sink"] {
+		if e.IsMarker {
+			markers++
+		}
+	}
+	if markers != 3 {
+		t.Fatalf("aligned sink saw %d markers, want 3 (one per block):\n%s",
+			markers, stream.Render(res.Sinks["sink"]))
+	}
+}
+
+func TestRawEdgeDeliversDuplicateMarkers(t *testing.T) {
+	// Without alignment (a handcrafted topology), a consumer fed by 2
+	// upstream instances sees each marker twice — the raw Storm
+	// behaviour hand-written code must compensate for.
+	in := testStream(2, 4, 2)
+	top := NewTopology("raw")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("id", 2, identityBolt).ShuffleGrouping("src", true)
+	var mu sync.Mutex
+	markers := 0
+	top.AddBolt("tap", 1, func(int) Bolt {
+		return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			if e.IsMarker {
+				mu.Lock()
+				markers++
+				mu.Unlock()
+			}
+		})
+	}).GlobalGrouping("id", false)
+	top.AddSink("sink", "tap")
+	if _, err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if markers != 4 {
+		t.Fatalf("raw consumer saw %d markers, want 4 (2 blocks × 2 instances)", markers)
+	}
+}
+
+func TestBroadcastGrouping(t *testing.T) {
+	in := testStream(1, 5, 2)
+	var mu sync.Mutex
+	counts := map[int]int{}
+	top := NewTopology("bcast")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("tap", 3, func(inst int) Bolt {
+		return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			if !e.IsMarker {
+				mu.Lock()
+				counts[inst]++
+				mu.Unlock()
+			}
+		})
+	}).BroadcastGrouping("src", true)
+	top.AddSink("sink", "tap")
+	if _, err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for inst := 0; inst < 3; inst++ {
+		if counts[inst] != 5 {
+			t.Fatalf("instance %d saw %d items, want 5", inst, counts[inst])
+		}
+	}
+}
+
+func TestMultiSpoutAlignment(t *testing.T) {
+	a := []stream.Event{stream.Item(1, 1), mk(0, 10), stream.Item(1, 2), mk(1, 20)}
+	b := []stream.Event{stream.Item(2, 9), mk(0, 10), stream.Item(2, 8), mk(1, 20)}
+	top := NewTopology("twosrc")
+	top.AddSpout("a", 1, func(int) Spout { return SliceSpout(a) })
+	top.AddSpout("b", 1, func(int) Spout { return SliceSpout(b) })
+	top.AddBolt("id", 1, identityBolt).
+		ShuffleGrouping("a", true).
+		ShuffleGrouping("b", true)
+	top.AddSink("sink", "id")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Event{
+		stream.Item(1, 1), stream.Item(2, 9), mk(0, 10),
+		stream.Item(1, 2), stream.Item(2, 8), mk(1, 20),
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], want) {
+		t.Fatalf("got %s want %s", stream.Render(res.Sinks["sink"]), stream.Render(want))
+	}
+}
+
+func TestFlusherRunsAtShutdown(t *testing.T) {
+	flushed := false
+	top := NewTopology("flush")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(testStream(1, 2, 1)) })
+	top.AddBolt("f", 1, func(int) Bolt { return &flushBolt{done: &flushed} }).ShuffleGrouping("src", true)
+	top.AddSink("sink", "f")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flushed {
+		t.Fatal("Flush was not called")
+	}
+	// The flush emission must reach the sink.
+	found := false
+	for _, e := range res.Sinks["sink"] {
+		if !e.IsMarker && e.Key == "flush" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flush emission lost")
+	}
+}
+
+type flushBolt struct{ done *bool }
+
+func (f *flushBolt) Next(e stream.Event, emit func(stream.Event)) {}
+func (f *flushBolt) Flush(emit func(stream.Event)) {
+	*f.done = true
+	emit(stream.Item("flush", 1))
+}
+
+func TestStatsCounters(t *testing.T) {
+	in := testStream(2, 10, 3)
+	top := NewTopology("stats")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("id", 2, identityBolt).ShuffleGrouping("src", true)
+	top.AddSink("sink", "id")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcExec, srcEmit := res.Stats.Component("src")
+	if srcExec != int64(len(in)) || srcEmit != int64(len(in)) {
+		t.Fatalf("src executed/emitted = %d/%d, want %d", srcExec, srcEmit, len(in))
+	}
+	idExec, _ := res.Stats.Component("id")
+	// 20 items + 2 markers × 2 instances (markers broadcast).
+	if idExec != 24 {
+		t.Fatalf("id executed = %d, want 24", idExec)
+	}
+	if res.Stats.TotalBusy() <= 0 {
+		t.Fatal("busy time not recorded")
+	}
+	if !strings.Contains(res.Stats.String(), "id") {
+		t.Fatal("stats table missing component")
+	}
+}
+
+func TestMakespanScaling(t *testing.T) {
+	s := metrics.NewStats()
+	for i := 0; i < 4; i++ {
+		is := s.Instance("c", i)
+		is.Busy = time.Second
+	}
+	if got := s.Makespan(1); got != 4*time.Second {
+		t.Fatalf("makespan(1) = %v", got)
+	}
+	if got := s.Makespan(2); got != 2*time.Second {
+		t.Fatalf("makespan(2) = %v", got)
+	}
+	if got := s.Makespan(4); got != time.Second {
+		t.Fatalf("makespan(4) = %v", got)
+	}
+	if got := s.Makespan(8); got != time.Second {
+		t.Fatalf("makespan(8) = %v (cannot beat one instance)", got)
+	}
+	if tp := s.Throughput(4000, 4); tp < 3900 || tp > 4100 {
+		t.Fatalf("throughput = %v, want ≈4000", tp)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Topology
+		want  string
+	}{
+		{"unknown input", func() *Topology {
+			top := NewTopology("x")
+			top.AddBolt("b", 1, identityBolt).ShuffleGrouping("ghost", false)
+			return top
+		}, "unknown component"},
+		{"no inputs", func() *Topology {
+			top := NewTopology("x")
+			top.AddBolt("b", 1, identityBolt)
+			return top
+		}, "no inputs"},
+		{"mixed alignment", func() *Topology {
+			top := NewTopology("x")
+			top.AddSpout("s1", 1, func(int) Spout { return SliceSpout(nil) })
+			top.AddSpout("s2", 1, func(int) Spout { return SliceSpout(nil) })
+			top.AddBolt("b", 1, identityBolt).
+				ShuffleGrouping("s1", true).
+				ShuffleGrouping("s2", false)
+			return top
+		}, "mixes aligned and raw"},
+		{"subscribing to sink", func() *Topology {
+			top := NewTopology("x")
+			top.AddSpout("s", 1, func(int) Spout { return SliceSpout(nil) })
+			top.AddSink("k", "s")
+			top.AddBolt("b", 1, identityBolt).ShuffleGrouping("k", false)
+			return top
+		}, "subscribes to sink"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Run()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate component must panic")
+		}
+	}()
+	top := NewTopology("x")
+	top.AddSpout("s", 1, func(int) Spout { return SliceSpout(nil) })
+	top.AddSpout("s", 1, func(int) Spout { return SliceSpout(nil) })
+}
+
+func TestTopologyString(t *testing.T) {
+	top := NewTopology("demo")
+	top.AddSpout("src", 2, func(int) Spout { return SliceSpout(nil) })
+	top.AddBolt("b", 3, identityBolt).FieldsGrouping("src", true)
+	top.AddSink("k", "b")
+	s := top.String()
+	for _, want := range []string{"spout src ×2", "bolt b ×3", "fields,aligned", "sink k"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("topology string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBackpressureSmallChannels(t *testing.T) {
+	// A tiny channel capacity must not deadlock the pipeline.
+	in := testStream(5, 50, 4)
+	top := NewTopology("bp")
+	top.ChannelCap = 1
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("a", 2, identityBolt).ShuffleGrouping("src", true)
+	top.AddBolt("b", 3, identityBolt).FieldsGrouping("a", true)
+	top.AddSink("sink", "b")
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = top.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock with small channel capacity")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], in) {
+		t.Fatal("backpressured run changed the trace")
+	}
+}
+
+// --- failure injection -------------------------------------------------------
+
+type panicBolt struct{ after int }
+
+func (p *panicBolt) Next(e stream.Event, emit func(stream.Event)) {
+	if !e.IsMarker {
+		p.after--
+		if p.after < 0 {
+			panic("injected bolt failure")
+		}
+	}
+	emit(e)
+}
+
+func TestBoltPanicIsReportedNotFatal(t *testing.T) {
+	in := testStream(4, 20, 3)
+	top := NewTopology("crash")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("bad", 2, func(int) Bolt { return &panicBolt{after: 5} }).ShuffleGrouping("src", true)
+	top.AddSink("sink", "bad")
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = top.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("topology deadlocked after bolt panic")
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected bolt failure") {
+		t.Fatalf("expected the panic to surface as an error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad[") {
+		t.Fatalf("error must name the failing executor: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must still be returned")
+	}
+}
+
+type panicSpout struct{ n int }
+
+func (p *panicSpout) Next() (stream.Event, bool) {
+	p.n--
+	if p.n < 0 {
+		panic("injected spout failure")
+	}
+	return stream.Item(1, p.n), true
+}
+
+func TestSpoutPanicIsReportedNotFatal(t *testing.T) {
+	top := NewTopology("crash-spout")
+	top.AddSpout("src", 1, func(int) Spout { return &panicSpout{n: 10} })
+	top.AddBolt("id", 2, identityBolt).ShuffleGrouping("src", true)
+	top.AddSink("sink", "id")
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = top.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("topology deadlocked after spout panic")
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected spout failure") {
+		t.Fatalf("expected the panic to surface as an error, got %v", err)
+	}
+}
+
+func TestHealthyComponentsDrainAfterFailure(t *testing.T) {
+	// One of two parallel bolt instances fails immediately; the other
+	// must still process its share and the topology must terminate
+	// with the survivor's output at the sink.
+	in := testStream(2, 10, 2)
+	top := NewTopology("partial")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("mixed", 2, func(inst int) Bolt {
+		if inst == 0 {
+			return &panicBolt{after: 0}
+		}
+		return identityBolt(inst)
+	}).ShuffleGrouping("src", true)
+	top.AddSink("sink", "mixed")
+	res, err := top.Run()
+	if err == nil {
+		t.Fatal("failure must be reported")
+	}
+	items := 0
+	for _, e := range res.Sinks["sink"] {
+		if !e.IsMarker {
+			items++
+		}
+	}
+	if items == 0 {
+		t.Fatal("survivor instance produced no output")
+	}
+}

@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"testing"
+)
+
+// decodeEvents turns fuzz bytes into an event stream: low bits choose
+// the key, every fifth byte is a marker.
+func decodeEvents(data []byte) []Event {
+	if len(data) > 40 {
+		data = data[:40]
+	}
+	var out []Event
+	seq := int64(0)
+	for _, b := range data {
+		if b%5 == 0 {
+			out = append(out, Mark(Marker{Seq: seq, Timestamp: seq * 10}))
+			seq++
+		} else {
+			out = append(out, Item(int(b%4), int(b)))
+		}
+	}
+	return out
+}
+
+// FuzzSplitMergeIdentity fuzzes the splitter law SPLIT ≫ MRG = id for
+// both splitters at several widths.
+func FuzzSplitMergeIdentity(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 4, 0}, uint8(2))
+	f.Add([]byte{0, 0}, uint8(3))
+	f.Add([]byte{7, 7, 7, 0, 9, 9, 0, 1}, uint8(4))
+	typ := U("Int", "Int")
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		n := int(width%4) + 1
+		in := decodeEvents(data)
+		rr := MergeEvents(SplitRoundRobin(in, n)...)
+		if !Equivalent(typ, rr, in) {
+			t.Fatalf("RR%d ≫ MRG ≠ id on %s: got %s", n, Render(in), Render(rr))
+		}
+		hs := MergeEvents(SplitHash(in, n, nil)...)
+		if !Equivalent(typ, hs, in) {
+			t.Fatalf("HASH%d ≫ MRG ≠ id on %s: got %s", n, Render(in), Render(hs))
+		}
+		// The ordered reading must also survive the hash path.
+		if !Equivalent(O("Int", "Int"), hs, in) {
+			t.Fatalf("HASH%d broke per-key order on %s", n, Render(in))
+		}
+	})
+}
+
+// FuzzMergePreservesMarkers fuzzes marker structure through merges of
+// arbitrarily split streams: one marker per block, sequence numbers
+// preserved from the source.
+func FuzzMergePreservesMarkers(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := decodeEvents(data)
+		merged := MergeEvents(SplitHash(in, 3, nil)...)
+		var inSeqs, outSeqs []int64
+		for _, e := range in {
+			if e.IsMarker {
+				inSeqs = append(inSeqs, e.Marker.Seq)
+			}
+		}
+		for _, e := range merged {
+			if e.IsMarker {
+				outSeqs = append(outSeqs, e.Marker.Seq)
+			}
+		}
+		if len(inSeqs) != len(outSeqs) {
+			t.Fatalf("marker count changed: %v vs %v", inSeqs, outSeqs)
+		}
+		for i := range inSeqs {
+			if inSeqs[i] != outSeqs[i] {
+				t.Fatalf("marker sequence changed: %v vs %v", inSeqs, outSeqs)
+			}
+		}
+	})
+}

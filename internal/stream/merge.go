@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// DefaultHash is the key-hash used by HASH splitters and fields
+// groupings when the caller does not supply one: FNV-1a over the
+// rendered key. Any deterministic hash preserves semantics (Theorem
+// 4.3); this one is stable across runs so experiments are
+// reproducible.
+func DefaultHash(key any) int {
+	h := fnv.New32a()
+	fmt.Fprint(h, key)
+	return int(h.Sum32() & 0x7fffffff)
+}
+
+// ---------------------------------------------------------------------------
+// MRG, RR and HASH: the multi-channel glue elements. These operate on
+// boxed events because the evaluator and the compiler use them between
+// arbitrary operators.
+// ---------------------------------------------------------------------------
+
+// MergeState is the streaming implementation of MRG: it combines n
+// input channels into one by aligning them on synchronization
+// markers. Each channel's items are collected into blocks delimited
+// by markers; when every channel has closed its block i, the blocks
+// are flushed (concatenated — sound because corresponding blocks are
+// unordered across channels) followed by the single merged marker i.
+type MergeState struct {
+	n       int
+	emitted int64 // markers emitted downstream
+	queued  [][]mergeBlock
+	open    [][]Event
+}
+
+type mergeBlock struct {
+	items []Event
+	mark  Marker
+}
+
+// NewMergeState creates a merger over n input channels.
+func NewMergeState(n int) *MergeState {
+	return &MergeState{n: n, queued: make([][]mergeBlock, n), open: make([][]Event, n)}
+}
+
+// Next consumes one event from channel ch and emits any output events
+// that become ready.
+func (m *MergeState) Next(ch int, e Event, emit func(Event)) {
+	if ch < 0 || ch >= m.n {
+		panic(fmt.Sprintf("merge: channel %d out of range [0,%d)", ch, m.n))
+	}
+	if !e.IsMarker {
+		m.open[ch] = append(m.open[ch], e)
+		return
+	}
+	m.queued[ch] = append(m.queued[ch], mergeBlock{items: m.open[ch], mark: e.Marker})
+	m.open[ch] = nil
+	m.advance(emit)
+}
+
+// advance flushes complete frontier blocks. Because every output
+// marker flushes exactly one block from every channel, the head of
+// each queue always has block index m.emitted. The merged marker
+// keeps the source markers' sequence number (all channels carry the
+// same one for corresponding blocks), so marker identity survives
+// arbitrary split/merge compositions.
+func (m *MergeState) advance(emit func(Event)) {
+	for {
+		for _, q := range m.queued {
+			if len(q) == 0 {
+				return
+			}
+		}
+		mark := m.queued[0][0].mark
+		for ch := range m.queued {
+			b := m.queued[ch][0]
+			m.queued[ch] = m.queued[ch][1:]
+			for _, it := range b.items {
+				emit(it)
+			}
+			if b.mark.Timestamp > mark.Timestamp {
+				mark = b.mark
+			}
+		}
+		emit(Mark(mark))
+		m.emitted++
+	}
+}
+
+// Trailing returns every item still buffered at end-of-stream: the
+// items of blocks that closed on some channels but never completed on
+// all of them (possible when an upstream fails or channels carry
+// unequal marker counts), followed by each channel's final open
+// block. The markers of incomplete blocks are not synthesized.
+func (m *MergeState) Trailing() []Event {
+	var out []Event
+	for ch := range m.queued {
+		for _, b := range m.queued[ch] {
+			out = append(out, b.items...)
+		}
+	}
+	for _, open := range m.open {
+		out = append(out, open...)
+	}
+	return out
+}
+
+// MergeEvents merges complete event sequences (batch form of MRG):
+// block i of the output is the concatenation of block i of every
+// input, followed by one marker. Trailing items after a channel's
+// last marker are appended after the last common marker.
+func MergeEvents(inputs ...[]Event) []Event {
+	if len(inputs) == 1 {
+		return append([]Event(nil), inputs[0]...)
+	}
+	m := NewMergeState(len(inputs))
+	var out []Event
+	emit := func(e Event) { out = append(out, e) }
+	idx := make([]int, len(inputs))
+	// Feed channels round-robin so block buffering is exercised
+	// deterministically; any feeding order yields an equivalent trace.
+	for {
+		progressed := false
+		for ch, in := range inputs {
+			if idx[ch] < len(in) {
+				m.Next(ch, in[idx[ch]], emit)
+				idx[ch]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Trailing items of the incomplete final block.
+	out = append(out, m.Trailing()...)
+	return out
+}
+
+// SplitRoundRobin is the RR splitter: it distributes items cyclically
+// over n output channels and broadcasts every marker to all channels.
+// RR is a splitter in the paper's sense: RR ≫ MRG is the identity
+// transduction on U(K,V).
+func SplitRoundRobin(input []Event, n int) [][]Event {
+	out := make([][]Event, n)
+	next := 0
+	for _, e := range input {
+		if e.IsMarker {
+			for ch := range out {
+				out[ch] = append(out[ch], e)
+			}
+			continue
+		}
+		out[next] = append(out[next], e)
+		next = (next + 1) % n
+	}
+	return out
+}
+
+// SplitHash is the HASH splitter: it routes the item (k,v) to channel
+// hash(k) mod n and broadcasts markers. HASH preserves per-key order,
+// so it is also a sound splitter for O(K,V).
+func SplitHash(input []Event, n int, hash func(any) int) [][]Event {
+	if hash == nil {
+		hash = DefaultHash
+	}
+	out := make([][]Event, n)
+	for _, e := range input {
+		if e.IsMarker {
+			for ch := range out {
+				out[ch] = append(out[ch], e)
+			}
+			continue
+		}
+		ch := hash(e.Key) % n
+		out[ch] = append(out[ch], e)
+	}
+	return out
+}

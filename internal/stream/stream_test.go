@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	if got := U("ID", "V").String(); got != "U(ID,V)" {
+		t.Errorf("got %q", got)
+	}
+	if got := O("CID", "Long").String(); got != "O(CID,Long)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := Item(3, "x").String(); got != "(3,x)" {
+		t.Errorf("got %q", got)
+	}
+	if got := Mark(Marker{Seq: 2, Timestamp: 30}).String(); got != "#2@30" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEquivalenceUnordered(t *testing.T) {
+	typ := U("K", "V")
+	a := []Event{Item(1, "a"), Item(2, "b"), Mark(Marker{Seq: 0}), Item(1, "c")}
+	b := []Event{Item(2, "b"), Item(1, "a"), Mark(Marker{Seq: 0}), Item(1, "c")}
+	if !Equivalent(typ, a, b) {
+		t.Error("items between markers must be unordered under U")
+	}
+	c := []Event{Item(1, "a"), Mark(Marker{Seq: 0}), Item(2, "b"), Item(1, "c")}
+	if Equivalent(typ, a, c) {
+		t.Error("items must not cross markers")
+	}
+}
+
+func TestEquivalenceOrdered(t *testing.T) {
+	typ := O("K", "V")
+	a := []Event{Item(1, "a1"), Item(2, "b1"), Item(1, "a2")}
+	b := []Event{Item(2, "b1"), Item(1, "a1"), Item(1, "a2")}
+	if !Equivalent(typ, a, b) {
+		t.Error("cross-key order must not matter under O")
+	}
+	c := []Event{Item(1, "a2"), Item(1, "a1"), Item(2, "b1")}
+	if Equivalent(typ, a, c) {
+		t.Error("per-key order must matter under O")
+	}
+	// The same reordering is fine under U.
+	if !Equivalent(U("K", "V"), a, c) {
+		t.Error("per-key order must not matter under U")
+	}
+}
+
+func TestMarkersAreLinearlyOrdered(t *testing.T) {
+	typ := U("K", "V")
+	a := []Event{Mark(Marker{Seq: 0}), Mark(Marker{Seq: 1})}
+	b := []Event{Mark(Marker{Seq: 1}), Mark(Marker{Seq: 0})}
+	if Equivalent(typ, a, b) {
+		t.Error("markers must be linearly ordered")
+	}
+}
+
+func TestPrefixOf(t *testing.T) {
+	typ := U("K", "V")
+	a := []Event{Item(2, "b")}
+	b := []Event{Item(1, "a"), Item(2, "b"), Mark(Marker{Seq: 0})}
+	if !PrefixOf(typ, a, b) {
+		t.Error("an unordered item before the marker is a trace prefix")
+	}
+	c := []Event{Mark(Marker{Seq: 0}), Item(3, "z")}
+	if PrefixOf(typ, []Event{Item(3, "z")}, c) {
+		t.Error("an item after the marker is not a prefix")
+	}
+}
+
+func TestItemTagDistinguishesKeys(t *testing.T) {
+	if ItemTag(1) == ItemTag(2) {
+		t.Error("different keys must get different tags")
+	}
+	if ItemTag("a") != ItemTag("a") {
+		t.Error("equal keys must get equal tags")
+	}
+}
+
+func TestRender(t *testing.T) {
+	got := Render([]Event{Item(1, 2), Mark(Marker{Seq: 0, Timestamp: 10})})
+	if got != "(1,2) #0@10" {
+		t.Errorf("got %q", got)
+	}
+}

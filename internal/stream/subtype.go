@@ -1,0 +1,22 @@
+package stream
+
+// Unit is the unit type Ut used for keys of streams that have no
+// meaningful key (e.g. the raw source streams in the paper's
+// figures, typed U(Ut, M)).
+type Unit struct{}
+
+// String renders the unit value as in the paper.
+func (Unit) String() string { return "Ut" }
+
+// AssignableTo reports whether a stream of type from may flow into an
+// input expecting type to. Types are assignable when they are equal,
+// or when from is the ordered refinement O(K,V) of to = U(K,V):
+// forgetting ordering constraints is always sound, since every trace
+// of O(K,V) determines a trace of U(K,V).
+func AssignableTo(from, to Type) bool {
+	if from == to {
+		return true
+	}
+	return from.Kind == Ordered && to.Kind == Unordered &&
+		from.Key == to.Key && from.Val == to.Val
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+)
+
+// decode turns fuzz bytes into an item sequence over the {M, #}
+// alphabet of Example 3.1.
+func decodeSeq(data []byte) []Item {
+	if len(data) > 24 {
+		data = data[:24]
+	}
+	out := make([]Item, 0, len(data))
+	for _, b := range data {
+		if b%5 == 0 {
+			out = append(out, It("#", nil))
+		} else {
+			out = append(out, It("M", int(b%7)))
+		}
+	}
+	return out
+}
+
+// FuzzNormalFormInvariants fuzzes the central trace-theory facts: the
+// normal form is an equivalent, idempotent canonical representative,
+// invariant under legal adjacent swaps; concatenation is congruent;
+// left division inverts concatenation.
+func FuzzNormalFormInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3}, []byte{4})
+	f.Add([]byte{0, 0, 0}, []byte{})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, []byte{1, 0, 1})
+	dep := MarkerUnordered{Marker: "#"}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		u, w := decodeSeq(a), decodeSeq(b)
+		nf := NormalForm(dep, u)
+		if !Equivalent(dep, u, nf) {
+			t.Fatalf("normal form not equivalent: %s vs %s", Render(u), Render(nf))
+		}
+		if !sequencesEqual(NormalForm(dep, nf), nf) {
+			t.Fatalf("normal form not idempotent: %s", Render(u))
+		}
+		for i := 0; i+1 < len(u); i++ {
+			if independent(dep, u[i], u[i+1]) {
+				v := append([]Item(nil), u...)
+				v[i], v[i+1] = v[i+1], v[i]
+				if !sequencesEqual(NormalForm(dep, v), nf) {
+					t.Fatalf("normal form changed under a legal swap at %d: %s", i, Render(u))
+				}
+			}
+		}
+		// Left division inverts concatenation.
+		res, ok := LeftDivide(dep, Concat(u, w), u)
+		if !ok {
+			t.Fatalf("LeftDivide failed on its own concatenation: %s · %s", Render(u), Render(w))
+		}
+		if !Equivalent(dep, res, w) {
+			t.Fatalf("residual %s not ≡ %s", Render(res), Render(w))
+		}
+		// Prefix order sanity.
+		if !PrefixOf(dep, u, Concat(u, w)) {
+			t.Fatalf("%s not a prefix of its own extension", Render(u))
+		}
+	})
+}
+
+// FuzzFoataAgreesWithNormalForm fuzzes the agreement of the two
+// canonical forms as equivalence deciders.
+func FuzzFoataAgreesWithNormalForm(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{0, 1}, []byte{1, 0})
+	dep := MarkerUnordered{Marker: "#"}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		u, v := decodeSeq(a), decodeSeq(b)
+		nfEq := Equivalent(dep, u, v)
+		fu := FoataNormalForm(dep, u)
+		fv := FoataNormalForm(dep, v)
+		foataEq := len(fu) == len(fv)
+		if foataEq {
+			for i := range fu {
+				if len(fu[i]) != len(fv[i]) {
+					foataEq = false
+					break
+				}
+				for j := range fu[i] {
+					if !fu[i][j].Equal(fv[i][j]) {
+						foataEq = false
+						break
+					}
+				}
+			}
+		}
+		if nfEq != foataEq {
+			t.Fatalf("deciders disagree on %s vs %s: nf=%v foata=%v", Render(u), Render(v), nfEq, foataEq)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProject(t *testing.T) {
+	u := []Item{It("a", 1), It("b", 2), It("a", 3)}
+	got := Project(u, func(tag Tag) bool { return tag == "a" })
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if out := Project(nil, func(Tag) bool { return true }); out != nil {
+		t.Fatalf("projection of empty must be empty, got %v", out)
+	}
+}
+
+func TestTagCountsAndTags(t *testing.T) {
+	u := []Item{It("a", 1), It("b", 2), It("a", 3)}
+	counts := TagCounts(u)
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	tags := Tags(u)
+	if len(tags) != 2 || tags[0] != "a" || tags[1] != "b" {
+		t.Fatalf("tags %v", tags)
+	}
+}
+
+func TestReflexive(t *testing.T) {
+	u := []Item{It("a", 1)}
+	if !Reflexive(Linear{}, u) {
+		t.Error("Linear is reflexive")
+	}
+	if Reflexive(None{}, u) {
+		t.Error("None is not reflexive")
+	}
+	if !Reflexive(Channels{}, u) {
+		t.Error("Channels is reflexive")
+	}
+	mu := MarkerUnordered{Marker: "#"}
+	if Reflexive(mu, u) {
+		t.Error("non-marker tags are self-independent under MarkerUnordered")
+	}
+	if !Reflexive(mu, []Item{It("#", nil)}) {
+		t.Error("markers are self-dependent")
+	}
+}
+
+// randomChanSeq draws sequences over a reflexive 3-channel alphabet.
+func randomChanSeq(r *rand.Rand, n int) []Item {
+	tags := []Tag{"c0", "c1", "c2"}
+	out := make([]Item, n)
+	for i := range out {
+		out[i] = It(tags[r.Intn(3)], r.Intn(3))
+	}
+	return out
+}
+
+// TestProjectionCriterionAgreesWithNormalForm cross-validates the two
+// equivalence deciders on the classical (reflexive) case.
+func TestProjectionCriterionAgreesWithNormalForm(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	deps := []Dependence{Channels{}, Linear{}, NewPairs([2]Tag{"c0", "c0"}, [2]Tag{"c1", "c1"}, [2]Tag{"c2", "c2"}, [2]Tag{"c0", "c1"})}
+	for trial := 0; trial < 400; trial++ {
+		d := deps[trial%len(deps)]
+		u := randomChanSeq(r, r.Intn(7))
+		v := randomChanSeq(r, r.Intn(7))
+		want := Equivalent(d, u, v)
+		got, err := EquivalentByProjection(d, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("dep %T: projection says %v, normal form says %v for %s vs %s",
+				d, got, want, Render(u), Render(v))
+		}
+	}
+}
+
+func TestProjectionCriterionOnPermutedInput(t *testing.T) {
+	// A shuffled sequence with per-channel order preserved must be
+	// equivalent under Channels.
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		u := randomChanSeq(r, 10)
+		// Build v by interleaving the channel projections differently.
+		var chans [3][]Item
+		for _, it := range u {
+			idx := int(it.Tag[1] - '0')
+			chans[idx] = append(chans[idx], it)
+		}
+		var v []Item
+		pos := [3]int{}
+		for len(v) < len(u) {
+			c := r.Intn(3)
+			if pos[c] < len(chans[c]) {
+				v = append(v, chans[c][pos[c]])
+				pos[c]++
+			}
+		}
+		ok, err := EquivalentByProjection(Channels{}, u, v)
+		if err != nil || !ok {
+			t.Fatalf("channel-preserving interleaving must be equivalent (%v)", err)
+		}
+	}
+}
+
+func TestProjectionCriterionRejectsBagAlphabet(t *testing.T) {
+	u := []Item{It("a", 1)}
+	if _, err := EquivalentByProjection(None{}, u, u); err == nil {
+		t.Fatal("self-independent tags must be rejected")
+	}
+}
+
+func TestProjectionCriterionLengthMismatch(t *testing.T) {
+	ok, err := EquivalentByProjection(Linear{}, []Item{It("a", 1)}, nil)
+	if err != nil || ok {
+		t.Fatalf("got %v %v", ok, err)
+	}
+}

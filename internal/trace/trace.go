@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Tag identifies the kind of a data item. The dependence relation of a
+// data-trace type is defined over tags, not over whole items.
+type Tag string
+
+// Item is a tagged data item (σ, d): an element of a data type
+// A = (Σ, (Tσ)σ∈Σ). Values are held as any; the formal layer never
+// interprets them beyond equality and a deterministic rendering.
+type Item struct {
+	Tag   Tag
+	Value any
+}
+
+// It is a convenience constructor for Item.
+func It(tag Tag, value any) Item { return Item{Tag: tag, Value: value} }
+
+// String renders the item as tag(value), e.g. M(5) or #(10).
+func (it Item) String() string {
+	if it.Value == nil {
+		return string(it.Tag)
+	}
+	return fmt.Sprintf("%s(%v)", it.Tag, it.Value)
+}
+
+// Equal reports whether two items are the same tagged value. Values
+// are compared structurally so that items may carry slices or structs.
+func (it Item) Equal(other Item) bool {
+	return it.Tag == other.Tag && reflect.DeepEqual(it.Value, other.Value)
+}
+
+// less is the total order on items used to pick canonical
+// representatives: by tag first, then by the deterministic rendering
+// of the value. Any total order works; this one is stable and easy to
+// inspect in test failures.
+func (it Item) less(other Item) bool {
+	if it.Tag != other.Tag {
+		return it.Tag < other.Tag
+	}
+	return fmt.Sprint(it.Value) < fmt.Sprint(other.Value)
+}
+
+// Dependence is a symmetric binary relation on tags. Two tags that are
+// not dependent are independent, and adjacent items with independent
+// tags commute. Implementations must be symmetric; the constructors in
+// this package enforce symmetry.
+type Dependence interface {
+	// Dependent reports whether items tagged a and b are ordered
+	// relative to each other.
+	Dependent(a, b Tag) bool
+}
+
+// Pairs is an explicit, finite dependence relation.
+type Pairs struct {
+	set map[[2]Tag]struct{}
+}
+
+// NewPairs builds a dependence relation from explicit tag pairs. Each
+// supplied pair is closed under symmetry, so NewPairs([2]Tag{"a","b"})
+// makes both (a,b) and (b,a) dependent.
+func NewPairs(pairs ...[2]Tag) *Pairs {
+	p := &Pairs{set: make(map[[2]Tag]struct{}, 2*len(pairs))}
+	for _, pr := range pairs {
+		p.Add(pr[0], pr[1])
+	}
+	return p
+}
+
+// Add inserts the (symmetric) pair (a, b) into the relation.
+func (p *Pairs) Add(a, b Tag) {
+	p.set[[2]Tag{a, b}] = struct{}{}
+	p.set[[2]Tag{b, a}] = struct{}{}
+}
+
+// Dependent implements Dependence.
+func (p *Pairs) Dependent(a, b Tag) bool {
+	_, ok := p.set[[2]Tag{a, b}]
+	return ok
+}
+
+// Func adapts a predicate to a Dependence. The predicate is
+// symmetrized: tags are dependent if the predicate holds in either
+// argument order.
+type Func func(a, b Tag) bool
+
+// Dependent implements Dependence.
+func (f Func) Dependent(a, b Tag) bool { return f(a, b) || f(b, a) }
+
+// Linear is the dependence relation in which all tags are mutually
+// dependent: traces degenerate to plain sequences.
+type Linear struct{}
+
+// Dependent implements Dependence: always true.
+func (Linear) Dependent(a, b Tag) bool { return true }
+
+// None is the empty dependence relation: traces degenerate to bags.
+type None struct{}
+
+// Dependent implements Dependence: always false.
+func (None) Dependent(a, b Tag) bool { return false }
+
+// Channels is the dependence relation of Example 3.3: each tag is
+// dependent only on itself, so a trace is a tuple of independent
+// linearly ordered channels, as in acyclic Kahn process networks.
+type Channels struct{}
+
+// Dependent implements Dependence.
+func (Channels) Dependent(a, b Tag) bool { return a == b }
+
+// MarkerOrdered is the dependence relation of the practical type
+// O(K, V) from section 4: the Marker tag is dependent on everything
+// (including itself), and every non-marker tag is dependent on itself.
+// Items with the same key are linearly ordered between markers; items
+// with different keys are unordered.
+type MarkerOrdered struct{ Marker Tag }
+
+// Dependent implements Dependence.
+func (m MarkerOrdered) Dependent(a, b Tag) bool {
+	return a == m.Marker || b == m.Marker || a == b
+}
+
+// MarkerUnordered is the dependence relation of the practical type
+// U(K, V) from section 4: the Marker tag is dependent on everything
+// (including itself) and all other items are completely unordered,
+// even within a key.
+type MarkerUnordered struct{ Marker Tag }
+
+// Dependent implements Dependence.
+func (m MarkerUnordered) Dependent(a, b Tag) bool {
+	return a == m.Marker || b == m.Marker
+}
+
+// Type is a data-trace type X = (A, D): a data type together with a
+// dependence relation on its tag alphabet. The data type's value
+// assignment is implicit (values are carried in items); what the Type
+// contributes operationally is the dependence relation.
+type Type struct {
+	// Name is a human-readable description, e.g. "U(ID,V)".
+	Name string
+	// Dep is the dependence relation on tags.
+	Dep Dependence
+}
+
+// NewType builds a data-trace type.
+func NewType(name string, dep Dependence) Type { return Type{Name: name, Dep: dep} }
+
+// String returns the type's name.
+func (t Type) String() string { return t.Name }
+
+// independent reports whether adjacent items a and b commute.
+func independent(d Dependence, a, b Item) bool {
+	return !d.Dependent(a.Tag, b.Tag)
+}
+
+// NormalForm returns the canonical representative of the trace [u]:
+// the lexicographically least sequence equivalent to u under ≡D,
+// where items are compared by (tag, rendered value). Two sequences are
+// equivalent iff their normal forms are identical, and the normal form
+// itself is a convenient stable representative for hashing, printing
+// and comparing traces. Runs in O(n²) comparisons.
+func NormalForm(d Dependence, u []Item) []Item {
+	remaining := make([]Item, len(u))
+	copy(remaining, u)
+	out := make([]Item, 0, len(u))
+	for len(remaining) > 0 {
+		best := -1
+		for i, it := range remaining {
+			enabled := true
+			for j := 0; j < i; j++ {
+				if d.Dependent(remaining[j].Tag, it.Tag) {
+					enabled = false
+					break
+				}
+			}
+			if !enabled {
+				continue
+			}
+			if best == -1 || it.less(remaining[best]) {
+				best = i
+			}
+		}
+		// best is always found: the first remaining item is enabled.
+		out = append(out, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+// Equivalent reports whether u ≡D v: whether one sequence can be
+// obtained from the other by repeatedly commuting adjacent items with
+// independent tags. Equivalent sequences denote the same data trace.
+func Equivalent(d Dependence, u, v []Item) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	nu := NormalForm(d, u)
+	nv := NormalForm(d, v)
+	for i := range nu {
+		if !nu[i].Equal(nv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat concatenates two representatives. Concatenation of traces is
+// well-defined on representatives because ≡D is a congruence:
+// [u]·[v] = [uv].
+func Concat(u, v []Item) []Item {
+	out := make([]Item, 0, len(u)+len(v))
+	out = append(out, u...)
+	out = append(out, v...)
+	return out
+}
+
+// LeftDivide attempts to remove the trace [u] from the front of [v]:
+// it returns a representative w with [u]·[w] = [v] and ok = true when
+// [u] is a prefix of [v] in the trace prefix order, and ok = false
+// otherwise. The returned slice is freshly allocated.
+func LeftDivide(d Dependence, v, u []Item) (w []Item, ok bool) {
+	rest := make([]Item, len(v))
+	copy(rest, v)
+	for _, a := range u {
+		idx := -1
+		for i, b := range rest {
+			if !b.Equal(a) {
+				continue
+			}
+			minimal := true
+			for j := 0; j < i; j++ {
+				if d.Dependent(rest[j].Tag, b.Tag) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return nil, false
+		}
+		rest = append(rest[:idx], rest[idx+1:]...)
+	}
+	return rest, true
+}
+
+// PrefixOf reports whether [u] ≤ [v] in the prefix partial order on
+// data traces: whether there exist representatives ū ∈ [u], v̄ ∈ [v]
+// with ū a sequence prefix of v̄.
+func PrefixOf(d Dependence, u, v []Item) bool {
+	_, ok := LeftDivide(d, v, u)
+	return ok
+}
+
+// Step is one layer of a Foata normal form: a set of pairwise
+// independent items that are simultaneously minimal in the pomset.
+type Step []Item
+
+// FoataNormalForm decomposes the trace [u] into its Foata normal form:
+// the unique sequence of steps F₁F₂… where each Fᵢ is the set of
+// minimal items of the residual pomset. Items within a step are sorted
+// canonically. Two sequences are equivalent iff their Foata normal
+// forms agree; the decomposition also measures the trace's inherent
+// parallelism (step count = pomset height).
+func FoataNormalForm(d Dependence, u []Item) []Step {
+	remaining := make([]Item, len(u))
+	copy(remaining, u)
+	var steps []Step
+	for len(remaining) > 0 {
+		var step Step
+		var rest []Item
+		for i, it := range remaining {
+			minimal := true
+			for j := 0; j < i; j++ {
+				if d.Dependent(remaining[j].Tag, it.Tag) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				step = append(step, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+		sort.Slice(step, func(i, j int) bool { return step[i].less(step[j]) })
+		steps = append(steps, step)
+		remaining = rest
+	}
+	return steps
+}
+
+// Pomset materializes the partial order induced on the positions of u
+// by the dependence relation: Order[i][j] is true iff position i must
+// occur before position j (the transitive closure of "i < j in the
+// sequence and their tags are dependent").
+type Pomset struct {
+	Items []Item
+	Order [][]bool
+}
+
+// NewPomset computes the pomset view of a representative sequence.
+func NewPomset(d Dependence, u []Item) *Pomset {
+	n := len(u)
+	order := make([][]bool, n)
+	for i := range order {
+		order[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d.Dependent(u[i].Tag, u[j].Tag) {
+				order[i][j] = true
+			}
+		}
+	}
+	// Transitive closure (Floyd–Warshall on booleans).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !order[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if order[k][j] {
+					order[i][j] = true
+				}
+			}
+		}
+	}
+	items := make([]Item, n)
+	copy(items, u)
+	return &Pomset{Items: items, Order: order}
+}
+
+// Width returns the size of the largest antichain reachable greedily —
+// here approximated as the largest Foata step, which for these
+// pomsets coincides with the maximum number of simultaneously minimal
+// items at any stage.
+func (p *Pomset) Width(d Dependence) int {
+	max := 0
+	for _, s := range FoataNormalForm(d, p.Items) {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// Height returns the length of the longest chain in the pomset, which
+// equals the number of Foata steps.
+func (p *Pomset) Height(d Dependence) int {
+	return len(FoataNormalForm(d, p.Items))
+}
+
+// Render formats a sequence of items compactly, e.g. "M(5) M(7) #".
+func Render(u []Item) string {
+	parts := make([]string, len(u))
+	for i, it := range u {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ")
+}

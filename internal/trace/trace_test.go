@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// bruteEquivalent decides u ≡D v by exhaustive BFS over adjacent
+// independent swaps. Exponential; only for small inputs in tests.
+func bruteEquivalent(d Dependence, u, v []Item) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	key := func(s []Item) string { return Render(s) }
+	target := key(v)
+	seen := map[string][]Item{key(u): u}
+	queue := [][]Item{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if key(cur) == target && sequencesEqual(cur, v) {
+			return true
+		}
+		for i := 0; i+1 < len(cur); i++ {
+			if independent(d, cur[i], cur[i+1]) {
+				next := make([]Item, len(cur))
+				copy(next, cur)
+				next[i], next[i+1] = next[i+1], next[i]
+				k := key(next)
+				if _, ok := seen[k]; !ok {
+					seen[k] = next
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func sequencesEqual(u, v []Item) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	for i := range u {
+		if !u[i].Equal(v[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomSeq draws a random sequence over the {M, #} alphabet of
+// Example 3.1 with small integer values.
+func randomSeq(r *rand.Rand, n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		if r.Intn(4) == 0 {
+			out[i] = It("#", nil)
+		} else {
+			out[i] = It("M", r.Intn(3))
+		}
+	}
+	return out
+}
+
+// example31Dep is the dependence relation of Example 3.1: D =
+// {(M,#),(#,M),(#,#)} — markers ordered with everything, measurements
+// unordered among themselves.
+var example31Dep = MarkerUnordered{Marker: "#"}
+
+func TestExample31Equivalence(t *testing.T) {
+	u := []Item{It("M", 5), It("M", 5), It("M", 8), It("#", nil), It("M", 9)}
+	v := []Item{It("M", 8), It("M", 5), It("M", 5), It("#", nil), It("M", 9)}
+	if !Equivalent(example31Dep, u, v) {
+		t.Fatalf("paper Example 3.1: %s and %s should be equivalent", Render(u), Render(v))
+	}
+	w := []Item{It("M", 8), It("M", 5), It("#", nil), It("M", 5), It("M", 9)}
+	if Equivalent(example31Dep, u, w) {
+		t.Fatalf("moving an item across a marker must not be allowed: %s vs %s", Render(u), Render(w))
+	}
+}
+
+func TestEquivalentBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		dep  Dependence
+		u, v []Item
+		want bool
+	}{
+		{"empty", Linear{}, nil, nil, true},
+		{"different lengths", None{}, []Item{It("a", 1)}, nil, false},
+		{"linear keeps order", Linear{}, []Item{It("a", 1), It("b", 2)}, []Item{It("b", 2), It("a", 1)}, false},
+		{"bag ignores order", None{}, []Item{It("a", 1), It("b", 2)}, []Item{It("b", 2), It("a", 1)}, true},
+		{"bag is multiset not set", None{}, []Item{It("a", 1), It("a", 1)}, []Item{It("a", 1)}, false},
+		{"channels keep per-tag order", Channels{},
+			[]Item{It("a", 1), It("b", 1), It("a", 2)},
+			[]Item{It("b", 1), It("a", 1), It("a", 2)}, true},
+		{"channels detect per-tag reorder", Channels{},
+			[]Item{It("a", 1), It("a", 2)},
+			[]Item{It("a", 2), It("a", 1)}, false},
+		{"different multisets", None{}, []Item{It("a", 1)}, []Item{It("a", 2)}, false},
+		{"self-dependent tag is a sequence", NewPairs([2]Tag{"a", "a"}),
+			[]Item{It("a", 1), It("a", 2)},
+			[]Item{It("a", 2), It("a", 1)}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Equivalent(tc.dep, tc.u, tc.v); got != tc.want {
+				t.Errorf("Equivalent(%s, %s) = %v, want %v", Render(tc.u), Render(tc.v), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalFormAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	deps := []Dependence{example31Dep, Linear{}, None{}, Channels{}, MarkerOrdered{Marker: "#"}}
+	for trial := 0; trial < 200; trial++ {
+		d := deps[trial%len(deps)]
+		u := randomSeq(r, 1+r.Intn(6))
+		v := randomSeq(r, 1+r.Intn(6))
+		got := Equivalent(d, u, v)
+		want := bruteEquivalent(d, u, v)
+		if got != want {
+			t.Fatalf("dep %T: Equivalent(%s, %s) = %v, brute force says %v", d, Render(u), Render(v), got, want)
+		}
+	}
+}
+
+func TestNormalFormProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	deps := []Dependence{example31Dep, Linear{}, None{}, Channels{}}
+	for trial := 0; trial < 300; trial++ {
+		d := deps[trial%len(deps)]
+		u := randomSeq(r, r.Intn(10))
+		nf := NormalForm(d, u)
+		if !Equivalent(d, u, nf) {
+			t.Fatalf("normal form %s not equivalent to %s", Render(nf), Render(u))
+		}
+		if !sequencesEqual(NormalForm(d, nf), nf) {
+			t.Fatalf("normal form not idempotent for %s", Render(u))
+		}
+		// Invariance: swapping an adjacent independent pair must not
+		// change the normal form.
+		for i := 0; i+1 < len(u); i++ {
+			if independent(d, u[i], u[i+1]) {
+				v := make([]Item, len(u))
+				copy(v, u)
+				v[i], v[i+1] = v[i+1], v[i]
+				if !sequencesEqual(NormalForm(d, v), nf) {
+					t.Fatalf("normal form changed under a legal swap: %s vs %s", Render(u), Render(v))
+				}
+			}
+		}
+	}
+}
+
+func TestConcatIsCongruent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := example31Dep
+	for trial := 0; trial < 200; trial++ {
+		u1 := randomSeq(r, r.Intn(5))
+		u2 := NormalForm(d, u1) // an equivalent representative
+		v1 := randomSeq(r, r.Intn(5))
+		v2 := NormalForm(d, v1)
+		if !Equivalent(d, Concat(u1, v1), Concat(u2, v2)) {
+			t.Fatalf("concatenation not well-defined on traces: %s·%s vs %s·%s",
+				Render(u1), Render(v1), Render(u2), Render(v2))
+		}
+	}
+}
+
+func TestPrefixOrder(t *testing.T) {
+	d := example31Dep
+	u := []Item{It("M", 5), It("M", 7)}
+	v := []Item{It("M", 7), It("M", 5), It("#", nil), It("M", 9)}
+	if !PrefixOf(d, u, v) {
+		t.Errorf("%s should be a trace prefix of %s (items before # commute)", Render(u), Render(v))
+	}
+	w := []Item{It("M", 9), It("M", 5)}
+	if PrefixOf(d, w, v) {
+		t.Errorf("%s should not be a prefix of %s: M(9) occurs after the marker", Render(w), Render(v))
+	}
+}
+
+func TestPrefixOfIsPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	d := example31Dep
+	for trial := 0; trial < 150; trial++ {
+		u := randomSeq(r, r.Intn(5))
+		v := randomSeq(r, r.Intn(5))
+		w := randomSeq(r, r.Intn(5))
+		if !PrefixOf(d, u, u) {
+			t.Fatalf("prefix order not reflexive on %s", Render(u))
+		}
+		// Antisymmetry up to ≡.
+		if PrefixOf(d, u, v) && PrefixOf(d, v, u) && !Equivalent(d, u, v) {
+			t.Fatalf("antisymmetry violated: %s vs %s", Render(u), Render(v))
+		}
+		// Transitivity.
+		if PrefixOf(d, u, v) && PrefixOf(d, v, w) && !PrefixOf(d, u, w) {
+			t.Fatalf("transitivity violated: %s ≤ %s ≤ %s", Render(u), Render(v), Render(w))
+		}
+	}
+}
+
+func TestLeftDivideResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := example31Dep
+	for trial := 0; trial < 200; trial++ {
+		u := randomSeq(r, r.Intn(4))
+		w := randomSeq(r, r.Intn(4))
+		v := Concat(u, w)
+		res, ok := LeftDivide(d, v, u)
+		if !ok {
+			t.Fatalf("LeftDivide(%s, %s) failed but %s is a prefix by construction", Render(v), Render(u), Render(u))
+		}
+		if !Equivalent(d, res, w) {
+			t.Fatalf("residual %s not equivalent to %s", Render(res), Render(w))
+		}
+	}
+}
+
+func TestConcatThenDivideRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}
+	d := Channels{}
+	f := func(xs, ys []uint8) bool {
+		u := make([]Item, len(xs))
+		for i, x := range xs {
+			u[i] = It(Tag(fmt.Sprintf("c%d", x%3)), int(x))
+		}
+		w := make([]Item, len(ys))
+		for i, y := range ys {
+			w[i] = It(Tag(fmt.Sprintf("c%d", y%3)), int(y))
+		}
+		res, ok := LeftDivide(d, Concat(u, w), u)
+		return ok && Equivalent(d, res, w)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoataNormalForm(t *testing.T) {
+	d := example31Dep
+	u := []Item{It("M", 5), It("M", 7), It("#", nil), It("M", 9), It("M", 8), It("#", nil)}
+	steps := FoataNormalForm(d, u)
+	want := [][]string{{"M(5)", "M(7)"}, {"#"}, {"M(8)", "M(9)"}, {"#"}}
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps, want %d: %v", len(steps), len(want), steps)
+	}
+	for i, s := range steps {
+		if len(s) != len(want[i]) {
+			t.Fatalf("step %d has %d items, want %d", i, len(s), len(want[i]))
+		}
+		for j, it := range s {
+			if it.String() != want[i][j] {
+				t.Errorf("step %d item %d = %s, want %s", i, j, it.String(), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFoataAgreesWithEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := example31Dep
+	for trial := 0; trial < 200; trial++ {
+		u := randomSeq(r, r.Intn(7))
+		v := randomSeq(r, r.Intn(7))
+		fu := fmt.Sprint(FoataNormalForm(d, u))
+		fv := fmt.Sprint(FoataNormalForm(d, v))
+		if (fu == fv) != Equivalent(d, u, v) {
+			t.Fatalf("Foata NF disagrees with equivalence on %s vs %s", Render(u), Render(v))
+		}
+	}
+}
+
+func TestPomset(t *testing.T) {
+	d := example31Dep
+	// Example 3.2's visualized trace.
+	u := []Item{It("M", 5), It("M", 7), It("#", nil), It("M", 9), It("M", 8), It("M", 9), It("#", nil), It("M", 6)}
+	p := NewPomset(d, u)
+	if p.Order[0][1] {
+		t.Error("two measurements before the first marker must be unordered")
+	}
+	if !p.Order[0][2] || !p.Order[2][3] {
+		t.Error("marker must be ordered after earlier and before later items")
+	}
+	if !p.Order[0][3] {
+		t.Error("ordering through the marker must be transitive")
+	}
+	if h := p.Height(d); h != 5 {
+		t.Errorf("height = %d, want 5 ({5,7} # {9,8,9} # {6})", h)
+	}
+	if w := p.Width(d); w != 3 {
+		t.Errorf("width = %d, want 3 (the middle bag)", w)
+	}
+}
+
+func TestDependenceConstructions(t *testing.T) {
+	p := NewPairs([2]Tag{"a", "b"})
+	if !p.Dependent("a", "b") || !p.Dependent("b", "a") {
+		t.Error("NewPairs must symmetrize")
+	}
+	if p.Dependent("a", "a") {
+		t.Error("unlisted pair must be independent")
+	}
+	f := Func(func(a, b Tag) bool { return a == "#" })
+	if !f.Dependent("x", "#") {
+		t.Error("Func must symmetrize the predicate")
+	}
+	mo := MarkerOrdered{Marker: "#"}
+	if !mo.Dependent("k", "k") || mo.Dependent("k", "j") || !mo.Dependent("k", "#") {
+		t.Error("MarkerOrdered: same key ordered, cross-key unordered, marker ordered")
+	}
+	mu := MarkerUnordered{Marker: "#"}
+	if mu.Dependent("k", "k") || !mu.Dependent("#", "#") {
+		t.Error("MarkerUnordered: keys unordered even with themselves, markers ordered")
+	}
+}
+
+func TestItemString(t *testing.T) {
+	if got := It("M", 5).String(); got != "M(5)" {
+		t.Errorf("got %q", got)
+	}
+	if got := It("#", nil).String(); got != "#" {
+		t.Errorf("got %q", got)
+	}
+	if got := Render([]Item{It("M", 5), It("#", nil)}); got != "M(5) #" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestItemEqualDeep(t *testing.T) {
+	a := It("t", []int{1, 2})
+	b := It("t", []int{1, 2})
+	if !a.Equal(b) {
+		t.Error("structural equality must hold for slice values")
+	}
+	if a.Equal(It("t", []int{2, 1})) {
+		t.Error("different slice values must differ")
+	}
+	if !reflect.DeepEqual(NormalForm(None{}, []Item{a}), []Item{b}) {
+		t.Error("normal form must preserve values")
+	}
+}

@@ -1,0 +1,187 @@
+package transduction
+
+import (
+	"fmt"
+
+	"datatrace/internal/trace"
+)
+
+// This file implements the general transduction DAG of section 4: a
+// labelled directed acyclic graph (S, N, T, E, →, λ) whose edges
+// carry arbitrary data-trace types and whose processing vertices
+// carry data-trace transductions respecting those types. The
+// practical layer (internal/core) restricts edge types to U(K,V) and
+// O(K,V); this general form also covers Kahn-network channel types,
+// bags, and any other dependence relation from internal/trace, and
+// gives the paper's denotational semantics verbatim: label source
+// edges with the input traces, apply vertex transductions in
+// topological order, read the outputs off the sink edges.
+
+// DAGNode is a vertex of a general transduction DAG.
+type DAGNode struct {
+	id     int
+	kind   int // 0 source, 1 processing, 2 sink
+	name   string
+	tr     Trace
+	typ    trace.Type
+	inputs []*DAGNode
+}
+
+// Name returns the vertex label.
+func (n *DAGNode) Name() string { return n.name }
+
+// Type returns the data-trace type of the vertex's outgoing edge
+// (for sinks, of its incoming edge).
+func (n *DAGNode) Type() trace.Type { return n.typ }
+
+// DAG is a general transduction DAG.
+type DAG struct {
+	nodes []*DAGNode
+	names map[string]bool
+	errs  []error
+}
+
+// NewDAG creates an empty general transduction DAG.
+func NewDAG() *DAG { return &DAG{names: map[string]bool{}} }
+
+func (d *DAG) add(n *DAGNode) *DAGNode {
+	if d.names[n.name] {
+		d.errs = append(d.errs, fmt.Errorf("transduction: duplicate vertex %q", n.name))
+	}
+	d.names[n.name] = true
+	n.id = len(d.nodes)
+	d.nodes = append(d.nodes, n)
+	return n
+}
+
+// Source adds a source vertex with the given outgoing trace type.
+func (d *DAG) Source(name string, typ trace.Type) *DAGNode {
+	return d.add(&DAGNode{kind: 0, name: name, typ: typ})
+}
+
+// Process adds a processing vertex applying the transduction to the
+// (concatenated) traces of its inputs. When a vertex has several
+// inputs, their tag alphabets must be mutually independent under the
+// transduction's input type — then concatenation of representatives
+// is a representative of the product trace, exactly the setting of
+// Example 3.3.
+func (d *DAG) Process(t Trace, inputs ...*DAGNode) *DAGNode {
+	return d.add(&DAGNode{kind: 1, name: t.Name, tr: t, typ: t.Out, inputs: inputs})
+}
+
+// Sink adds a sink vertex reading one edge.
+func (d *DAG) Sink(name string, input *DAGNode) *DAGNode {
+	n := &DAGNode{kind: 2, name: name, inputs: []*DAGNode{input}}
+	if input != nil {
+		n.typ = input.typ
+	}
+	return d.add(n)
+}
+
+// Check validates the structure and the type labelling: every
+// processing vertex's input edges must carry its transduction's input
+// type (by name), sinks have exactly one input, sources none.
+func (d *DAG) Check() error {
+	errs := append([]error(nil), d.errs...)
+	for _, n := range d.nodes {
+		switch n.kind {
+		case 0:
+			if len(n.inputs) != 0 {
+				errs = append(errs, fmt.Errorf("transduction: source %q has inputs", n.name))
+			}
+		case 1:
+			if len(n.inputs) == 0 {
+				errs = append(errs, fmt.Errorf("transduction: vertex %q has no inputs", n.name))
+			}
+			for _, in := range n.inputs {
+				if in.kind == 2 {
+					errs = append(errs, fmt.Errorf("transduction: vertex %q reads sink %q", n.name, in.name))
+					continue
+				}
+				// Single-input vertices must match exactly; multi-input
+				// vertices carry a product type whose component names we
+				// do not reconstruct, so each component must be named in
+				// the input type's name.
+				if len(n.inputs) == 1 && in.typ.Name != n.tr.In.Name {
+					errs = append(errs, fmt.Errorf("transduction: vertex %q expects input %s but edge from %q carries %s",
+						n.name, n.tr.In.Name, in.name, in.typ.Name))
+				}
+			}
+		case 2:
+			if len(n.inputs) != 1 || n.inputs[0] == nil {
+				errs = append(errs, fmt.Errorf("transduction: sink %q needs exactly one input", n.name))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// Denote computes the DAG's denotation: given a representative input
+// trace per source, it labels every edge with a representative of its
+// trace (topological order — vertex creation order, which Source /
+// Process / Sink enforce) and returns the sink labels. This is the
+// paper's section 4 semantics, executable.
+func (d *DAG) Denote(inputs map[string][]trace.Item) (map[string][]trace.Item, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	values := make(map[int][]trace.Item, len(d.nodes))
+	out := map[string][]trace.Item{}
+	for _, n := range d.nodes {
+		switch n.kind {
+		case 0:
+			values[n.id] = inputs[n.name]
+		case 1:
+			var in []trace.Item
+			for _, p := range n.inputs {
+				in = trace.Concat(in, values[p.id])
+			}
+			values[n.id] = n.tr.Apply(in)
+		case 2:
+			values[n.id] = values[n.inputs[0].id]
+			out[n.name] = values[n.id]
+		}
+	}
+	return out, nil
+}
+
+// CheckDenotationConsistency verifies, on a concrete input assignment,
+// that the whole DAG is ≡-respecting: permuting each source's
+// representative within its trace type leaves every sink's output
+// trace unchanged. limit bounds the representatives tried per source.
+func (d *DAG) CheckDenotationConsistency(inputs map[string][]trace.Item, limit int) error {
+	ref, err := d.Denote(inputs)
+	if err != nil {
+		return err
+	}
+	for _, src := range d.nodes {
+		if src.kind != 0 {
+			continue
+		}
+		reps := equivalentInputs(src.typ.Dep, inputs[src.name], limit)
+		for _, rep := range reps[1:] {
+			alt := map[string][]trace.Item{}
+			for k, v := range inputs {
+				alt[k] = v
+			}
+			alt[src.name] = rep
+			got, err := d.Denote(alt)
+			if err != nil {
+				return err
+			}
+			for _, snk := range d.nodes {
+				if snk.kind != 2 {
+					continue
+				}
+				if !trace.Equivalent(snk.typ.Dep, ref[snk.name], got[snk.name]) {
+					return fmt.Errorf("transduction: DAG not ≡-respecting: permuting source %q changed sink %q:\n  %s\n  %s",
+						src.name, snk.name, trace.Render(ref[snk.name]), trace.Render(got[snk.name]))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package transduction
+
+import (
+	"fmt"
+
+	"datatrace/internal/trace"
+)
+
+// This file implements the worked examples of section 3 of the paper.
+// They double as executable documentation and as fixtures for the
+// consistency and monotonicity tests.
+
+// StrictMax is Example 3.4: the input is a linearly ordered sequence
+// of natural numbers (tag "n"), and the output contains the current
+// item iff it is strictly larger than everything seen so far.
+func StrictMax() Machine {
+	return NewMachine(func() (func() []trace.Item, func(trace.Item) []trace.Item) {
+		max, seen := 0, false
+		start := func() []trace.Item { return nil }
+		step := func(it trace.Item) []trace.Item {
+			v := it.Value.(int)
+			if !seen || v > max {
+				max, seen = v, true
+				return []trace.Item{it}
+			}
+			return nil
+		}
+		return start, step
+	})
+}
+
+// MergeInputType is the two-channel input type of Example 3.7: tags I1
+// and I2, each dependent only on itself (Example 3.3).
+func MergeInputType() trace.Type {
+	return trace.NewType("T*xT*", trace.Channels{})
+}
+
+// MergeOutputType is the single linearly ordered output channel.
+func MergeOutputType() trace.Type {
+	return trace.NewType("T*", trace.Linear{})
+}
+
+// DeterministicMerge is Example 3.7: reads items cyclically from the
+// two input channels I1, I2 and interleaves them on the output channel
+// O. The output after a prefix is x₁y₁x₂y₂… up to the shorter channel.
+func DeterministicMerge() Machine {
+	return NewMachine(func() (func() []trace.Item, func(trace.Item) []trace.Item) {
+		var pend1, pend2 []trace.Item
+		emit := func() []trace.Item {
+			var out []trace.Item
+			for len(pend1) > 0 && len(pend2) > 0 {
+				out = append(out,
+					trace.It("O", pend1[0].Value),
+					trace.It("O", pend2[0].Value))
+				pend1, pend2 = pend1[1:], pend2[1:]
+			}
+			return out
+		}
+		start := func() []trace.Item { return nil }
+		step := func(it trace.Item) []trace.Item {
+			switch it.Tag {
+			case "I1":
+				pend1 = append(pend1, it)
+			case "I2":
+				pend2 = append(pend2, it)
+			default:
+				panic(fmt.Sprintf("merge: unexpected tag %q", it.Tag))
+			}
+			return emit()
+		}
+		return start, step
+	})
+}
+
+// PartitionByKey is Example 3.8: maps a linearly ordered input stream
+// of values with keys to one linearly ordered sub-stream per key. The
+// input tag is "in"; the output tag of an item is its key, so the
+// output dependence (Channels) orders items per key only.
+func PartitionByKey(key func(v any) trace.Tag) Machine {
+	return Stateless(func(it trace.Item) []trace.Item {
+		return []trace.Item{trace.It(key(it.Value), it.Value)}
+	})
+}
+
+// SMaxInputType is the input type of Example 3.9: unordered numbers
+// (tag "n") with linearly ordered markers "#" — i.e. Bag(Nat)⁺.
+func SMaxInputType() trace.Type {
+	return trace.NewType("Bag(Nat)+", trace.MarkerUnordered{Marker: "#"})
+}
+
+// SMaxOutputType is the linearly ordered output of Example 3.9.
+func SMaxOutputType() trace.Type {
+	return trace.NewType("Nat*", trace.Linear{})
+}
+
+// StreamingMax is Example 3.9: at every marker, emit the maximum of
+// all numbers seen so far. Items between markers are unordered, and
+// max is associative and commutative, so the machine is consistent.
+func StreamingMax() Machine {
+	return NewMachine(func() (func() []trace.Item, func(trace.Item) []trace.Item) {
+		max, seen := 0, false
+		start := func() []trace.Item { return nil }
+		step := func(it trace.Item) []trace.Item {
+			if it.Tag == "#" {
+				if !seen {
+					return nil
+				}
+				return []trace.Item{trace.It("out", max)}
+			}
+			if v := it.Value.(int); !seen || v > max {
+				max, seen = v, true
+			}
+			return nil
+		}
+		return start, step
+	})
+}
+
+// BrokenStreamingMax emits the running maximum on every item rather
+// than at markers. It is NOT consistent for unordered input — the
+// partial outputs depend on the arrival order — and exists so tests
+// can show the consistency checker rejecting it (the paper's point
+// that partial aggregates over a bag are meaningless).
+func BrokenStreamingMax() Machine {
+	return NewMachine(func() (func() []trace.Item, func(trace.Item) []trace.Item) {
+		max, seen := 0, false
+		start := func() []trace.Item { return nil }
+		step := func(it trace.Item) []trace.Item {
+			if it.Tag == "#" {
+				return nil
+			}
+			if v := it.Value.(int); !seen || v > max {
+				max, seen = v, true
+				return []trace.Item{trace.It("out", max)}
+			}
+			return nil
+		}
+		return start, step
+	})
+}

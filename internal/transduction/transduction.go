@@ -1,0 +1,304 @@
+// Package transduction implements data-string transductions and
+// data-trace transductions from sections 3.2–3.3 of the PLDI 2019
+// paper "Data-Trace Types for Distributed Stream Processing Systems".
+//
+// A data-string transduction f : A* → B* is the one-step description
+// of a sequential streaming computation: f(u) is the output emitted
+// right after consuming the last item of u, and f(ε) the output
+// emitted before any input. Its lifting f̄ accumulates the one-step
+// outputs over every prefix and is monotone w.r.t. the prefix order.
+//
+// A data-string transduction f is (X,Y)-consistent when equivalent
+// input sequences produce equivalent cumulative outputs (Definition
+// 3.5); a consistent f denotes a data-trace transduction β : X → Y
+// with β([u]) = [f̄(u)]. This package provides both the pure
+// mathematical form (functions of the whole prefix) and an efficient
+// stateful form (streaming steppers), consistency checking by
+// exhaustive and randomized permutation of inputs, and the streaming
+// (≫) and parallel (∥) composition combinators used by Theorem 4.3.
+package transduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datatrace/internal/trace"
+)
+
+// Fn is a data-string transduction in its mathematical form: a pure
+// function of the entire input prefix returning the one-step output
+// triggered by the prefix's last item (or the initial output when the
+// prefix is empty).
+type Fn func(u []trace.Item) []trace.Item
+
+// Lift computes the lifting f̄(u) = f(ε)·f(a₁)·f(a₁a₂)···f(u): the
+// cumulative output after consuming u item by item.
+func (f Fn) Lift(u []trace.Item) []trace.Item {
+	var out []trace.Item
+	for i := 0; i <= len(u); i++ {
+		out = append(out, f(u[:i])...)
+	}
+	return out
+}
+
+// Stepper is the operational form of a data-string transduction: a
+// state machine consumed one item at a time. A Stepper is single-use;
+// obtain fresh ones from a Machine.
+type Stepper interface {
+	// Start returns f(ε), the output emitted before any input.
+	Start() []trace.Item
+	// Step consumes one input item and returns the output it triggers.
+	Step(it trace.Item) []trace.Item
+}
+
+// Machine creates fresh Steppers, so a single definition can be run
+// on many inputs (and on many permutations of one input, as the
+// consistency checker does).
+type Machine func() Stepper
+
+// Lift runs a fresh stepper over u and returns the cumulative output
+// f̄(u).
+func (m Machine) Lift(u []trace.Item) []trace.Item {
+	s := m()
+	out := append([]trace.Item(nil), s.Start()...)
+	for _, it := range u {
+		out = append(out, s.Step(it)...)
+	}
+	return out
+}
+
+// Fn converts the machine to the mathematical form. The conversion
+// replays the whole prefix on a fresh stepper for every call, so it is
+// quadratic when lifted; it exists for spec-level reasoning and tests.
+func (m Machine) Fn() Fn {
+	return func(u []trace.Item) []trace.Item {
+		s := m()
+		if len(u) == 0 {
+			return s.Start()
+		}
+		s.Start()
+		var out []trace.Item
+		for i, it := range u {
+			out = s.Step(it)
+			_ = i
+		}
+		return out
+	}
+}
+
+// funcStepper adapts a step function plus per-run state into a Stepper.
+type funcStepper struct {
+	start func() []trace.Item
+	step  func(trace.Item) []trace.Item
+}
+
+func (s *funcStepper) Start() []trace.Item { return s.start() }
+
+func (s *funcStepper) Step(it trace.Item) []trace.Item { return s.step(it) }
+
+// NewMachine builds a Machine from a constructor that returns the
+// start and step functions sharing freshly initialized state.
+func NewMachine(construct func() (start func() []trace.Item, step func(trace.Item) []trace.Item)) Machine {
+	return func() Stepper {
+		start, step := construct()
+		return &funcStepper{start: start, step: step}
+	}
+}
+
+// Stateless builds a Machine whose output depends only on the current
+// item — the degenerate case used by map/filter stages.
+func Stateless(step func(trace.Item) []trace.Item) Machine {
+	return NewMachine(func() (func() []trace.Item, func(trace.Item) []trace.Item) {
+		return func() []trace.Item { return nil }, step
+	})
+}
+
+// Trace is a data-trace transduction β : X → Y given operationally:
+// Apply maps a representative of an input trace to a representative of
+// the output trace β([u]). Apply must be well-defined on traces, i.e.
+// come from an (X,Y)-consistent string transduction; Denote constructs
+// such a Trace from a Machine.
+type Trace struct {
+	// Name describes the transduction, for error messages and DOT dumps.
+	Name string
+	// In and Out are the input and output data-trace types.
+	In, Out trace.Type
+	// Apply computes a representative of the output trace.
+	Apply func(u []trace.Item) []trace.Item
+	// OwnsTag reports whether an input tag belongs to this
+	// transduction's input alphabet; it is consulted by Parallel to
+	// split a combined input among components. May be nil for
+	// transductions never used under ∥.
+	OwnsTag func(t trace.Tag) bool
+}
+
+// Denote builds the (X,Y)-denotation of the machine: the data-trace
+// transduction [u] ↦ [f̄(u)]. The machine must be (X,Y)-consistent for
+// the result to be well-defined; CheckConsistency can test that.
+func Denote(name string, m Machine, in, out trace.Type) Trace {
+	return Trace{
+		Name:  name,
+		In:    in,
+		Out:   out,
+		Apply: m.Lift,
+	}
+}
+
+// Compose is streaming composition f ≫ g: the output trace of f is
+// fed as the input trace of g. It requires f.Out and g.In to be the
+// same type (by name) and panics otherwise, mirroring the typing rule.
+func Compose(f, g Trace) Trace {
+	if f.Out.Name != g.In.Name {
+		panic(fmt.Sprintf("transduction: cannot compose %s : ... → %s with %s : %s → ...",
+			f.Name, f.Out.Name, g.Name, g.In.Name))
+	}
+	return Trace{
+		Name:    f.Name + " >> " + g.Name,
+		In:      f.In,
+		Out:     g.Out,
+		OwnsTag: f.OwnsTag,
+		Apply: func(u []trace.Item) []trace.Item {
+			return g.Apply(f.Apply(u))
+		},
+	}
+}
+
+// Parallel is parallel composition f ∥ g: the combined input trace is
+// split by tag ownership, each component transforms its own part, and
+// the outputs are concatenated. The components' input and output tag
+// alphabets must be disjoint (their items independent across
+// components) for this to be a transduction on the product type; the
+// caller is responsible for choosing such types, as in Example 3.3.
+func Parallel(f, g Trace) Trace {
+	if f.OwnsTag == nil {
+		panic("transduction: Parallel requires f.OwnsTag")
+	}
+	return Trace{
+		Name: f.Name + " || " + g.Name,
+		In:   trace.NewType(f.In.Name+" x "+g.In.Name, productDep(f.In.Dep, g.In.Dep, f.OwnsTag)),
+		Out:  trace.NewType(f.Out.Name+" x "+g.Out.Name, nil),
+		OwnsTag: func(t trace.Tag) bool {
+			return f.OwnsTag(t) || (g.OwnsTag != nil && g.OwnsTag(t))
+		},
+		Apply: func(u []trace.Item) []trace.Item {
+			var fu, gu []trace.Item
+			for _, it := range u {
+				if f.OwnsTag(it.Tag) {
+					fu = append(fu, it)
+				} else {
+					gu = append(gu, it)
+				}
+			}
+			return trace.Concat(f.Apply(fu), g.Apply(gu))
+		},
+	}
+}
+
+// productDep forms the dependence relation of a product type: within
+// each component the component's relation applies; across components
+// everything is independent.
+func productDep(df, dg trace.Dependence, ownsF func(trace.Tag) bool) trace.Dependence {
+	return trace.Func(func(a, b trace.Tag) bool {
+		fa, fb := ownsF(a), ownsF(b)
+		switch {
+		case fa && fb:
+			return df.Dependent(a, b)
+		case !fa && !fb:
+			return dg.Dependent(a, b)
+		default:
+			return false
+		}
+	})
+}
+
+// equivalentInputs enumerates representatives of [u] by BFS over
+// adjacent independent swaps, up to the given limit.
+func equivalentInputs(d trace.Dependence, u []trace.Item, limit int) [][]trace.Item {
+	seen := map[string][]trace.Item{trace.Render(u): u}
+	queue := [][]trace.Item{u}
+	out := [][]trace.Item{u}
+	for len(queue) > 0 && len(out) < limit {
+		cur := queue[0]
+		queue = queue[1:]
+		for i := 0; i+1 < len(cur); i++ {
+			if d.Dependent(cur[i].Tag, cur[i+1].Tag) {
+				continue
+			}
+			next := make([]trace.Item, len(cur))
+			copy(next, cur)
+			next[i], next[i+1] = next[i+1], next[i]
+			k := trace.Render(next)
+			if _, ok := seen[k]; !ok {
+				seen[k] = next
+				queue = append(queue, next)
+				out = append(out, next)
+				if len(out) >= limit {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckConsistency tests Definition 3.5 on a concrete input: it runs
+// the machine on up to limit representatives of [u] and reports an
+// error naming the first pair of equivalent inputs whose cumulative
+// outputs are not equivalent under out.Dep. A nil return means no
+// violation was found (it is evidence, not proof, of consistency).
+func CheckConsistency(m Machine, in, out trace.Type, u []trace.Item, limit int) error {
+	reps := equivalentInputs(in.Dep, u, limit)
+	ref := m.Lift(reps[0])
+	for _, v := range reps[1:] {
+		got := m.Lift(v)
+		if !trace.Equivalent(out.Dep, ref, got) {
+			return fmt.Errorf("inconsistent: inputs %q and %q are ≡ under %s but outputs %q and %q are not ≡ under %s",
+				trace.Render(reps[0]), trace.Render(v), in.Name,
+				trace.Render(ref), trace.Render(got), out.Name)
+		}
+	}
+	return nil
+}
+
+// CheckConsistencyRandom is a randomized variant for longer inputs: it
+// performs trials random walks of adjacent independent swaps starting
+// from u and compares outputs against the original.
+func CheckConsistencyRandom(m Machine, in, out trace.Type, u []trace.Item, trials int, r *rand.Rand) error {
+	ref := m.Lift(u)
+	for t := 0; t < trials; t++ {
+		v := make([]trace.Item, len(u))
+		copy(v, u)
+		for s := 0; s < 4*len(v); s++ {
+			if len(v) < 2 {
+				break
+			}
+			i := r.Intn(len(v) - 1)
+			if !in.Dep.Dependent(v[i].Tag, v[i+1].Tag) {
+				v[i], v[i+1] = v[i+1], v[i]
+			}
+		}
+		got := m.Lift(v)
+		if !trace.Equivalent(out.Dep, ref, got) {
+			return fmt.Errorf("inconsistent: permuted input %q gives output %q, not ≡ to reference %q under %s",
+				trace.Render(v), trace.Render(got), trace.Render(ref), out.Name)
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies that the lifting of m is monotone on a chain
+// of prefixes of u: f̄(u[:i]) must be a trace prefix of f̄(u[:j]) for
+// i ≤ j. Liftings are monotone by construction; this guards custom
+// Trace.Apply implementations.
+func CheckMonotone(apply func([]trace.Item) []trace.Item, out trace.Type, u []trace.Item) error {
+	prev := apply(nil)
+	for i := 1; i <= len(u); i++ {
+		cur := apply(u[:i])
+		if !trace.PrefixOf(out.Dep, prev, cur) {
+			return fmt.Errorf("not monotone at prefix length %d: %q is not a trace prefix of %q",
+				i, trace.Render(prev), trace.Render(cur))
+		}
+		prev = cur
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package transduction
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datatrace/internal/trace"
+)
+
+func items(vals ...int) []trace.Item {
+	out := make([]trace.Item, len(vals))
+	for i, v := range vals {
+		out[i] = trace.It("n", v)
+	}
+	return out
+}
+
+func TestExample34StrictMax(t *testing.T) {
+	// The paper's table: input 3 1 5 2 produces f̄ = 3 5.
+	got := StrictMax().Lift(items(3, 1, 5, 2))
+	want := items(3, 5)
+	if !trace.Equivalent(trace.Linear{}, got, want) {
+		t.Fatalf("f̄(3 1 5 2) = %s, want %s", trace.Render(got), trace.Render(want))
+	}
+	if out := StrictMax().Lift(nil); len(out) != 0 {
+		t.Fatalf("f̄(ε) = %s, want empty", trace.Render(out))
+	}
+}
+
+func TestFnLiftMatchesMachineLift(t *testing.T) {
+	m := StrictMax()
+	f := m.Fn()
+	in := items(2, 9, 1, 9, 12, 3)
+	if got, want := trace.Render(f.Lift(in)), trace.Render(m.Lift(in)); got != want {
+		t.Fatalf("Fn lift %q differs from machine lift %q", got, want)
+	}
+}
+
+func TestLiftIsMonotone(t *testing.T) {
+	m := StrictMax()
+	if err := CheckMonotone(m.Lift, trace.NewType("Nat*", trace.Linear{}), items(4, 1, 7, 7, 9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample37DeterministicMerge(t *testing.T) {
+	in := []trace.Item{
+		trace.It("I1", "x1"), trace.It("I1", "x2"),
+		trace.It("I2", "y1"), trace.It("I2", "y2"), trace.It("I2", "y3"),
+	}
+	got := DeterministicMerge().Lift(in)
+	want := []trace.Item{
+		trace.It("O", "x1"), trace.It("O", "y1"),
+		trace.It("O", "x2"), trace.It("O", "y2"),
+	}
+	if !trace.Equivalent(trace.Linear{}, got, want) {
+		t.Fatalf("merge output %s, want %s", trace.Render(got), trace.Render(want))
+	}
+}
+
+func TestMergeIsConsistent(t *testing.T) {
+	// The two channels are independent, so any interleaving of the
+	// same per-channel contents must give the same output.
+	in := []trace.Item{
+		trace.It("I1", "a"), trace.It("I2", "p"), trace.It("I1", "b"),
+		trace.It("I2", "q"), trace.It("I1", "c"),
+	}
+	if err := CheckConsistency(DeterministicMerge(), MergeInputType(), MergeOutputType(), in, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample38Partition(t *testing.T) {
+	key := func(v any) trace.Tag {
+		if v.(int)%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	}
+	m := PartitionByKey(key)
+	in := items(1, 2, 3, 4, 6, 5)
+	got := m.Lift(in)
+	// Per-key order must be preserved.
+	var evens, odds []int
+	for _, it := range got {
+		switch it.Tag {
+		case "even":
+			evens = append(evens, it.Value.(int))
+		case "odd":
+			odds = append(odds, it.Value.(int))
+		default:
+			t.Fatalf("unexpected output tag %q", it.Tag)
+		}
+	}
+	wantE, wantO := []int{2, 4, 6}, []int{1, 3, 5}
+	for i := range wantE {
+		if evens[i] != wantE[i] {
+			t.Fatalf("evens = %v, want %v", evens, wantE)
+		}
+	}
+	for i := range wantO {
+		if odds[i] != wantO[i] {
+			t.Fatalf("odds = %v, want %v", odds, wantO)
+		}
+	}
+}
+
+func TestExample39StreamingMax(t *testing.T) {
+	in := []trace.Item{
+		trace.It("n", 3), trace.It("n", 7), trace.It("#", nil),
+		trace.It("n", 5), trace.It("#", nil),
+		trace.It("n", 9),
+	}
+	got := StreamingMax().Lift(in)
+	want := []trace.Item{trace.It("out", 7), trace.It("out", 7)}
+	if !trace.Equivalent(trace.Linear{}, got, want) {
+		t.Fatalf("smax output %s, want %s", trace.Render(got), trace.Render(want))
+	}
+}
+
+func TestStreamingMaxIsConsistent(t *testing.T) {
+	in := []trace.Item{
+		trace.It("n", 3), trace.It("n", 7), trace.It("n", 2), trace.It("#", nil),
+		trace.It("n", 5), trace.It("n", 9), trace.It("#", nil),
+	}
+	if err := CheckConsistency(StreamingMax(), SMaxInputType(), SMaxOutputType(), in, 500); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	long := make([]trace.Item, 0, 60)
+	for i := 0; i < 50; i++ {
+		long = append(long, trace.It("n", r.Intn(100)))
+		if i%7 == 6 {
+			long = append(long, trace.It("#", nil))
+		}
+	}
+	if err := CheckConsistencyRandom(StreamingMax(), SMaxInputType(), SMaxOutputType(), long, 50, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokenStreamingMaxIsInconsistent(t *testing.T) {
+	in := []trace.Item{trace.It("n", 3), trace.It("n", 7), trace.It("#", nil)}
+	err := CheckConsistency(BrokenStreamingMax(), SMaxInputType(), SMaxOutputType(), in, 100)
+	if err == nil {
+		t.Fatal("emitting partial aggregates over a bag must be flagged as inconsistent")
+	}
+	if !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+func TestComposeTypesAndSemantics(t *testing.T) {
+	// partition by parity, then per-channel strict max on the evens is
+	// not needed; instead compose smax after identity re-tagging to
+	// exercise ≫ plumbing: numbers+markers → (smax) → linear, then a
+	// stateless doubling stage.
+	smax := Denote("smax", StreamingMax(), SMaxInputType(), SMaxOutputType())
+	double := Denote("double", Stateless(func(it trace.Item) []trace.Item {
+		return []trace.Item{trace.It("out", it.Value.(int)*2)}
+	}), trace.NewType("Nat*", trace.Linear{}), trace.NewType("Nat*", trace.Linear{}))
+	// Align type names for composition.
+	smax.Out.Name = "Nat*"
+	pipe := Compose(smax, double)
+	in := []trace.Item{trace.It("n", 4), trace.It("#", nil), trace.It("n", 9), trace.It("#", nil)}
+	got := pipe.Apply(in)
+	want := []trace.Item{trace.It("out", 8), trace.It("out", 18)}
+	if !trace.Equivalent(trace.Linear{}, got, want) {
+		t.Fatalf("composed output %s, want %s", trace.Render(got), trace.Render(want))
+	}
+}
+
+func TestComposeTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("composing mismatched types must panic")
+		}
+	}()
+	a := Trace{Name: "a", Out: trace.NewType("X", trace.Linear{})}
+	b := Trace{Name: "b", In: trace.NewType("Y", trace.Linear{})}
+	Compose(a, b)
+}
+
+func TestParallelSplitsByTagOwnership(t *testing.T) {
+	mk := func(name string, tag trace.Tag) Trace {
+		tr := Denote(name, Stateless(func(it trace.Item) []trace.Item {
+			return []trace.Item{trace.It(tag+"out", it.Value)}
+		}), trace.NewType(string(tag), trace.Linear{}), trace.NewType(string(tag)+"out", trace.Linear{}))
+		tr.OwnsTag = func(t trace.Tag) bool { return t == tag }
+		return tr
+	}
+	par := Parallel(mk("f", "a"), mk("g", "b"))
+	in := []trace.Item{trace.It("a", 1), trace.It("b", 2), trace.It("a", 3)}
+	got := par.Apply(in)
+	var as, bs []int
+	for _, it := range got {
+		switch it.Tag {
+		case "aout":
+			as = append(as, it.Value.(int))
+		case "bout":
+			bs = append(bs, it.Value.(int))
+		}
+	}
+	if len(as) != 2 || as[0] != 1 || as[1] != 3 || len(bs) != 1 || bs[0] != 2 {
+		t.Fatalf("parallel routing wrong: aout=%v bout=%v", as, bs)
+	}
+	if !par.OwnsTag("a") || !par.OwnsTag("b") || par.OwnsTag("c") {
+		t.Fatal("combined OwnsTag wrong")
+	}
+}
+
+func TestParallelProductDependence(t *testing.T) {
+	f := Trace{
+		Name: "f", In: trace.NewType("A", trace.Linear{}),
+		Out:     trace.NewType("B", trace.Linear{}),
+		Apply:   func(u []trace.Item) []trace.Item { return u },
+		OwnsTag: func(t trace.Tag) bool { return t == "a" },
+	}
+	g := Trace{
+		Name: "g", In: trace.NewType("C", trace.Linear{}),
+		Out:   trace.NewType("D", trace.Linear{}),
+		Apply: func(u []trace.Item) []trace.Item { return u },
+	}
+	par := Parallel(f, g)
+	d := par.In.Dep
+	if !d.Dependent("a", "a") {
+		t.Error("within-component dependence must apply")
+	}
+	if d.Dependent("a", "c") {
+		t.Error("cross-component tags must be independent")
+	}
+}
+
+func TestCheckMonotoneCatchesRetraction(t *testing.T) {
+	// A bogus Apply that shrinks its output is not monotone.
+	bogus := func(u []trace.Item) []trace.Item {
+		if len(u)%2 == 1 {
+			return items(1, 2)
+		}
+		return items(3)
+	}
+	if err := CheckMonotone(bogus, trace.NewType("Nat*", trace.Linear{}), items(1, 1, 1)); err == nil {
+		t.Fatal("retracting output must fail the monotonicity check")
+	}
+}
+
+func TestStatelessMachineIsReusable(t *testing.T) {
+	m := Stateless(func(it trace.Item) []trace.Item { return []trace.Item{it} })
+	a := m.Lift(items(1, 2))
+	b := m.Lift(items(3))
+	if len(a) != 2 || len(b) != 1 {
+		t.Fatalf("machines must be independent per run: %v %v", a, b)
+	}
+}

@@ -1,0 +1,245 @@
+// Package workload generates the two benchmark workloads of the
+// paper's evaluation: the (extended) Yahoo Streaming Benchmark ad
+// events of section 6 / Figure 4, and the DEBS 2014 Smart Homes
+// plug-measurement stream of Figure 5. Both generators are
+// deterministic for a given seed, emit periodic synchronization
+// markers exactly as the paper's sources do (at event-time second
+// boundaries), and can be partitioned into several sub-sources that
+// share the marker sequence (Yahoo0..YahooN / Building0..BuildingN in
+// the paper's figures).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datatrace/internal/db"
+	"datatrace/internal/stream"
+)
+
+// EventType enumerates the Yahoo benchmark's interaction kinds.
+type EventType uint8
+
+const (
+	// View is an ad impression — the only type the pipeline keeps.
+	View EventType = iota
+	// Click is an ad click.
+	Click
+	// Purchase is a conversion.
+	Purchase
+)
+
+// String renders the event type.
+func (e EventType) String() string {
+	switch e {
+	case View:
+		return "view"
+	case Click:
+		return "click"
+	default:
+		return "purchase"
+	}
+}
+
+// YahooEvent is one record of the Yahoo Streaming Benchmark stream:
+// (userId, pageId, adId, eventType, eventTime).
+type YahooEvent struct {
+	UserID    int64
+	PageID    int64
+	AdID      int64
+	Type      EventType
+	EventTime int64 // milliseconds
+}
+
+// YahooConfig parameterizes the generator.
+type YahooConfig struct {
+	// Campaigns is the number of ad campaigns (benchmark default 100).
+	Campaigns int
+	// AdsPerCampaign maps ads to campaigns (benchmark default 10).
+	AdsPerCampaign int
+	// Users and Pages size the id spaces.
+	Users, Pages int
+	// EventsPerSecond is the event-time arrival rate.
+	EventsPerSecond int
+	// Seconds is the stream's event-time length; one marker is
+	// emitted per second.
+	Seconds int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultYahooConfig mirrors the benchmark's published shape, scaled
+// for in-process runs.
+func DefaultYahooConfig() YahooConfig {
+	return YahooConfig{
+		Campaigns:       100,
+		AdsPerCampaign:  10,
+		Users:           1000,
+		Pages:           100,
+		EventsPerSecond: 1000,
+		Seconds:         10,
+		Seed:            1,
+	}
+}
+
+// Yahoo generates the benchmark stream and its reference tables.
+type Yahoo struct {
+	cfg YahooConfig
+}
+
+// NewYahoo validates the configuration and returns a generator.
+func NewYahoo(cfg YahooConfig) (*Yahoo, error) {
+	if cfg.Campaigns < 1 || cfg.AdsPerCampaign < 1 || cfg.Users < 1 || cfg.Pages < 1 {
+		return nil, fmt.Errorf("workload: yahoo config needs positive id spaces: %+v", cfg)
+	}
+	if cfg.EventsPerSecond < 1 || cfg.Seconds < 1 {
+		return nil, fmt.Errorf("workload: yahoo config needs positive rate and duration: %+v", cfg)
+	}
+	return &Yahoo{cfg: cfg}, nil
+}
+
+// Ads returns the total number of ads.
+func (y *Yahoo) Ads() int { return y.cfg.Campaigns * y.cfg.AdsPerCampaign }
+
+// CampaignOf is the static ad → campaign map the database table is
+// loaded from.
+func (y *Yahoo) CampaignOf(adID int64) int64 {
+	return adID / int64(y.cfg.AdsPerCampaign)
+}
+
+// LocationOf is the static user → location map used by Queries III
+// and VI (locations partition the user space into 10 regions).
+func (y *Yahoo) LocationOf(userID int64) int64 { return userID % 10 }
+
+// SetupDB creates and loads the benchmark's reference tables:
+// ads(ad_id, campaign_id) indexed by primary key, and
+// users(user_id, location).
+func (y *Yahoo) SetupDB(d *db.DB) error {
+	ads, err := d.CreateTable("ads", []db.Column{
+		{Name: "ad_id", Type: db.Int},
+		{Name: "campaign_id", Type: db.Int},
+	}, "ad_id")
+	if err != nil {
+		return err
+	}
+	for ad := int64(0); ad < int64(y.Ads()); ad++ {
+		if err := ads.Insert(ad, y.CampaignOf(ad)); err != nil {
+			return err
+		}
+	}
+	users, err := d.CreateTable("users", []db.Column{
+		{Name: "user_id", Type: db.Int},
+		{Name: "location", Type: db.Int},
+	}, "user_id")
+	if err != nil {
+		return err
+	}
+	for u := int64(0); u < int64(y.cfg.Users); u++ {
+		if err := users.Insert(u, y.LocationOf(u)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Events materializes the full stream: EventsPerSecond items per
+// event-time second, in increasing event time, with a marker at every
+// second boundary. Items are keyed by stream.Unit (the source type is
+// U(Ut, YItem)).
+func (y *Yahoo) Events() []stream.Event {
+	r := rand.New(rand.NewSource(y.cfg.Seed))
+	total := y.cfg.EventsPerSecond * y.cfg.Seconds
+	out := make([]stream.Event, 0, total+y.cfg.Seconds)
+	for s := 0; s < y.cfg.Seconds; s++ {
+		for i := 0; i < y.cfg.EventsPerSecond; i++ {
+			out = append(out, stream.Item(stream.Unit{}, y.randomEvent(r, s)))
+		}
+		out = append(out, stream.Mark(stream.Marker{
+			Seq:       int64(s),
+			Timestamp: int64(s+1) * 1000,
+		}))
+	}
+	return out
+}
+
+func (y *Yahoo) randomEvent(r *rand.Rand, second int) YahooEvent {
+	return YahooEvent{
+		UserID:    int64(r.Intn(y.cfg.Users)),
+		PageID:    int64(r.Intn(y.cfg.Pages)),
+		AdID:      int64(r.Intn(y.Ads())),
+		Type:      EventType(r.Intn(3)),
+		EventTime: int64(second)*1000 + int64(r.Intn(1000)),
+	}
+}
+
+// Iterator is a pull-based event source: it returns ok=false when
+// exhausted. It matches storm.Spout's Next contract without importing
+// the runtime package.
+type Iterator func() (stream.Event, bool)
+
+// Iter streams the same events as Events without materializing them —
+// the form spouts consume in long benchmark runs.
+func (y *Yahoo) Iter() Iterator {
+	r := rand.New(rand.NewSource(y.cfg.Seed))
+	second, inSecond := 0, 0
+	return func() (stream.Event, bool) {
+		if second >= y.cfg.Seconds {
+			return stream.Event{}, false
+		}
+		if inSecond == y.cfg.EventsPerSecond {
+			m := stream.Mark(stream.Marker{Seq: int64(second), Timestamp: int64(second+1) * 1000})
+			second++
+			inSecond = 0
+			return m, true
+		}
+		inSecond++
+		return stream.Item(stream.Unit{}, y.randomEvent(r, second)), true
+	}
+}
+
+// Partitions splits the stream into n sub-sources: items are dealt
+// round-robin, and every partition carries the full marker sequence,
+// as the paper's partitioned sources (Yahoo0..YahooN) do.
+func (y *Yahoo) Partitions(n int) []Iterator {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]Iterator, n)
+	for p := 0; p < n; p++ {
+		r := rand.New(rand.NewSource(y.cfg.Seed))
+		second, inSecond, p := 0, 0, p
+		parts[p] = func() (stream.Event, bool) {
+			for {
+				if second >= y.cfg.Seconds {
+					return stream.Event{}, false
+				}
+				if inSecond == y.cfg.EventsPerSecond {
+					m := stream.Mark(stream.Marker{Seq: int64(second), Timestamp: int64(second+1) * 1000})
+					second++
+					inSecond = 0
+					return m, true
+				}
+				ev := y.randomEvent(r, second)
+				idx := inSecond
+				inSecond++
+				if idx%n == p {
+					return stream.Item(stream.Unit{}, ev), true
+				}
+			}
+		}
+	}
+	return parts
+}
+
+// Collect drains an iterator into a slice (test helper and example
+// convenience).
+func Collect(it Iterator) []stream.Event {
+	var out []stream.Event
+	for {
+		e, ok := it()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
