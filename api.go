@@ -140,3 +140,34 @@ func Compile(d *DAG, sources map[string]SourceSpec, opts *CompileOptions) (*Topo
 // NewTopology creates an empty runtime topology for hand-written
 // deployments.
 func NewTopology(name string) *Topology { return storm.NewTopology(name) }
+
+// --- fault injection and recovery ------------------------------------------
+
+// FaultPlan deterministically injects failures into a topology run:
+// executor crashes at the Nth event, serializer corruption on a
+// chosen edge, artificial slowdowns. Attach with Topology.SetFaultPlan.
+type FaultPlan = storm.FaultPlan
+
+// NewFaultPlan creates an empty fault plan.
+func NewFaultPlan() *FaultPlan { return storm.NewFaultPlan() }
+
+// RecoveryPolicy enables marker-cut checkpointing and restart for
+// aligned bolt executors (CompileOptions.Recovery, or
+// Topology.SetRecovery for hand-written topologies).
+type RecoveryPolicy = storm.RecoveryPolicy
+
+// Recoverable is the optional Bolt extension that supplies the
+// snapshots recovery restores from; core.Snapshotter template
+// instances are adapted automatically by Compile.
+type Recoverable = storm.Recoverable
+
+// Degradation selects what an unrecoverable executor does.
+type Degradation = storm.Degradation
+
+const (
+	// AbortTopology fails the run on an unrecoverable executor.
+	AbortTopology = storm.AbortTopology
+	// DropAndLog keeps the run alive: items are dropped and counted,
+	// markers keep flowing.
+	DropAndLog = storm.DropAndLog
+)

@@ -49,6 +49,10 @@ func benchYahooCfg() workload.YahooConfig {
 // benchQuery runs one query variant once per b.N iteration and
 // reports throughput metrics.
 func benchQuery(b *testing.B, name string, variant queries.Variant) {
+	benchQuerySpec(b, queries.Spec{Query: name, Variant: variant, Par: 4, SourcePar: 2})
+}
+
+func benchQuerySpec(b *testing.B, spec queries.Spec) {
 	b.Helper()
 	cfg := benchYahooCfg()
 	items := int64(cfg.EventsPerSecond * cfg.Seconds)
@@ -61,9 +65,7 @@ func benchQuery(b *testing.B, name string, variant queries.Variant) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res, err := queries.Run(env, queries.Spec{
-			Query: name, Variant: variant, Par: 4, SourcePar: 2,
-		})
+		res, err := queries.Run(env, spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,6 +88,16 @@ func BenchmarkQueryIIIHandcrafted(b *testing.B) {
 }
 func BenchmarkQueryIVGenerated(b *testing.B)   { benchQuery(b, "IV", queries.Generated) }
 func BenchmarkQueryIVHandcrafted(b *testing.B) { benchQuery(b, "IV", queries.Handcrafted) }
+
+// BenchmarkQueryIVGeneratedRecovery is the crash-free overhead probe
+// for the marker-cut recovery subsystem: the same run as
+// BenchmarkQueryIVGenerated with checkpointing enabled and no faults
+// injected. Compare tuples/s between the two to get the overhead.
+func BenchmarkQueryIVGeneratedRecovery(b *testing.B) {
+	benchQuerySpec(b, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2, Recovery: true,
+	})
+}
 func BenchmarkQueryVGenerated(b *testing.B)    { benchQuery(b, "V", queries.Generated) }
 func BenchmarkQueryVHandcrafted(b *testing.B)  { benchQuery(b, "V", queries.Handcrafted) }
 func BenchmarkQueryVIGenerated(b *testing.B)   { benchQuery(b, "VI", queries.Generated) }

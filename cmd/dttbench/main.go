@@ -3,6 +3,7 @@
 //
 //	dttbench -figure 4          # Queries I–VI, generated vs handcrafted (Figure 4)
 //	dttbench -figure 6          # Smart Homes scaling (Figure 6)
+//	dttbench -figure recovery   # checkpoint-interval sweep of marker-cut recovery
 //	dttbench -figure all        # everything, plus the section 2 experiment
 //	dttbench -section2          # only the motivation experiment
 //	dttbench -figure 4 -csv     # machine-readable output
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends or all")
+		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery or all")
 		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
 		workers  = flag.Int("workers", 8, "maximum simulated cluster size")
@@ -55,13 +56,16 @@ func main() {
 		emitFigure(bench.Figure6, cfg, *csv)
 	case "backends":
 		emitFigure(bench.BackendComparison, cfg, *csv)
+	case "recovery":
+		runRecovery(cfg, *csv)
 	case "all":
 		emitFigure(bench.Figure4, cfg, *csv)
 		emitFigure(bench.Figure6, cfg, *csv)
 		emitFigure(bench.BackendComparison, cfg, *csv)
+		runRecovery(cfg, *csv)
 		runSection2()
 	default:
-		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6 or all)\n", *figure)
+		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6, backends, recovery or all)\n", *figure)
 		os.Exit(2)
 	}
 }
@@ -77,6 +81,19 @@ func emitFigure(build func(bench.Config) (*bench.Figure, error), cfg bench.Confi
 		return
 	}
 	fmt.Println(fig.Table())
+}
+
+func runRecovery(cfg bench.Config, csv bool) {
+	res, err := bench.RecoverySweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Println(res.Table())
 }
 
 func runSection2() {

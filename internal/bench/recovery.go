@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datatrace/internal/compile"
+	"datatrace/internal/iot"
+	"datatrace/internal/storm"
+)
+
+// This file measures the marker-cut recovery subsystem: the
+// checkpoint-interval sweep behind EXPERIMENTS.md's recovery section.
+// The marker period is the checkpoint interval — a cut happens at
+// every marker — so sweeping the IoT workload's MarkerPeriod trades
+// crash-free overhead (more cuts = more snapshots and smaller send
+// batches) against recovery cost (a crash replays at most one block
+// per input channel).
+
+// RecoveryRow is one marker-period measurement.
+type RecoveryRow struct {
+	// MarkerPeriod is the event-time seconds between markers (the
+	// checkpoint interval).
+	MarkerPeriod int
+	// Blocks is the number of marker-delimited blocks in the stream.
+	Blocks int
+	// BaseWall is the crash-free wall time with recovery disabled.
+	BaseWall time.Duration
+	// RecWall is the crash-free wall time with recovery enabled.
+	RecWall time.Duration
+	// OverheadPct is the crash-free overhead of checkpointing:
+	// (RecWall-BaseWall)/BaseWall × 100.
+	OverheadPct float64
+	// CrashWall is the wall time of a run with one injected mid-stream
+	// crash, recovery enabled.
+	CrashWall time.Duration
+	// RecoveryCost is CrashWall - RecWall: the extra wall time the
+	// crash cost (restart + replay of the in-flight block).
+	RecoveryCost time.Duration
+	// Replayed is the number of events re-delivered from replay
+	// buffers during the recovery.
+	Replayed int64
+	// Restarts is the number of executor restarts performed.
+	Restarts int64
+}
+
+// RecoverySweepResult is the full sweep.
+type RecoverySweepResult struct {
+	Rows []RecoveryRow
+	// Par is the per-stage parallelism every run used.
+	Par int
+}
+
+// RecoverySweep runs the IoT pipeline at several marker periods,
+// three times each: recovery off (baseline), recovery on without
+// faults (overhead), and recovery on with one injected crash of a
+// mid-pipeline bolt instance (recovery cost).
+func RecoverySweep(cfg Config) (*RecoverySweepResult, error) {
+	par := cfg.SourcePar
+	if par < 2 {
+		par = 2
+	}
+	res := &RecoverySweepResult{Par: par}
+	sensor := iot.DefaultSensorConfig()
+	sensor.Seconds = 3600
+	sensor.Sensors = 16
+
+	for _, period := range []int{5, 10, 30, 60, 120} {
+		sensor.MarkerPeriod = period
+		events := iot.Stream(sensor)
+
+		build := func(rec *storm.RecoveryPolicy) (*storm.Topology, error) {
+			return compile.Compile(iot.PipelineDAG(sensor, par), map[string]compile.SourceSpec{
+				"hub": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(events) }},
+			}, &compile.Options{FuseSort: true, Recovery: rec})
+		}
+		run := func(rec *storm.RecoveryPolicy, plan *storm.FaultPlan) (*storm.Result, error) {
+			top, err := build(rec)
+			if err != nil {
+				return nil, err
+			}
+			top.SetFaultPlan(plan)
+			return top.Run()
+		}
+		rec := &storm.RecoveryPolicy{Enabled: true, Logf: func(string, ...any) {}}
+		// Crash the first mid-pipeline bolt instance mid-stream; the
+		// component name is read off the compiled topology so sort
+		// fusion cannot invalidate it.
+		probe, err := build(rec)
+		if err != nil {
+			return nil, err
+		}
+		victim := ""
+		for _, c := range probe.Components() {
+			if c.Kind == "bolt" {
+				victim = c.Name
+				break
+			}
+		}
+		if victim == "" {
+			return nil, fmt.Errorf("bench: recovery sweep found no bolt to crash")
+		}
+		plan := storm.NewFaultPlan().CrashAt(victim, 0, 10000)
+
+		// Interleave the three configurations across repetitions (so
+		// machine-load drift hits them equally) and keep each one's
+		// minimum wall — the least-perturbed run of a fixed workload.
+		const reps = 7
+		base, recWall, crashWall := time.Duration(0), time.Duration(0), time.Duration(0)
+		var crashRes *storm.Result
+		for i := 0; i < reps; i++ {
+			rBase, err := run(nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: recovery sweep baseline (period %ds): %w", period, err)
+			}
+			rRec, err := run(rec, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: recovery sweep crash-free (period %ds): %w", period, err)
+			}
+			rCrash, err := run(rec, plan)
+			if err != nil {
+				return nil, fmt.Errorf("bench: recovery sweep crash (period %ds): %w", period, err)
+			}
+			if i == 0 || rBase.Wall < base {
+				base = rBase.Wall
+			}
+			if i == 0 || rRec.Wall < recWall {
+				recWall = rRec.Wall
+			}
+			if i == 0 || rCrash.Wall < crashWall {
+				crashWall = rCrash.Wall
+				crashRes = rCrash
+			}
+		}
+		restarts, replayed, _ := crashRes.Stats.Recovery()
+
+		res.Rows = append(res.Rows, RecoveryRow{
+			MarkerPeriod: period,
+			Blocks:       sensor.Seconds / period,
+			BaseWall:     base,
+			RecWall:      recWall,
+			OverheadPct:  100 * (recWall.Seconds() - base.Seconds()) / base.Seconds(),
+			CrashWall:    crashWall,
+			RecoveryCost: crashWall - recWall,
+			Replayed:     replayed,
+			Restarts:     restarts,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep as aligned text.
+func (r *RecoverySweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== recovery: checkpoint-interval sweep (IoT pipeline, par=%d, one injected crash) ==\n", r.Par)
+	fmt.Fprintf(&b, "%8s %7s %12s %12s %9s %12s %12s %9s %9s\n",
+		"period", "blocks", "base_wall", "rec_wall", "ovh_%", "crash_wall", "rec_cost", "replayed", "restarts")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7ds %7d %12s %12s %8.1f%% %12s %12s %9d %9d\n",
+			row.MarkerPeriod, row.Blocks,
+			row.BaseWall.Round(time.Microsecond), row.RecWall.Round(time.Microsecond),
+			row.OverheadPct,
+			row.CrashWall.Round(time.Microsecond), row.RecoveryCost.Round(time.Microsecond),
+			row.Replayed, row.Restarts)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated records.
+func (r *RecoverySweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,marker_period_s,blocks,base_wall_s,rec_wall_s,overhead_pct,crash_wall_s,recovery_cost_s,replayed,restarts\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "recovery,%d,%d,%f,%f,%f,%f,%f,%d,%d\n",
+			row.MarkerPeriod, row.Blocks,
+			row.BaseWall.Seconds(), row.RecWall.Seconds(), row.OverheadPct,
+			row.CrashWall.Seconds(), row.RecoveryCost.Seconds(),
+			row.Replayed, row.Restarts)
+	}
+	return b.String()
+}

@@ -143,6 +143,115 @@ func randomDAG(seed int64) func(maxPar int, r *rand.Rand) *core.DAG {
 	}
 }
 
+// TestChaosRecoveryMatchesReference is the fault-injecting variant of
+// the chaos harness: every trial compiles a random DAG with marker-cut
+// recovery enabled, crashes a random bolt instance at a random event
+// index, and asserts that the recovered run still produces the
+// reference denotation's trace — the end-to-end statement of the
+// recovery subsystem's correctness claim.
+func TestChaosRecoveryMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(977))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		build := randomDAG(int64(5000 + trial))
+		in := randomStream(r, 2+r.Intn(4), 10, 5)
+
+		refDag := build(1, r)
+		ref, err := refDag.Eval(map[string][]stream.Event{"src": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, maxPar := range []int{1, 2, 3} {
+			dag := build(maxPar, r)
+			top, err := Compile(dag, map[string]SourceSpec{
+				"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+			}, &Options{FuseSort: true})
+			if err != nil {
+				t.Fatalf("trial %d par=%d: %v", trial, maxPar, err)
+			}
+
+			// Pick a random crash target among the compiled bolts and
+			// sinks (spouts have no marker cut to recover to).
+			var targets []storm.ComponentInfo
+			for _, c := range top.Components() {
+				if c.Kind != "spout" {
+					targets = append(targets, c)
+				}
+			}
+			victim := targets[r.Intn(len(targets))]
+			instance := r.Intn(victim.Parallelism)
+			atEvent := int64(1 + r.Intn(20))
+
+			plan := storm.NewFaultPlan().CrashAt(victim.Name, instance, atEvent)
+			top, err = Compile(dag, map[string]SourceSpec{
+				"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+			}, &Options{
+				FuseSort:  true,
+				Recovery:  &storm.RecoveryPolicy{Enabled: true, Logf: func(string, ...any) {}},
+				FaultPlan: plan,
+			})
+			if err != nil {
+				t.Fatalf("trial %d par=%d: %v", trial, maxPar, err)
+			}
+			res, err := top.Run()
+			if err != nil {
+				t.Fatalf("trial %d par=%d: crash of %s[%d] at event %d did not recover: %v",
+					trial, maxPar, victim.Name, instance, atEvent, err)
+			}
+			if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+				t.Fatalf("trial %d par=%d: crash of %s[%d] at event %d:\n%s\n%v",
+					trial, maxPar, victim.Name, instance, atEvent, dag.Dot(), err)
+			}
+		}
+	}
+}
+
+// TestChaosRecoveryTransparentWithoutFaults checks, over the same
+// random DAG population, that enabling recovery with no fault plan
+// never changes the trace — the checkpointing machinery is
+// semantically invisible.
+func TestChaosRecoveryTransparentWithoutFaults(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		build := randomDAG(int64(9000 + trial))
+		in := randomStream(r, 2+r.Intn(4), 10, 5)
+
+		refDag := build(1, r)
+		ref, err := refDag.Eval(map[string][]stream.Event{"src": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dag := build(3, r)
+		top, err := Compile(dag, map[string]SourceSpec{
+			"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+		}, &Options{FuseSort: true, Recovery: &storm.RecoveryPolicy{Enabled: true}})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := top.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+			t.Fatalf("trial %d: recovery-enabled run diverged:\n%v", trial, err)
+		}
+		restarts, replayed, dropped := res.Stats.Recovery()
+		if restarts != 0 || replayed != 0 || dropped != 0 {
+			t.Fatalf("trial %d: fault-free run recorded recovery activity %d/%d/%d",
+				trial, restarts, replayed, dropped)
+		}
+	}
+}
+
 func TestChaosCompiledDAGsMatchReference(t *testing.T) {
 	r := rand.New(rand.NewSource(131))
 	trials := 25

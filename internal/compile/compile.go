@@ -27,6 +27,8 @@
 package compile
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"datatrace/internal/core"
@@ -56,6 +58,15 @@ type Options struct {
 	Hash func(any) int
 	// ChannelCap bounds executor inboxes (0 = runtime default).
 	ChannelCap int
+	// Recovery, when non-nil, enables marker-cut checkpointing and
+	// executor restart in the compiled topology. Every bolt the
+	// compiler emits for a core.Snapshotter instance (all built-in
+	// templates, fused or not) participates; see storm.RecoveryPolicy
+	// for the degradation knobs.
+	Recovery *storm.RecoveryPolicy
+	// FaultPlan injects deterministic failures into the compiled
+	// topology (see storm.FaultPlan); used by chaos tests.
+	FaultPlan *storm.FaultPlan
 }
 
 // sorter is implemented by core.Sort instances' operator; used to
@@ -139,7 +150,7 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 				if sortOp != nil {
 					return chain(sortOp.New(), inst)
 				}
-				return instanceBolt{inst}
+				return adapt(inst)
 			})
 			decl := boltDecl(top, n.Name)
 			grouping := groupingFor(n, fusedSort != nil)
@@ -152,6 +163,12 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 			// requires the consumer to be an OpNode.
 			top.AddSink(n.Name, in.Name)
 		}
+	}
+	if opts.Recovery != nil {
+		top.SetRecovery(*opts.Recovery)
+	}
+	if opts.FaultPlan != nil {
+		top.SetFaultPlan(opts.FaultPlan)
 	}
 	return top, nil
 }
@@ -213,14 +230,85 @@ type instanceBolt struct{ inst core.Instance }
 // Next implements storm.Bolt.
 func (b instanceBolt) Next(e stream.Event, emit func(stream.Event)) { b.inst.Next(e, emit) }
 
-// chain runs instance a and feeds its emissions into instance b — the
-// fusion of two operators into one bolt. The intermediate closure is
-// allocated once, not per event.
+// snapshotBolt is an instanceBolt whose instance can checkpoint; it
+// additionally implements storm.Recoverable, so the runtime's
+// marker-cut recovery can snapshot and restore the bolt.
+type snapshotBolt struct{ instanceBolt }
+
+// Snapshot implements storm.Recoverable via core.SnapshotInstance.
+func (b snapshotBolt) Snapshot() ([]byte, error) { return core.SnapshotInstance(b.inst) }
+
+// Restore implements storm.Recoverable.
+func (b snapshotBolt) Restore(data []byte) error { return core.RestoreInstance(b.inst, data) }
+
+// adapt wraps a core.Instance as a storm.Bolt, exposing
+// storm.Recoverable exactly when the instance supports checkpointing
+// — the method set advertises the capability to the runtime.
+func adapt(inst core.Instance) storm.Bolt {
+	if core.CanSnapshot(inst) {
+		return snapshotBolt{instanceBolt{inst}}
+	}
+	return instanceBolt{inst}
+}
+
+// chainBolt runs instance a and feeds its emissions into instance b —
+// the fusion of two operators into one bolt. The intermediate closure
+// is allocated once, not per event.
+type chainBolt struct {
+	a, b  core.Instance
+	outer func(stream.Event)
+	mid   func(stream.Event)
+}
+
+// Next implements storm.Bolt.
+func (c *chainBolt) Next(e stream.Event, emit func(stream.Event)) {
+	c.outer = emit
+	c.a.Next(e, c.mid)
+}
+
+// Snapshot implements storm.Recoverable: the fused bolt's checkpoint
+// is the pair of its instances' snapshots.
+func (c *chainBolt) Snapshot() ([]byte, error) {
+	sa, err := core.SnapshotInstance(c.a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := core.SnapshotInstance(c.b)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode([2][]byte{sa, sb}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements storm.Recoverable.
+func (c *chainBolt) Restore(data []byte) error {
+	var parts [2][]byte
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&parts); err != nil {
+		return err
+	}
+	if err := core.RestoreInstance(c.a, parts[0]); err != nil {
+		return err
+	}
+	return core.RestoreInstance(c.b, parts[1])
+}
+
+// plainBolt hides chainBolt's Recoverable methods when one of the
+// fused instances cannot snapshot, so the runtime sees an accurate
+// method set.
+type plainBolt struct{ b storm.Bolt }
+
+// Next implements storm.Bolt.
+func (p plainBolt) Next(e stream.Event, emit func(stream.Event)) { p.b.Next(e, emit) }
+
 func chain(a, b core.Instance) storm.Bolt {
-	var outer func(stream.Event)
-	mid := func(e stream.Event) { b.Next(e, outer) }
-	return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
-		outer = emit
-		a.Next(e, mid)
-	})
+	c := &chainBolt{a: a, b: b}
+	c.mid = func(e stream.Event) { c.b.Next(e, c.outer) }
+	if core.CanSnapshot(a) && core.CanSnapshot(b) {
+		return c
+	}
+	return plainBolt{c}
 }

@@ -191,6 +191,14 @@ func (in *slidingInstance[K, V, A]) Restore(dec *gob.Decoder) error {
 	return nil
 }
 
+// CanSnapshot reports whether an instance supports checkpointing.
+// Execution engines use it to decide, before deployment, whether an
+// operator can participate in marker-cut recovery.
+func CanSnapshot(inst Instance) bool {
+	_, ok := inst.(Snapshotter)
+	return ok
+}
+
 // SnapshotInstance serializes an instance's state, returning nil
 // bytes for instances that do not support checkpointing.
 func SnapshotInstance(inst Instance) ([]byte, error) {

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomStats builds a Stats with n executors of random busy times.
+func randomStats(r *rand.Rand, n int) *Stats {
+	s := NewStats()
+	for i := 0; i < n; i++ {
+		is := s.Instance("comp", i)
+		is.Busy = time.Duration(r.Int63n(int64(50 * time.Millisecond)))
+	}
+	return s
+}
+
+// TestMakespanProperties checks the scheduling-theoretic facts the
+// simulated-cluster model rests on, over random workloads:
+//
+//   - monotone: more workers never lengthen the schedule;
+//   - ≥ the longest single busy time (one job is indivisible);
+//   - ≥ total/workers (perfect balance is a lower bound);
+//   - one worker serializes everything: makespan = total busy.
+func TestMakespanProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := randomStats(r, 1+r.Intn(12))
+
+		var longest, total time.Duration
+		for _, is := range s.Instances() {
+			total += is.Busy
+			if is.Busy > longest {
+				longest = is.Busy
+			}
+		}
+
+		if got := s.Makespan(1); got != total {
+			t.Fatalf("trial %d: Makespan(1) = %v, want total %v", trial, got, total)
+		}
+		prev := s.Makespan(1)
+		for w := 2; w <= 8; w++ {
+			ms := s.Makespan(w)
+			if ms > prev {
+				t.Fatalf("trial %d: Makespan(%d)=%v > Makespan(%d)=%v — not monotone",
+					trial, w, ms, w-1, prev)
+			}
+			if ms < longest {
+				t.Fatalf("trial %d: Makespan(%d)=%v below the longest busy time %v",
+					trial, w, ms, longest)
+			}
+			if lower := total / time.Duration(w); ms < lower {
+				t.Fatalf("trial %d: Makespan(%d)=%v below the balance bound %v",
+					trial, w, ms, lower)
+			}
+			prev = ms
+		}
+
+		// Degenerate worker counts clamp to one worker.
+		if s.Makespan(0) != total || s.Makespan(-3) != total {
+			t.Fatalf("trial %d: non-positive worker counts must behave like 1", trial)
+		}
+	}
+}
+
+// TestNormalizePreservesShares checks that rescaling overflowing busy
+// times keeps every executor's relative share (up to rounding) and
+// that in-budget measurements are untouched.
+func TestNormalizePreservesShares(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		s := randomStats(r, 2+r.Intn(10))
+		before := map[int]time.Duration{}
+		var total time.Duration
+		for _, is := range s.Instances() {
+			before[is.Instance] = is.Busy
+			total += is.Busy
+		}
+
+		// A generous wall budget: nothing may change.
+		s.Normalize(total + time.Second)
+		for _, is := range s.Instances() {
+			if is.Busy != before[is.Instance] {
+				t.Fatalf("trial %d: in-budget Normalize changed executor %d", trial, is.Instance)
+			}
+		}
+
+		// A tiny wall budget: everything scales down, shares preserved.
+		wall := total / 100
+		if wall == 0 {
+			continue
+		}
+		s.Normalize(wall)
+		var after time.Duration
+		for _, is := range s.Instances() {
+			after += is.Busy
+			if is.Busy > before[is.Instance] {
+				t.Fatalf("trial %d: Normalize increased executor %d", trial, is.Instance)
+			}
+		}
+		for _, is := range s.Instances() {
+			// Relative share before vs after, with tolerance for the
+			// per-executor truncation to integer nanoseconds.
+			if total == 0 || after == 0 {
+				continue
+			}
+			shareBefore := float64(before[is.Instance]) / float64(total)
+			shareAfter := float64(is.Busy) / float64(after)
+			if diff := shareBefore - shareAfter; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("trial %d: Normalize changed executor %d's share: %f vs %f",
+					trial, is.Instance, shareBefore, shareAfter)
+			}
+		}
+	}
+}

@@ -28,6 +28,16 @@ type InstanceStats struct {
 	// Busy is the time the executor spent doing work (producing,
 	// merging, executing), excluding time blocked on channels.
 	Busy time.Duration
+	// Restarts counts recoveries of this executor: a crash rolled it
+	// back to its last completed marker cut and restarted it.
+	Restarts int64
+	// Replayed counts events re-delivered to this executor from its
+	// replay buffer during recoveries (the at-least-once re-deliveries
+	// that marker-cut rollback makes effectively exactly-once).
+	Replayed int64
+	// Dropped counts events discarded by this executor after it
+	// degraded (unrecoverable failure under a drop-and-log policy).
+	Dropped int64
 }
 
 // Stats aggregates per-instance metrics for a topology run. Beyond
@@ -110,6 +120,18 @@ func (s *Stats) Component(name string) (executed, emitted int64) {
 	return executed, emitted
 }
 
+// Recovery sums the fault-tolerance counters over all executors:
+// restarts performed, events replayed from replay buffers, and events
+// dropped by degraded executors.
+func (s *Stats) Recovery() (restarts, replayed, dropped int64) {
+	for _, is := range s.Instances() {
+		restarts += is.Restarts
+		replayed += is.Replayed
+		dropped += is.Dropped
+	}
+	return restarts, replayed, dropped
+}
+
 // TotalBusy is the sum of busy time over all executors — the total
 // compute the run consumed, independent of scheduling.
 func (s *Stats) TotalBusy() time.Duration {
@@ -163,13 +185,25 @@ func (s *Stats) Throughput(inputTuples int64, workers int) float64 {
 	return float64(inputTuples) / ms.Seconds()
 }
 
-// String renders a per-component summary table.
+// String renders a per-component summary table. The recovery columns
+// (restarts, replayed, dropped) appear only when some executor has a
+// nonzero counter, so failure-free runs render as before.
 func (s *Stats) String() string {
+	restarts, replayed, dropped := s.Recovery()
+	recovery := restarts != 0 || replayed != 0 || dropped != 0
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %4s %12s %12s %12s\n", "component", "inst", "executed", "emitted", "busy")
+	fmt.Fprintf(&b, "%-24s %4s %12s %12s %12s", "component", "inst", "executed", "emitted", "busy")
+	if recovery {
+		fmt.Fprintf(&b, " %9s %9s %9s", "restarts", "replayed", "dropped")
+	}
+	b.WriteByte('\n')
 	for _, is := range s.Instances() {
-		fmt.Fprintf(&b, "%-24s %4d %12d %12d %12s\n",
+		fmt.Fprintf(&b, "%-24s %4d %12d %12d %12s",
 			is.Component, is.Instance, is.Executed, is.Emitted, is.Busy.Round(time.Microsecond))
+		if recovery {
+			fmt.Fprintf(&b, " %9d %9d %9d", is.Restarts, is.Replayed, is.Dropped)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

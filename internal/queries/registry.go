@@ -115,6 +115,10 @@ type Spec struct {
 	Par int
 	// SourcePar is the number of source partitions (≥1).
 	SourcePar int
+	// Recovery enables marker-cut checkpointing in the compiled
+	// topology (Generated variant only; handcrafted topologies use raw
+	// edges and have no marker cuts to recover to).
+	Recovery bool
 }
 
 // Run executes the selected query variant to completion on the
@@ -134,11 +138,15 @@ func Run(env *Env, spec Spec) (*storm.Result, error) {
 	switch spec.Variant {
 	case Generated:
 		dag := def.DAG(env, spec.Par)
+		opts := &compile.Options{FuseSort: true}
+		if spec.Recovery {
+			opts.Recovery = &storm.RecoveryPolicy{Enabled: true}
+		}
 		top, err := compile.Compile(dag, map[string]compile.SourceSpec{
 			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
 				return storm.SpoutFunc(sources[i])
 			}},
-		}, nil)
+		}, opts)
 		if err != nil {
 			return nil, err
 		}

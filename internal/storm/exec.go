@@ -64,6 +64,11 @@ func (t *Topology) Run() (*Result, error) {
 	if err := t.validate(); err != nil {
 		return nil, err
 	}
+	if t.faultPlan != nil {
+		if err := t.faultPlan.validate(t); err != nil {
+			return nil, err
+		}
+	}
 	cap := t.ChannelCap
 	if cap <= 0 {
 		cap = defaultChannelCap
@@ -129,20 +134,24 @@ func (t *Topology) Run() (*Result, error) {
 		for i := 0; i < rc.parallelism; i++ {
 			wg.Add(1)
 			is := stats.Instance(rc.name, i)
-			go func(rc *runtimeComponent, i int) {
+			ef := t.faultPlan.faultsFor(rc.name, i)
+			go func(rc *runtimeComponent, i int, ef *executorFaults) {
 				defer wg.Done()
 				var err error
-				if rc.spout != nil {
-					err = runSpout(rc, i, is, hash)
-				} else {
-					err = runBolt(rc, i, is, hash)
+				switch {
+				case rc.spout != nil:
+					err = runSpout(rc, i, is, hash, ef, t.recovery)
+				case t.recovery.Enabled && rc.aligned:
+					err = runRecoverableBolt(rc, i, is, hash, ef, t.recovery)
+				default:
+					err = runBolt(rc, i, is, hash, ef, t.recovery)
 				}
 				if err != nil {
 					failMu.Lock()
 					failures = append(failures, err)
 					failMu.Unlock()
 				}
-			}(rc, i)
+			}(rc, i, ef)
 		}
 	}
 	wg.Wait()
@@ -179,6 +188,10 @@ type emitter struct {
 	ser Serializer
 	// worker is this executor's worker, or -1 without placement.
 	worker int
+	// faults, when set, injects serializer corruption on chosen edges.
+	faults *executorFaults
+	// scratch is the reused routing buffer of emit.
+	scratch []routedMsg
 }
 
 func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) *emitter {
@@ -189,21 +202,17 @@ func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, h
 	return em
 }
 
-// send delivers one event to a consumer instance, paying the wire
-// format when the hop crosses a worker boundary (or unconditionally
-// when no placement is configured).
-func (em *emitter) send(sub *subscription, target int, ch int, e stream.Event) {
-	if em.ser != nil && (em.worker < 0 || em.worker != sub.to.workerOf[target]) {
-		roundTripped, err := em.ser.RoundTrip(e)
-		if err != nil {
-			panic(err) // converted to an executor failure by guard
-		}
-		e = roundTripped
-	}
-	sub.to.inboxes[target] <- message{ch: ch, ev: e}
+// routedMsg is one event resolved to a concrete destination.
+type routedMsg struct {
+	sub    *subscription
+	target int
+	ch     int
+	e      stream.Event
 }
 
-func (em *emitter) emit(e stream.Event) {
+// route resolves the destinations of one emitted event, advancing the
+// round-robin cursors, without serializing or sending.
+func (em *emitter) route(e stream.Event, out []routedMsg) []routedMsg {
 	em.stats.Emitted++
 	for si := range em.rc.subs {
 		sub := &em.rc.subs[si]
@@ -212,7 +221,7 @@ func (em *emitter) emit(e stream.Event) {
 			// Markers are always broadcast so they reach every
 			// consumer instance and can act as punctuations.
 			for k := range sub.to.inboxes {
-				em.send(sub, k, ch, e)
+				out = append(out, routedMsg{sub, k, ch, e})
 			}
 			continue
 		}
@@ -220,17 +229,65 @@ func (em *emitter) emit(e stream.Event) {
 		case Shuffle:
 			k := em.rrNext[si]
 			em.rrNext[si] = (k + 1) % len(sub.to.inboxes)
-			em.send(sub, k, ch, e)
+			out = append(out, routedMsg{sub, k, ch, e})
 		case Fields:
-			em.send(sub, em.hash(e.Key)%len(sub.to.inboxes), ch, e)
+			out = append(out, routedMsg{sub, em.hash(e.Key) % len(sub.to.inboxes), ch, e})
 		case Global:
-			em.send(sub, 0, ch, e)
+			out = append(out, routedMsg{sub, 0, ch, e})
 		case Broadcast:
 			for k := range sub.to.inboxes {
-				em.send(sub, k, ch, e)
+				out = append(out, routedMsg{sub, k, ch, e})
 			}
 		}
 	}
+	return out
+}
+
+// wire applies the serialization boundary to one routed message in
+// place, paying the wire format when the hop crosses a worker
+// boundary (or unconditionally when no placement is configured). A
+// serialization failure — or an injected corruption fault — panics
+// and is converted to an executor failure by guard.
+func (em *emitter) wire(r *routedMsg) {
+	em.faults.onSend(em.rc.name, em.instance, r.sub.to.name)
+	if em.ser != nil && (em.worker < 0 || em.worker != r.sub.to.workerOf[r.target]) {
+		roundTripped, err := em.ser.RoundTrip(r.e)
+		if err != nil {
+			panic(err)
+		}
+		r.e = roundTripped
+	}
+}
+
+func (em *emitter) emit(e stream.Event) {
+	em.scratch = em.route(e, em.scratch[:0])
+	for i := range em.scratch {
+		r := &em.scratch[i]
+		em.wire(r)
+		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e}
+	}
+}
+
+// sendBlock delivers a block of emitted events transactionally:
+// destinations are routed and serialized for every event before the
+// first send, so a serialization failure leaves nothing partially
+// delivered and marker-cut recovery can regenerate the block without
+// duplicating output downstream.
+func (em *emitter) sendBlock(events []stream.Event) {
+	batch := em.scratch[:0]
+	for _, e := range events {
+		batch = em.route(e, batch)
+	}
+	for i := range batch {
+		em.wire(&batch[i])
+	}
+	for i := range batch {
+		r := &batch[i]
+		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e}
+	}
+	// Keep the grown buffer for the next block (emit and sendBlock are
+	// called from the same executor goroutine, never concurrently).
+	em.scratch = batch[:0]
 }
 
 // eos notifies every downstream instance that this sender instance's
@@ -258,8 +315,9 @@ func guard(component string, instance int, fn func()) (err error) {
 	return nil
 }
 
-func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) error {
+func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy) error {
 	em := newEmitter(rc, instance, is, hash)
+	em.faults = ef
 	err := guard(rc.name, instance, func() {
 		spout := rc.spout(instance)
 		for {
@@ -270,16 +328,25 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 				break
 			}
 			is.Executed++
+			ef.onEvent(rc.name, instance)
 			em.emit(e)
 			is.Busy += time.Since(t0)
 		}
 	})
+	if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
+		// Spouts have no marker cut to roll back to (their input is
+		// external); drop-and-log truncates the source instead of
+		// failing the run.
+		pol.logf("storm: spout %s[%d] failed, truncating its input: %v", rc.name, instance, err)
+		err = nil
+	}
 	em.eos()
 	return err
 }
 
-func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) error {
+func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy) error {
 	em := newEmitter(rc, instance, is, hash)
+	em.faults = ef
 	var bolt Bolt
 	if rc.isSink {
 		bolt = BoltFunc(func(e stream.Event, emit func(stream.Event)) {
@@ -304,16 +371,24 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 	eosLeft := rc.nChannels
 	inbox := rc.inboxes[instance]
 	var err error
+	dropping := false
 	for eosLeft > 0 {
 		m := <-inbox
 		if m.eos {
 			eosLeft--
 			continue
 		}
+		if dropping {
+			if !m.ev.IsMarker {
+				is.Dropped++
+			}
+			continue
+		}
 		if err != nil {
 			continue // failed executor keeps draining to its EOS
 		}
 		err = guard(rc.name, instance, func() {
+			ef.onEvent(rc.name, instance)
 			t0 := time.Now()
 			switch {
 			case merge != nil:
@@ -326,8 +401,15 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 			}
 			is.Busy += time.Since(t0)
 		})
+		if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
+			// No marker-cut recovery on this path (the bolt is not
+			// aligned, or cannot snapshot); degrade by dropping.
+			pol.logf("storm: %s[%d] failed without recovery, dropping its remaining input: %v", rc.name, instance, err)
+			err = nil
+			dropping = true
+		}
 	}
-	if err == nil {
+	if err == nil && !dropping {
 		err = guard(rc.name, instance, func() {
 			t0 := time.Now()
 			if merge != nil {
@@ -343,6 +425,10 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 			}
 			is.Busy += time.Since(t0)
 		})
+		if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
+			pol.logf("storm: %s[%d] failed at shutdown without recovery, dropping its trailing output: %v", rc.name, instance, err)
+			err = nil
+		}
 	}
 	em.eos()
 	return err

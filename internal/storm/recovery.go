@@ -1,0 +1,405 @@
+package storm
+
+import (
+	"fmt"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+// This file implements marker-cut recovery for bolt executors: the
+// runtime half of the paper's §1 claim that marker-delimited cuts
+// give a principled point for checkpointing and recovery.
+//
+// An aligned bolt executor only mutates its operator instance when
+// the MRG merger flushes a complete block (items of block i from
+// every input channel, then marker i) — between cuts the instance is
+// untouched. The recovery discipline exploits exactly that:
+//
+//   - Emissions are buffered per block and sent downstream only when
+//     the block's cut completes, with every serialization performed
+//     before the first send. Downstream therefore never observes a
+//     partially processed block: the flush is transactional.
+//   - At each completed cut the executor snapshots its instance
+//     (Recoverable — core.Snapshotter under the compile adapters)
+//     and records the round-robin cursors. The MRG merger itself is
+//     the replay buffer: it pops a block only after the block and its
+//     marker were fully delivered, so at any crash point
+//     MergeState.Pending is exactly the per-channel input received
+//     since each channel's last flushed block.
+//   - On a crash (a real bug or an injected fault) the executor
+//     builds a fresh instance, restores the last snapshot, rebuilds
+//     the merger by replaying the pending input, and resumes.
+//     Replayed events are re-delivered at least once; because the
+//     state was rolled back to the same marker cut the re-delivery is
+//     effectively exactly-once, and the run's output is
+//     trace-equivalent to a failure-free run.
+//
+// Executors whose bolts cannot snapshot (or whose restart budget is
+// exhausted) degrade per RecoveryPolicy.OnUnrecoverable: abort the
+// topology, or drop items and keep forwarding sequence-deduplicated
+// markers so downstream alignment still progresses.
+
+// Recoverable is the optional Bolt extension enabling marker-cut
+// recovery: a snapshot taken at a cut restores an equivalent bolt on
+// a fresh instance. The compile package adapts core.Snapshotter
+// instances to this interface; handcrafted bolts may implement it
+// directly. Snapshot must return an isolated copy (later mutation of
+// the live bolt cannot corrupt it).
+type Recoverable interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// recExec is the state of one recoverable bolt executor.
+type recExec struct {
+	rc       *runtimeComponent
+	instance int
+	is       *metrics.InstanceStats
+	em       *emitter
+	ef       *executorFaults
+	pol      RecoveryPolicy
+
+	bolt  Bolt
+	merge *stream.MergeState
+	// outBuf holds the current block's pending output: bolt emissions
+	// (for sinks: delivered events), flushed at the cut.
+	outBuf []stream.Event
+	// snap/rrSnap are the committed checkpoint: instance state and
+	// round-robin cursors at the last completed cut. hasSnap is false
+	// until the first cut (restart then uses a fresh instance).
+	snap     []byte
+	hasSnap  bool
+	rrSnap   []int
+	restarts int
+	// deliverFn/bufEmitFn are the per-executor closures handed to the
+	// merger and the bolt (allocated once, not per event).
+	deliverFn func(stream.Event)
+	bufEmitFn func(stream.Event)
+}
+
+// runRecoverableBolt is the executor loop for aligned bolts when
+// recovery is enabled. Non-aligned bolts have no marker cuts to
+// recover to and keep the plain runBolt path.
+func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy) error {
+	x := &recExec{
+		rc:       rc,
+		instance: instance,
+		is:       is,
+		em:       newEmitter(rc, instance, is, hash),
+		ef:       ef,
+		pol:      pol,
+		merge:    stream.NewMergeState(rc.nChannels),
+		rrSnap:   make([]int, len(rc.subs)),
+	}
+	x.em.faults = ef
+	x.deliverFn = x.deliver
+	x.bufEmitFn = x.bufEmit
+	if !rc.isSink {
+		x.bolt = rc.bolt(instance)
+	}
+
+	var fatal error
+	var degraded *degradeState
+	eosLeft := rc.nChannels
+	inbox := rc.inboxes[instance]
+	for eosLeft > 0 {
+		m := <-inbox
+		if m.eos {
+			eosLeft--
+			continue
+		}
+		if fatal != nil {
+			continue // failed executor keeps draining to its EOS
+		}
+		if degraded != nil {
+			degraded.handle(m.ev)
+			continue
+		}
+		recorded, err := x.process(m.ch, m.ev)
+		if err != nil {
+			// Capture the un-flushed input before restart replaces the
+			// merger. An injected fault fires before the event reaches
+			// the merger, so re-append it to keep per-channel order.
+			pending := x.merge.Pending()
+			if !recorded {
+				pending[m.ch] = append(pending[m.ch], m.ev)
+			}
+			left, rerr := x.recoverFrom(err, pending)
+			if rerr != nil {
+				if pol.OnUnrecoverable == DropAndLog {
+					degraded = x.degrade(rerr, left)
+				} else {
+					fatal = rerr
+				}
+			}
+		}
+	}
+	if fatal == nil && degraded == nil {
+		if left, err := x.finish(); err != nil {
+			if pol.OnUnrecoverable == DropAndLog {
+				x.degrade(err, left)
+			} else {
+				fatal = err
+			}
+		}
+	}
+	x.em.eos()
+	return fatal
+}
+
+// process consumes one live event, converting an executor panic into
+// an error. recorded reports whether the event reached the merger: it
+// is false exactly when the injected fault fired first (once
+// merge.Next is entered the event is appended before any consumer
+// code that could panic runs).
+func (x *recExec) process(ch int, ev stream.Event) (recorded bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("storm: executor %s[%d] panicked: %v", x.rc.name, x.instance, r)
+		}
+	}()
+	x.ef.onEvent(x.rc.name, x.instance)
+	recorded = true
+	t0 := time.Now()
+	x.merge.Next(ch, ev, x.deliverFn)
+	x.is.Busy += time.Since(t0)
+	return recorded, nil
+}
+
+// deliver receives one merged event (item, or the cut-completing
+// marker) for the operator. It is the emit target of the MRG merger.
+func (x *recExec) deliver(e stream.Event) {
+	x.is.Executed++
+	if x.rc.isSink {
+		x.outBuf = append(x.outBuf, e)
+	} else {
+		x.bolt.Next(e, x.bufEmitFn)
+	}
+	if e.IsMarker {
+		x.completeCut()
+	}
+}
+
+// bufEmit buffers one bolt emission until the block's cut completes.
+func (x *recExec) bufEmit(e stream.Event) { x.outBuf = append(x.outBuf, e) }
+
+// completeCut runs when the merger has flushed a complete block and
+// its marker through deliver: snapshot the instance at the cut, flush
+// the block's buffered output transactionally, then commit the
+// checkpoint. A panic before the flush's first send (snapshot error,
+// serialization failure, injected corruption) rolls back to the
+// previous cut with nothing delivered; after the sends only
+// executor-local bookkeeping remains. The merger pops the flushed
+// block itself once the cut's marker delivery returns, so no replay
+// trimming is needed here.
+func (x *recExec) completeCut() {
+	var snap []byte
+	snapped := x.rc.isSink
+	if !x.rc.isSink {
+		if r, ok := x.bolt.(Recoverable); ok {
+			b, err := r.Snapshot()
+			if err != nil {
+				panic(fmt.Sprintf("snapshot failed at marker cut: %v", err))
+			}
+			snap, snapped = b, true
+		}
+	}
+	x.flushOut()
+	if snapped {
+		x.snap, x.hasSnap = snap, true
+	}
+	x.rrSnap = append(x.rrSnap[:0], x.em.rrNext...)
+	// The buffered events were copied on send (or into the sink's
+	// output), so the backing array is reused for the next block.
+	x.outBuf = x.outBuf[:0]
+}
+
+// flushOut sends the buffered block downstream (or appends it to the
+// sink's collected output).
+func (x *recExec) flushOut() {
+	if len(x.outBuf) == 0 {
+		return
+	}
+	if x.rc.isSink {
+		x.rc.sinkMu.Lock()
+		x.rc.sinkOut = append(x.rc.sinkOut, x.outBuf...)
+		x.rc.sinkMu.Unlock()
+		return
+	}
+	x.em.sendBlock(x.outBuf)
+}
+
+// recoverFrom restarts the executor after a crash: restore the last
+// checkpoint and replay pending, the in-flight input captured from
+// the crashed merger. It retries up to the policy's restart budget (a
+// deterministic bug re-panics during replay) and returns (nil, nil)
+// on success, or the still-pending input with the terminal error so a
+// drop-and-log caller can drain it.
+func (x *recExec) recoverFrom(cause error, pending [][]stream.Event) ([][]stream.Event, error) {
+	if x.rc.bolt != nil {
+		if _, ok := x.bolt.(Recoverable); !ok && !x.rc.isSink {
+			return pending, fmt.Errorf("%w (bolt is not snapshottable)", cause)
+		}
+	}
+	for {
+		x.restarts++
+		if x.restarts > x.pol.maxRestarts() {
+			return pending, fmt.Errorf("%w (restart budget of %d exhausted)", cause, x.pol.maxRestarts())
+		}
+		x.is.Restarts++
+		x.pol.logf("storm: restarting %s[%d] from its last marker cut after: %v", x.rc.name, x.instance, cause)
+		if err := x.restart(); err != nil {
+			return pending, fmt.Errorf("storm: restart of %s[%d] failed: %w", x.rc.name, x.instance, err)
+		}
+		left, err := x.replayAll(pending)
+		if err != nil {
+			cause, pending = err, left
+			continue
+		}
+		return nil, nil
+	}
+}
+
+// restart rebuilds the executor at its last committed cut: a fresh
+// bolt instance restored from the snapshot, reset round-robin
+// cursors, an empty merger, and an empty output buffer.
+func (x *recExec) restart() error {
+	if !x.rc.isSink {
+		b := x.rc.bolt(x.instance)
+		r, ok := b.(Recoverable)
+		if !ok {
+			return fmt.Errorf("restarted bolt is not snapshottable")
+		}
+		if x.hasSnap {
+			if err := r.Restore(x.snap); err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+		}
+		x.bolt = b
+	}
+	x.em.rrNext = append(x.em.rrNext[:0], x.rrSnap...)
+	x.merge = stream.NewMergeState(x.rc.nChannels)
+	x.outBuf = nil
+	return nil
+}
+
+// replayAll re-delivers the pending in-flight input through the fresh
+// merger, exactly as if it were arriving live except that injected
+// per-event faults do not re-fire (cuts that complete during replay
+// flush and commit normally). On a crash mid-replay it returns the
+// input still pending — what the fresh merger had absorbed without
+// flushing, followed by the not-yet-fed tails — so a further retry
+// replays everything since the last committed cut.
+func (x *recExec) replayAll(pending [][]stream.Event) ([][]stream.Event, error) {
+	fed := make([]int, len(pending))
+	err := guard(x.rc.name, x.instance, func() {
+		t0 := time.Now()
+		for {
+			progressed := false
+			for ch := range pending {
+				if fed[ch] < len(pending[ch]) {
+					e := pending[ch][fed[ch]]
+					fed[ch]++
+					x.is.Replayed++
+					x.merge.Next(ch, e, x.deliverFn)
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		x.is.Busy += time.Since(t0)
+	})
+	if err == nil {
+		return nil, nil
+	}
+	left := x.merge.Pending()
+	for ch := range pending {
+		left[ch] = append(left[ch], pending[ch][fed[ch]:]...)
+	}
+	return left, err
+}
+
+// finish runs the end-of-stream step — trailing unaligned items,
+// the optional Flusher, and the final partial block's flush — with
+// the same crash recovery as live processing. On terminal failure it
+// returns the still-pending input for drop-and-log draining.
+func (x *recExec) finish() ([][]stream.Event, error) {
+	for {
+		err := guard(x.rc.name, x.instance, func() {
+			t0 := time.Now()
+			for _, e := range x.merge.Trailing() {
+				x.deliver(e)
+			}
+			if !x.rc.isSink {
+				if f, ok := x.bolt.(Flusher); ok {
+					f.Flush(x.bufEmitFn)
+				}
+			}
+			x.flushOut()
+			x.is.Busy += time.Since(t0)
+		})
+		if err == nil {
+			return nil, nil
+		}
+		x.pol.logf("storm: %s[%d] failed during shutdown: %v", x.rc.name, x.instance, err)
+		pending := x.merge.Pending()
+		if left, rerr := x.recoverFrom(err, pending); rerr != nil {
+			return left, rerr
+		}
+	}
+}
+
+// degradeState is an aligned executor after an unrecoverable failure
+// under the drop-and-log policy: items are dropped (and counted), and
+// markers are forwarded once each — deduplicated by sequence number
+// across the executor's input channels — so downstream marker
+// alignment keeps progressing.
+type degradeState struct {
+	x *recExec
+	// seen[seq] counts input channels that delivered marker seq.
+	seen    map[int64]int
+	stopped bool
+}
+
+// degrade transitions the executor into drop-and-log mode, dropping
+// the pending input left over from the failed recovery and forwarding
+// any marker that input already completed.
+func (x *recExec) degrade(cause error, pending [][]stream.Event) *degradeState {
+	x.pol.logf("storm: %s[%d] is unrecoverable, degrading to drop-and-log: %v", x.rc.name, x.instance, cause)
+	d := &degradeState{x: x, seen: map[int64]int{}}
+	for _, buf := range pending {
+		for _, e := range buf {
+			d.handle(e)
+		}
+	}
+	x.outBuf = nil
+	return d
+}
+
+// handle processes one event in degraded mode.
+func (d *degradeState) handle(e stream.Event) {
+	if !e.IsMarker {
+		d.x.is.Dropped++
+		return
+	}
+	d.seen[e.Marker.Seq]++
+	if d.seen[e.Marker.Seq] < d.x.rc.nChannels {
+		return
+	}
+	delete(d.seen, e.Marker.Seq)
+	if d.stopped {
+		return
+	}
+	// Channels deliver markers in sequence order, so completions are
+	// in sequence order too; forward each completed marker once.
+	if err := guard(d.x.rc.name, d.x.instance, func() {
+		d.x.em.emit(e)
+	}); err != nil {
+		d.x.pol.logf("storm: degraded %s[%d] stopped forwarding markers: %v", d.x.rc.name, d.x.instance, err)
+		d.stopped = true
+	}
+}

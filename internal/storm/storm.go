@@ -162,6 +162,8 @@ type Topology struct {
 	hash       func(any) int
 	serializer func() Serializer
 	workers    int
+	faultPlan  *FaultPlan
+	recovery   RecoveryPolicy
 }
 
 // NewTopology creates an empty topology.
@@ -187,6 +189,40 @@ func (t *Topology) SetSerializer(factory func() Serializer) { t.serializer = fac
 // across workers pay it — Storm's intra- vs inter-worker distinction.
 // n ≤ 0 restores the default (every send serialized).
 func (t *Topology) SetWorkers(n int) { t.workers = n }
+
+// SetFaultPlan installs a deterministic failure schedule for the next
+// Run (see FaultPlan). nil removes it.
+func (t *Topology) SetFaultPlan(p *FaultPlan) { t.faultPlan = p }
+
+// SetRecovery configures marker-cut checkpointing and executor
+// restart (see RecoveryPolicy). The zero policy disables recovery.
+func (t *Topology) SetRecovery(p RecoveryPolicy) { t.recovery = p }
+
+// ComponentInfo describes one declared component, for tooling and
+// fault-plan construction.
+type ComponentInfo struct {
+	Name        string
+	Parallelism int
+	// Kind is "spout", "bolt" or "sink".
+	Kind string
+}
+
+// Components lists the declared components in declaration order.
+func (t *Topology) Components() []ComponentInfo {
+	out := make([]ComponentInfo, 0, len(t.order))
+	for _, name := range t.order {
+		c := t.components[name]
+		kind := "bolt"
+		switch {
+		case c.spout != nil:
+			kind = "spout"
+		case c.isSink:
+			kind = "sink"
+		}
+		out = append(out, ComponentInfo{Name: c.name, Parallelism: c.parallelism, Kind: kind})
+	}
+	return out
+}
 
 // AddSpout declares a source component with the given parallelism.
 // The factory is called once per instance.

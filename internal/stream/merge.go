@@ -76,7 +76,6 @@ func (m *MergeState) advance(emit func(Event)) {
 		mark := m.queued[0][0].mark
 		for ch := range m.queued {
 			b := m.queued[ch][0]
-			m.queued[ch] = m.queued[ch][1:]
 			for _, it := range b.items {
 				emit(it)
 			}
@@ -85,8 +84,32 @@ func (m *MergeState) advance(emit func(Event)) {
 			}
 		}
 		emit(Mark(mark))
+		// Pop only after the whole block and its marker were delivered:
+		// a consumer that panics mid-block leaves the merger holding the
+		// complete un-flushed input, recoverable via Pending.
+		for ch := range m.queued {
+			m.queued[ch] = m.queued[ch][1:]
+		}
 		m.emitted++
 	}
+}
+
+// Pending returns, per channel, every buffered event the merger has
+// not yet flushed downstream: the items and markers of the queued
+// (closed but incomplete) blocks followed by the open block's items.
+// Feeding each sequence back into a fresh merger on the same channel
+// reproduces this merger's state — the basis of marker-cut replay in
+// the execution engines.
+func (m *MergeState) Pending() [][]Event {
+	out := make([][]Event, m.n)
+	for ch := range out {
+		for _, b := range m.queued[ch] {
+			out[ch] = append(out[ch], b.items...)
+			out[ch] = append(out[ch], Mark(b.mark))
+		}
+		out[ch] = append(out[ch], m.open[ch]...)
+	}
+	return out
 }
 
 // Trailing returns every item still buffered at end-of-stream: the

@@ -63,6 +63,62 @@ func FuzzNormalFormInvariants(f *testing.F) {
 	})
 }
 
+// FuzzTraceNormalForm fuzzes NormalForm as a canonical-representative
+// function under both practical dependence relations (the §3 types
+// U(K,V) and O(K,V) with markers): it preserves the item multiset,
+// it never reorders dependent items, and sequence equality of normal
+// forms decides trace equivalence.
+func FuzzTraceNormalForm(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3}, []byte{3, 1, 0, 2})
+	f.Add([]byte{0, 0}, []byte{0})
+	f.Add([]byte{6, 13, 0, 6, 13}, []byte{13, 6, 0, 13, 6})
+	f.Add([]byte{5, 10, 15}, []byte{15, 10, 5})
+	deps := []Dependence{MarkerUnordered{Marker: "#"}, MarkerOrdered{Marker: "#"}}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		u, v := decodeSeq(a), decodeSeq(b)
+		for _, dep := range deps {
+			nf := NormalForm(dep, u)
+			// Multiset preservation: the normal form is a permutation.
+			count := func(s []Item) map[string]int {
+				m := map[string]int{}
+				for _, it := range s {
+					m[Render([]Item{it})]++
+				}
+				return m
+			}
+			cu, cn := count(u), count(nf)
+			if len(cu) != len(cn) {
+				t.Fatalf("%T: normal form changed the item multiset: %s vs %s", dep, Render(u), Render(nf))
+			}
+			for k, n := range cu {
+				if cn[k] != n {
+					t.Fatalf("%T: normal form changed multiplicity of %s", dep, k)
+				}
+			}
+			// Normal-form equality decides equivalence.
+			nfv := NormalForm(dep, v)
+			if got, want := sequencesEqual(nf, nfv), Equivalent(dep, u, v); got != want {
+				t.Fatalf("%T: normal-form equality (%v) disagrees with Equivalent (%v) on %s vs %s",
+					dep, got, want, Render(u), Render(v))
+			}
+			// Markers are a total order in both relations: their
+			// subsequence is untouched.
+			markers := func(s []Item) []Item {
+				var out []Item
+				for _, it := range s {
+					if it.Tag == "#" {
+						out = append(out, it)
+					}
+				}
+				return out
+			}
+			if !sequencesEqual(markers(u), markers(nf)) {
+				t.Fatalf("%T: normal form reordered markers: %s vs %s", dep, Render(u), Render(nf))
+			}
+		}
+	})
+}
+
 // FuzzFoataAgreesWithNormalForm fuzzes the agreement of the two
 // canonical forms as equivalence deciders.
 func FuzzFoataAgreesWithNormalForm(f *testing.F) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate, runnable locally.
+#
+#   scripts/check.sh            # vet + build + race tests + fuzz smokes
+#   FUZZTIME=30s scripts/check.sh   # longer fuzz smokes
+#
+# Each fuzz target runs for a short budget on top of its checked-in
+# seed corpus; a found counterexample is written to the package's
+# testdata/fuzz directory by the Go tooling and fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smokes (${FUZZTIME} each) =="
+go test -run xxx -fuzz 'FuzzNormalFormInvariants$' -fuzztime "$FUZZTIME" ./internal/trace/
+go test -run xxx -fuzz 'FuzzTraceNormalForm$' -fuzztime "$FUZZTIME" ./internal/trace/
+go test -run xxx -fuzz 'FuzzFoataAgreesWithNormalForm$' -fuzztime "$FUZZTIME" ./internal/trace/
+go test -run xxx -fuzz 'FuzzSplitMergeIdentity$' -fuzztime "$FUZZTIME" ./internal/stream/
+go test -run xxx -fuzz 'FuzzMergePreservesMarkers$' -fuzztime "$FUZZTIME" ./internal/stream/
+go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/core/
+
+echo "== ok =="
