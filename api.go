@@ -3,6 +3,7 @@ package datatrace
 import (
 	"datatrace/internal/compile"
 	"datatrace/internal/core"
+	"datatrace/internal/metrics"
 	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 )
@@ -171,3 +172,43 @@ const (
 	// markers keep flowing.
 	DropAndLog = storm.DropAndLog
 )
+
+// --- observability -----------------------------------------------------------
+
+// ObsConfig configures the executor-level observability subsystem:
+// per-executor execute/queue latency histograms, queue-depth
+// (backpressure) gauges, marker-cut lag tracking and sampled event
+// spans. Attach with Topology.SetObservability or
+// CompileOptions.Observability; disabled by default (zero overhead).
+type ObsConfig = metrics.ObsConfig
+
+// DefaultObsConfig enables observability with the default sampling
+// period and span-ring capacity.
+func DefaultObsConfig() ObsConfig { return metrics.DefaultObsConfig() }
+
+// Stats is a run's live metrics collector. During Run it is reachable
+// via Topology.LiveStats (race-safe to poll); after Run it is
+// Result.Stats.
+type Stats = metrics.Stats
+
+// StatsSnapshot is a consistent copy-on-read export of a Stats
+// collector (Stats.Snapshot), safe to retain and render while the run
+// continues.
+type StatsSnapshot = metrics.StatsSnapshot
+
+// InstanceSnapshot is one executor's counters, histograms, gauges and
+// retained spans inside a StatsSnapshot.
+type InstanceSnapshot = metrics.InstanceSnapshot
+
+// ComponentSnapshot aggregates a component's instances: summed
+// counters, merged histograms, max queue depth
+// (StatsSnapshot.ByComponent).
+type ComponentSnapshot = metrics.ComponentSnapshot
+
+// Hist is an immutable log-bucketed latency histogram snapshot; merge
+// is a commutative monoid and quantiles carry ≤2× relative error.
+type Hist = metrics.Hist
+
+// Span is one sampled event execution (component, instance, executed
+// ordinal, wall-clock start/end).
+type Span = metrics.Span

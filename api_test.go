@@ -192,3 +192,60 @@ func TestUnitRendering(t *testing.T) {
 		t.Fatal("unit must render as Ut")
 	}
 }
+
+// TestPublicAPIObservability exercises the observability surface
+// through the re-exports only: compile with CompileOptions.Observability,
+// poll LiveStats mid-run semantics via the final collector, and render
+// the snapshot.
+func TestPublicAPIObservability(t *testing.T) {
+	in := apiStream(6, 30, 6)
+	dag := NewDAG()
+	src := dag.Source("source", U("Int", "Float"))
+	s := dag.Op(apiSum(), 2, dag.Op(apiFilter(), 2, src))
+	dag.Sink("printer", s)
+
+	cfg := DefaultObsConfig()
+	top, err := Compile(dag, map[string]SourceSpec{
+		"source": {Parallelism: 1, Factory: func(int) Spout { return SliceSpout(in) }},
+	}, &CompileOptions{FuseSort: true, Observability: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live *Stats = top.LiveStats()
+	if live != res.Stats {
+		t.Fatal("LiveStats must expose the run's collector")
+	}
+	snap := live.Snapshot()
+	var comps []ComponentSnapshot = snap.ByComponent()
+	byName := map[string]ComponentSnapshot{}
+	for _, c := range comps {
+		byName[c.Component] = c
+	}
+	if byName["source"].Executed != int64(len(in)) {
+		t.Fatalf("source executed %d, want %d", byName["source"].Executed, len(in))
+	}
+	var h Hist = byName["filterEven"].Exec
+	if h.Empty() || h.Quantile(0.99) < h.Quantile(0.50) {
+		t.Fatalf("bad exec histogram: %+v", h)
+	}
+	if byName["filterEven"].MaxQueueDepth < 1 {
+		t.Fatal("backpressure gauge never observed a queued message")
+	}
+	if !strings.Contains(snap.ObsTable(), "filterEven") {
+		t.Fatalf("ObsTable missing component:\n%s", snap.ObsTable())
+	}
+	var spans []Span
+	for _, is := range snap.Instances {
+		var isnap InstanceSnapshot = is
+		spans = append(spans, isnap.Spans...)
+	}
+	for _, sp := range spans {
+		if sp.Duration() < 0 || sp.Component == "" {
+			t.Fatalf("malformed span %+v", sp)
+		}
+	}
+}

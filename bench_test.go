@@ -98,6 +98,18 @@ func BenchmarkQueryIVGeneratedRecovery(b *testing.B) {
 		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2, Recovery: true,
 	})
 }
+
+// BenchmarkQueryIVGeneratedObserved is the observability overhead
+// probe: the same run as BenchmarkQueryIVGenerated with the
+// executor-level observability subsystem enabled (latency histograms,
+// queue gauges, span sampling at the default period). Compare tuples/s
+// against BenchmarkQueryIVGenerated to get the enabled overhead; the
+// acceptance bound is <5% (see EXPERIMENTS.md).
+func BenchmarkQueryIVGeneratedObserved(b *testing.B) {
+	benchQuerySpec(b, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2, Obs: true,
+	})
+}
 func BenchmarkQueryVGenerated(b *testing.B)    { benchQuery(b, "V", queries.Generated) }
 func BenchmarkQueryVHandcrafted(b *testing.B)  { benchQuery(b, "V", queries.Handcrafted) }
 func BenchmarkQueryVIGenerated(b *testing.B)   { benchQuery(b, "VI", queries.Generated) }

@@ -6,6 +6,7 @@
 //	dttbench -figure recovery   # checkpoint-interval sweep of marker-cut recovery
 //	dttbench -figure all        # everything, plus the section 2 experiment
 //	dttbench -section2          # only the motivation experiment
+//	dttbench -obs               # Query IV observability report on both runtimes
 //	dttbench -figure 4 -csv     # machine-readable output
 //
 // Workload knobs: -eps (events/second), -seconds (event-time length),
@@ -26,6 +27,7 @@ func main() {
 	var (
 		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery or all")
 		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
+		obs      = flag.Bool("obs", false, "run Query IV with observability on and print per-component p50/p99 exec latency, max queue depth and marker-cut lag for both runtimes")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
 		workers  = flag.Int("workers", 8, "maximum simulated cluster size")
 		eps      = flag.Int("eps", 2000, "Yahoo workload events per second")
@@ -46,6 +48,10 @@ func main() {
 
 	if *section2 {
 		runSection2()
+		return
+	}
+	if *obs {
+		runObs(cfg, *csv)
 		return
 	}
 
@@ -94,6 +100,19 @@ func runRecovery(cfg bench.Config, csv bool) {
 		return
 	}
 	fmt.Println(res.Table())
+}
+
+func runObs(cfg bench.Config, csv bool) {
+	rep, err := bench.Observability(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(rep.CSV())
+		return
+	}
+	fmt.Println(rep.Table())
 }
 
 func runSection2() {

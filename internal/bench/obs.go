@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/microbatch"
+	"datatrace/internal/queries"
+	"datatrace/internal/stream"
+)
+
+// ObsReport is the `dttbench -obs` artifact: the observability
+// subsystem's per-component view of Query IV on both runtimes —
+// execute-latency quantiles, the high-water queue depth (backpressure
+// gauge) and marker-cut lag per component, plus a sampled span trace
+// from the storm run.
+type ObsReport struct {
+	// Storm is the per-component snapshot of the storm run (Generated
+	// variant with recovery on, so marker-cut lag is recorded).
+	Storm metrics.StatsSnapshot
+	// Microbatch is the per-task snapshot of the micro-batch run of the
+	// same DAG (its marker lag is per-batch task duration; its queue
+	// gauge is the per-partition batch backlog).
+	Microbatch metrics.StatsSnapshot
+	// StormWall and MicrobatchWall are the runs' elapsed times.
+	StormWall      time.Duration
+	MicrobatchWall time.Duration
+}
+
+// Observability runs Query IV with the observability subsystem
+// enabled on both backends and returns the collected snapshots.
+func Observability(cfg Config) (*ObsReport, error) {
+	// Storm backend: generated Query IV with recovery, so the report
+	// includes marker-cut lag.
+	env, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+	if err != nil {
+		return nil, err
+	}
+	res, err := queries.Run(env, queries.Spec{
+		Query:     "IV",
+		Variant:   queries.Generated,
+		Par:       cfg.MaxWorkers,
+		SourcePar: cfg.SourcePar,
+		Recovery:  true,
+		Obs:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Micro-batch backend on the same DAG and input.
+	def, err := queries.ByName("IV")
+	if err != nil {
+		return nil, err
+	}
+	env2, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+	if err != nil {
+		return nil, err
+	}
+	input := def.ReferenceInput(env2)
+	mbRes, err := microbatch.RunDAG(def.DAG(env2, cfg.MaxWorkers),
+		map[string][]stream.Event{"yahoo": input},
+		&microbatch.Options{Obs: metrics.DefaultObsConfig()})
+	if err != nil {
+		return nil, err
+	}
+
+	return &ObsReport{
+		Storm:          res.Stats.Snapshot(),
+		Microbatch:     mbRes.Stats.Snapshot(),
+		StormWall:      res.Wall,
+		MicrobatchWall: mbRes.Wall,
+	}, nil
+}
+
+// Table renders the report as aligned text.
+func (r *ObsReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== observability: Query IV per-component latency, backpressure and marker lag ==\n")
+	fmt.Fprintf(&b, "\nstorm backend (wall %s):\n", r.StormWall.Round(time.Millisecond))
+	b.WriteString(r.Storm.ObsTable())
+	fmt.Fprintf(&b, "\nmicro-batch backend (wall %s; marker lag = per-batch task duration):\n",
+		r.MicrobatchWall.Round(time.Millisecond))
+	b.WriteString(r.Microbatch.ObsTable())
+	b.WriteString("\nsampled span trace (storm, most recent per executor ring):\n")
+	b.WriteString(r.Storm.SpanTrace())
+	return b.String()
+}
+
+// CSV renders the per-component rows as comma-separated records:
+// backend,component,instances,executed,exec_p50_ns,exec_p99_ns,
+// max_queue_depth,marker_lag_p50_ns,marker_lag_p99_ns.
+func (r *ObsReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("backend,component,instances,executed,exec_p50_ns,exec_p99_ns,max_queue_depth,marker_lag_p50_ns,marker_lag_p99_ns\n")
+	emit := func(backend string, s metrics.StatsSnapshot) {
+		for _, c := range s.ByComponent() {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
+				backend, c.Component, c.Instances, c.Executed,
+				c.Exec.Quantile(0.50), c.Exec.Quantile(0.99),
+				c.MaxQueueDepth,
+				c.MarkerLag.Quantile(0.50), c.MarkerLag.Quantile(0.99))
+		}
+	}
+	emit("storm", r.Storm)
+	emit("microbatch", r.Microbatch)
+	return b.String()
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"datatrace/internal/core"
+	"datatrace/internal/metrics"
 	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	// FaultPlan injects deterministic failures into the compiled
 	// topology (see storm.FaultPlan); used by chaos tests.
 	FaultPlan *storm.FaultPlan
+	// Observability, when non-nil, configures the runtime's
+	// observability subsystem (latency histograms, queue gauges,
+	// marker-lag tracking, span sampling; see metrics.ObsConfig).
+	Observability *metrics.ObsConfig
 }
 
 // sorter is implemented by core.Sort instances' operator; used to
@@ -169,6 +174,9 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 	}
 	if opts.FaultPlan != nil {
 		top.SetFaultPlan(opts.FaultPlan)
+	}
+	if opts.Observability != nil {
+		top.SetObservability(*opts.Observability)
 	}
 	return top, nil
 }

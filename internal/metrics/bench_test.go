@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Hot-path micro-benchmarks of the observability subsystem; the
+// per-event costs quoted in EXPERIMENTS.md come from these.
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i&4095) + 100)
+	}
+}
+
+func BenchmarkObserveExec(b *testing.B) {
+	s := NewStats()
+	s.SetObservability(DefaultObsConfig())
+	is := s.Instance("x", 0)
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		is.ObserveExec(t0, 500)
+	}
+}
+
+func BenchmarkObserveQueuePair(b *testing.B) {
+	s := NewStats()
+	s.SetObservability(DefaultObsConfig())
+	is := s.Instance("x", 0)
+	for i := 0; i < b.N; i++ {
+		is.ObserveQueueDepth(17)
+		is.ObserveQueue(500)
+	}
+}
+
+func BenchmarkStatsSnapshot(b *testing.B) {
+	s := NewStats()
+	s.SetObservability(DefaultObsConfig())
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 4; i++ {
+			is := s.Instance(string(rune('a'+c)), i)
+			for k := 0; k < 1000; k++ {
+				is.ObserveExec(time.Now(), time.Duration(k))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := s.Snapshot()
+		if len(snap.Instances) != 16 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the latency histogram of the observability
+// subsystem: a log-bucketed (power-of-two) histogram whose hot path is
+// a handful of atomic adds — no locks, no allocation — so every bolt
+// executor can record a nanosecond sample per event without perturbing
+// the run it is measuring. Reading happens through Snapshot, which
+// produces a plain mergeable value (Hist) safe to aggregate across
+// instances, components and runtimes.
+
+// histBuckets is the number of power-of-two buckets. Bucket 0 holds
+// non-positive samples; bucket i (i ≥ 1) holds samples in
+// [2^(i-1), 2^i - 1] nanoseconds. 63 octaves cover the full int64
+// nanosecond range (≈292 years), so no sample is ever clipped.
+const histBuckets = 64
+
+// bucketOf maps a nanosecond sample to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// BucketBounds returns the inclusive sample range of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return math.MinInt64, 0
+	case i >= histBuckets-1:
+		return int64(1) << (histBuckets - 2), math.MaxInt64
+	default:
+		return int64(1) << (i - 1), (int64(1) << i) - 1
+	}
+}
+
+// Histogram is the live, writer-side histogram. Record is safe to
+// call concurrently with Snapshot (and with other writers); all hot
+// fields are atomics. The zero value is NOT ready — use NewHistogram,
+// which seeds the min/max trackers. A nil *Histogram ignores Record
+// calls, which is how disabled observability stays free: executors
+// hold nil histograms and the per-event cost is one pointer test.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Record adds one nanosecond sample. nil-safe no-op.
+func (h *Histogram) Record(ns int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	atomicMin(&h.min, ns)
+	atomicMax(&h.max, ns)
+}
+
+// RecordDuration adds one duration sample. nil-safe no-op.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v >= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram into a plain mergeable value. It is
+// safe to call while writers are recording; the copy is a monitoring
+// read, not a consistent cut (a sample that lands mid-copy may or may
+// not be included), which is exactly the "safe to read mid-run"
+// contract of Stats.Snapshot. nil-safe: returns an empty Hist.
+func (h *Histogram) Snapshot() Hist {
+	var s Hist
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += int64(c)
+		s.Sum += int64(c) * bucketMid(i)
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	return s
+}
+
+// bucketMid is the midpoint estimate used for Hist.Sum: a pure
+// function of the bucket index, so Sum is linear in the counts and
+// Merge agrees exactly with recording into one histogram. Bucket 0
+// (non-positive samples) estimates 0.
+func bucketMid(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	lo, hi := BucketBounds(i)
+	return lo + (hi-lo)/2
+}
+
+// histogramFrom rebuilds a live histogram from a snapshot (used by
+// Stats.Filtered to deep-copy records).
+func histogramFrom(s Hist) *Histogram {
+	h := NewHistogram()
+	for i, c := range s.Counts {
+		h.counts[i].Store(c)
+	}
+	if s.Count > 0 {
+		h.min.Store(s.Min)
+		h.max.Store(s.Max)
+	}
+	return h
+}
+
+// Hist is an immutable histogram snapshot: a plain value that can be
+// merged, compared and serialized. The zero value is the empty
+// histogram; Min/Max are meaningful only when Count > 0.
+//
+// Merge forms a commutative monoid with the empty Hist as identity
+// (commutative, associative, count-preserving — the package property
+// tests check all three), so per-instance histograms aggregate to
+// per-component and per-topology views in any order.
+type Hist struct {
+	// Counts holds per-bucket sample counts (see BucketBounds).
+	Counts [histBuckets]uint64
+	// Count is the total number of samples.
+	Count int64
+	// Sum is the bucket-midpoint estimate of the sample sum (for
+	// Mean); like Quantile it carries ≤2× relative error on positive
+	// samples. It is linear in Counts, so merged Sums agree exactly
+	// with combined recording.
+	Sum int64
+	// Min and Max are the exact extreme samples.
+	Min, Max int64
+}
+
+// Empty reports whether the histogram holds no samples.
+func (s Hist) Empty() bool { return s.Count == 0 }
+
+// Merge combines two snapshots.
+func (s Hist) Merge(o Hist) Hist {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := s
+	for i := range out.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile sample: the
+// upper bucket bound of the bucket where the cumulative count crosses
+// q·Count, clamped to the exact [Min, Max] range. q ≤ 0 returns the
+// exact minimum, q ≥ 1 the exact maximum; an empty histogram returns
+// 0. The log bucketing bounds the relative error by 2×.
+func (s Hist) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range s.Counts {
+		cum += int64(s.Counts[i])
+		if cum >= rank {
+			_, hi := BucketBounds(i)
+			if hi > s.Max {
+				hi = s.Max
+			}
+			if hi < s.Min {
+				hi = s.Min
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// QuantileDuration is Quantile as a time.Duration.
+func (s Hist) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+// Mean returns the bucket-midpoint estimate of the mean sample
+// (0 when empty; ≤2× relative error on positive samples).
+func (s Hist) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// String renders a compact summary.
+func (s Hist) String() string {
+	if s.Count == 0 {
+		return "hist{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d mean=%s p50=%s p99=%s min=%s max=%s}",
+		s.Count, time.Duration(s.Mean()),
+		s.QuantileDuration(0.50), s.QuantileDuration(0.99),
+		time.Duration(s.Min), time.Duration(s.Max))
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomHist builds a Hist from n random samples drawn over a wide
+// log range, returning the snapshot and the raw samples.
+func randomHist(r *rand.Rand, n int) (Hist, []int64) {
+	h := NewHistogram()
+	samples := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform over ~9 decades, occasionally zero or negative.
+		var v int64
+		switch r.Intn(10) {
+		case 0:
+			v = 0
+		case 1:
+			v = -r.Int63n(1000)
+		default:
+			v = int64(1) << uint(r.Intn(40))
+			v += r.Int63n(v)
+		}
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	return h.Snapshot(), samples
+}
+
+// TestHistogramBucketContainsSample: every recorded value maps to a
+// bucket whose bounds contain it.
+func TestHistogramBucketContainsSample(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		v := r.Int63n(1 << 50)
+		if trial%7 == 0 {
+			v = -v
+		}
+		i := bucketOf(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("sample %d landed in bucket %d with bounds [%d, %d]", v, i, lo, hi)
+		}
+	}
+	// Boundary values.
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, 2, 3, 4, 1023, 1024, math.MaxInt64} {
+		i := bucketOf(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("boundary sample %d in bucket %d with bounds [%d, %d]", v, i, lo, hi)
+		}
+	}
+}
+
+// TestQuantileExtremes: q ≤ 0 returns the exact minimum, q ≥ 1 the
+// exact maximum, and interior quantiles stay within [min, max].
+func TestQuantileExtremes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s, samples := randomHist(r, 1+r.Intn(100))
+		min, max := samples[0], samples[0]
+		for _, v := range samples {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if got := s.Quantile(0); got != min {
+			t.Fatalf("trial %d: Quantile(0) = %d, want min %d", trial, got, min)
+		}
+		if got := s.Quantile(-0.5); got != min {
+			t.Fatalf("trial %d: Quantile(-0.5) = %d, want min %d", trial, got, min)
+		}
+		if got := s.Quantile(1); got != max {
+			t.Fatalf("trial %d: Quantile(1) = %d, want max %d", trial, got, max)
+		}
+		if got := s.Quantile(2); got != max {
+			t.Fatalf("trial %d: Quantile(2) = %d, want max %d", trial, got, max)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got := s.Quantile(q)
+			if got < min || got > max {
+				t.Fatalf("trial %d: Quantile(%v) = %d outside [%d, %d]", trial, q, got, min, max)
+			}
+		}
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Quantile(0) != 0 || empty.Quantile(1) != 0 {
+		t.Fatal("empty histogram quantiles must be 0")
+	}
+}
+
+// TestQuantileUpperBound: the interior quantile is an upper bound for
+// the true quantile sample (the bucket's upper bound can only
+// overshoot), and within 2× of it (the log-bucket relative error).
+func TestQuantileUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		s, samples := randomHist(r, 1+r.Intn(200))
+		sorted := append([]int64(nil), samples...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := sorted[rank-1]
+			got := s.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d: Quantile(%v) = %d below the exact sample %d", trial, q, got, exact)
+			}
+			if exact > 0 && got > 2*exact {
+				t.Fatalf("trial %d: Quantile(%v) = %d more than 2x the exact sample %d", trial, q, got, exact)
+			}
+		}
+	}
+}
+
+func histEqual(a, b Hist) bool {
+	if a.Counts != b.Counts || a.Count != b.Count || a.Sum != b.Sum {
+		return false
+	}
+	if a.Count == 0 {
+		return true
+	}
+	return a.Min == b.Min && a.Max == b.Max
+}
+
+// TestMergeProperties: Merge is commutative, associative and
+// count/sum-preserving, with the empty Hist as identity.
+func TestMergeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	var empty Hist
+	for trial := 0; trial < 200; trial++ {
+		a, _ := randomHist(r, r.Intn(50))
+		b, _ := randomHist(r, r.Intn(50))
+		c, _ := randomHist(r, r.Intn(50))
+
+		if !histEqual(a.Merge(b), b.Merge(a)) {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+		if !histEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+		if !histEqual(a.Merge(empty), a) || !histEqual(empty.Merge(a), a) {
+			t.Fatalf("trial %d: empty is not the identity", trial)
+		}
+		m := a.Merge(b)
+		if m.Count != a.Count+b.Count {
+			t.Fatalf("trial %d: merge lost samples: %d + %d = %d", trial, a.Count, b.Count, m.Count)
+		}
+		if m.Sum != a.Sum+b.Sum {
+			t.Fatalf("trial %d: merge lost sum", trial)
+		}
+		for i := range m.Counts {
+			if m.Counts[i] != a.Counts[i]+b.Counts[i] {
+				t.Fatalf("trial %d: bucket %d not additive", trial, i)
+			}
+		}
+	}
+}
+
+// TestMergeMatchesCombinedRecording: merging two snapshots equals
+// recording both sample sets into one histogram.
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		a, as := randomHist(r, 1+r.Intn(50))
+		b, bs := randomHist(r, 1+r.Intn(50))
+		combined := NewHistogram()
+		for _, v := range as {
+			combined.Record(v)
+		}
+		for _, v := range bs {
+			combined.Record(v)
+		}
+		if !histEqual(a.Merge(b), combined.Snapshot()) {
+			t.Fatalf("trial %d: merge differs from combined recording", trial)
+		}
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Record(5) // must not panic
+	h.RecordDuration(time.Second)
+	if !h.Snapshot().Empty() {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Snapshot().String(); got != "hist{empty}" {
+		t.Fatalf("empty string = %q", got)
+	}
+	h.RecordDuration(time.Millisecond)
+	h.RecordDuration(2 * time.Millisecond)
+	s := h.Snapshot()
+	// Mean is a bucket-midpoint estimate: within 2x of the true 1.5ms.
+	trueMean := int64(1500 * time.Microsecond)
+	if s.Count != 2 || s.Mean() < trueMean/2 || s.Mean() > 2*trueMean {
+		t.Fatalf("unexpected snapshot: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("non-empty histogram must render")
+	}
+}
+
+// FuzzHistogramRecord checks the record/snapshot invariants on
+// arbitrary sample pairs: counts and min/max are exact, Sum is a
+// bounded midpoint estimate, every sample's bucket contains it, and
+// quantile extremes return min/max.
+func FuzzHistogramRecord(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1), int64(-1))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64))
+	f.Add(int64(1023), int64(1024))
+	f.Add(int64(time.Second), int64(time.Microsecond))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		h := NewHistogram()
+		h.Record(a)
+		h.Record(b)
+		s := h.Snapshot()
+		if s.Count != 2 {
+			t.Fatalf("count = %d", s.Count)
+		}
+		// Sum is the bucket-midpoint estimate: for positive samples small
+		// enough not to overflow the doubling, it is within 2x of the
+		// true sum in either direction.
+		if a > 0 && b > 0 && a < 1<<60 && b < 1<<60 {
+			if s.Sum < (a+b)/2 || s.Sum > 2*(a+b) {
+				t.Fatalf("sum estimate %d outside [%d, %d]", s.Sum, (a+b)/2, 2*(a+b))
+			}
+		}
+		min, max := a, b
+		if b < a {
+			min, max = b, a
+		}
+		if s.Min != min || s.Max != max {
+			t.Fatalf("min/max = %d/%d, want %d/%d", s.Min, s.Max, min, max)
+		}
+		if s.Quantile(0) != min || s.Quantile(1) != max {
+			t.Fatalf("quantile extremes broken")
+		}
+		for _, v := range []int64{a, b} {
+			lo, hi := BucketBounds(bucketOf(v))
+			if v < lo || v > hi {
+				t.Fatalf("sample %d outside its bucket [%d, %d]", v, lo, hi)
+			}
+		}
+		// Merging with itself doubles counts.
+		m := s.Merge(s)
+		if m.Count != 4 || m.Sum != 2*s.Sum {
+			t.Fatalf("self-merge: %+v", m)
+		}
+	})
+}

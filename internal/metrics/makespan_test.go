@@ -11,7 +11,7 @@ func randomStats(r *rand.Rand, n int) *Stats {
 	s := NewStats()
 	for i := 0; i < n; i++ {
 		is := s.Instance("comp", i)
-		is.Busy = time.Duration(r.Int63n(int64(50 * time.Millisecond)))
+		is.SetBusy(time.Duration(r.Int63n(int64(50 * time.Millisecond))))
 	}
 	return s
 }
@@ -30,9 +30,9 @@ func TestMakespanProperties(t *testing.T) {
 
 		var longest, total time.Duration
 		for _, is := range s.Instances() {
-			total += is.Busy
-			if is.Busy > longest {
-				longest = is.Busy
+			total += is.Busy()
+			if is.Busy() > longest {
+				longest = is.Busy()
 			}
 		}
 
@@ -74,14 +74,14 @@ func TestNormalizePreservesShares(t *testing.T) {
 		before := map[int]time.Duration{}
 		var total time.Duration
 		for _, is := range s.Instances() {
-			before[is.Instance] = is.Busy
-			total += is.Busy
+			before[is.Instance] = is.Busy()
+			total += is.Busy()
 		}
 
 		// A generous wall budget: nothing may change.
 		s.Normalize(total + time.Second)
 		for _, is := range s.Instances() {
-			if is.Busy != before[is.Instance] {
+			if is.Busy() != before[is.Instance] {
 				t.Fatalf("trial %d: in-budget Normalize changed executor %d", trial, is.Instance)
 			}
 		}
@@ -94,8 +94,8 @@ func TestNormalizePreservesShares(t *testing.T) {
 		s.Normalize(wall)
 		var after time.Duration
 		for _, is := range s.Instances() {
-			after += is.Busy
-			if is.Busy > before[is.Instance] {
+			after += is.Busy()
+			if is.Busy() > before[is.Instance] {
 				t.Fatalf("trial %d: Normalize increased executor %d", trial, is.Instance)
 			}
 		}
@@ -106,7 +106,7 @@ func TestNormalizePreservesShares(t *testing.T) {
 				continue
 			}
 			shareBefore := float64(before[is.Instance]) / float64(total)
-			shareAfter := float64(is.Busy) / float64(after)
+			shareAfter := float64(is.Busy()) / float64(after)
 			if diff := shareBefore - shareAfter; diff > 1e-4 || diff < -1e-4 {
 				t.Fatalf("trial %d: Normalize changed executor %d's share: %f vs %f",
 					trial, is.Instance, shareBefore, shareAfter)

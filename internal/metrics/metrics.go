@@ -5,6 +5,13 @@
 // rule and throughput at W workers is input tuples over the resulting
 // makespan (see DESIGN.md for why this reproduces the paper's scaling
 // figures on a single machine).
+//
+// On top of the counters the package provides the observability
+// subsystem: log-bucketed latency histograms (histogram.go), sampled
+// event-trace spans (span.go) and queue gauges, all readable mid-run
+// through the copy-on-read Stats.Snapshot. Every counter is an
+// atomic, so a monitoring goroutine can poll while executors run —
+// race-clean by construction, proven by the -race soak tests.
 package metrics
 
 import (
@@ -13,32 +20,158 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// ObsConfig tunes the observability subsystem of one run. The zero
+// value disables it entirely: no histograms are allocated, no
+// timestamps are taken, and the per-event cost is a nil-pointer test.
+type ObsConfig struct {
+	// Enabled turns on latency histograms, queue gauges, marker-lag
+	// tracking and span sampling for every executor.
+	Enabled bool
+	// SampleEvery samples one execute span per N executed events per
+	// executor (0 selects the default of 256; < 0 disables spans).
+	SampleEvery int
+	// SpanRing is the per-executor span ring capacity (0 = 128).
+	SpanRing int
+}
+
+// DefaultObsConfig returns the enabled configuration with default
+// sampling parameters.
+func DefaultObsConfig() ObsConfig { return ObsConfig{Enabled: true} }
+
+func (c ObsConfig) sampleEvery() int {
+	if c.SampleEvery == 0 {
+		return 256
+	}
+	return c.SampleEvery
+}
+
+func (c ObsConfig) spanRing() int {
+	if c.SpanRing <= 0 {
+		return 128
+	}
+	return c.SpanRing
+}
+
 // InstanceStats are the metrics of one executor (component instance).
+// Writes go through the Add/Observe methods and are performed by the
+// executor that owns the record; reads may come from any goroutine at
+// any time (Stats.Snapshot, the accessor methods), so every counter
+// is an atomic.
 type InstanceStats struct {
 	// Component and Instance identify the executor.
 	Component string
 	Instance  int
-	// Executed counts events processed (for spouts: events produced).
-	Executed int64
-	// Emitted counts events sent downstream.
-	Emitted int64
-	// Busy is the time the executor spent doing work (producing,
-	// merging, executing), excluding time blocked on channels.
-	Busy time.Duration
-	// Restarts counts recoveries of this executor: a crash rolled it
-	// back to its last completed marker cut and restarted it.
-	Restarts int64
-	// Replayed counts events re-delivered to this executor from its
-	// replay buffer during recoveries (the at-least-once re-deliveries
-	// that marker-cut rollback makes effectively exactly-once).
-	Replayed int64
-	// Dropped counts events discarded by this executor after it
-	// degraded (unrecoverable failure under a drop-and-log policy).
-	Dropped int64
+
+	executed atomic.Int64 // events processed (spouts: produced)
+	emitted  atomic.Int64 // events sent downstream
+	busy     atomic.Int64 // ns doing work, excluding channel blocking
+	restarts atomic.Int64 // marker-cut recoveries of this executor
+	replayed atomic.Int64 // events re-delivered during recoveries
+	dropped  atomic.Int64 // events discarded after degradation
+
+	// maxQueue is the high-water inbox depth observed at receives —
+	// the backpressure gauge (0 when observability is disabled).
+	maxQueue atomic.Int64
+
+	// exec/queue/markerLag are nil when observability is disabled;
+	// every Observe method is nil-safe, which keeps the disabled hot
+	// path at a single pointer test.
+	exec      *Histogram // per-event execute latency
+	queue     *Histogram // emit-to-receive inbox latency
+	markerLag *Histogram // marker-cut start → snapshot-flush lag
+	spans     *spanRing  // sampled execute spans
 }
+
+// AddExecuted counts n processed events.
+func (is *InstanceStats) AddExecuted(n int64) { is.executed.Add(n) }
+
+// Executed returns the events processed so far (for spouts: produced).
+func (is *InstanceStats) Executed() int64 { return is.executed.Load() }
+
+// AddEmitted counts n events sent downstream.
+func (is *InstanceStats) AddEmitted(n int64) { is.emitted.Add(n) }
+
+// Emitted returns the events sent downstream so far.
+func (is *InstanceStats) Emitted() int64 { return is.emitted.Load() }
+
+// AddBusy accrues work time.
+func (is *InstanceStats) AddBusy(d time.Duration) { is.busy.Add(int64(d)) }
+
+// Busy returns the accumulated work time (excluding channel blocking).
+func (is *InstanceStats) Busy() time.Duration { return time.Duration(is.busy.Load()) }
+
+// SetBusy overwrites the busy time (Normalize, tests).
+func (is *InstanceStats) SetBusy(d time.Duration) { is.busy.Store(int64(d)) }
+
+// AddRestarts counts n recoveries.
+func (is *InstanceStats) AddRestarts(n int64) { is.restarts.Add(n) }
+
+// Restarts returns the recoveries performed.
+func (is *InstanceStats) Restarts() int64 { return is.restarts.Load() }
+
+// AddReplayed counts n re-delivered events.
+func (is *InstanceStats) AddReplayed(n int64) { is.replayed.Add(n) }
+
+// Replayed returns the events re-delivered during recoveries.
+func (is *InstanceStats) Replayed() int64 { return is.replayed.Load() }
+
+// AddDropped counts n discarded events.
+func (is *InstanceStats) AddDropped(n int64) { is.dropped.Add(n) }
+
+// Dropped returns the events discarded after degradation.
+func (is *InstanceStats) Dropped() int64 { return is.dropped.Load() }
+
+// ObsEnabled reports whether this record collects observability data.
+// Executors use it to skip the extra time.Now calls of queue-latency
+// stamping when observability is off.
+func (is *InstanceStats) ObsEnabled() bool { return is.exec != nil }
+
+// ObserveExec records one execute-latency sample and, on the sampling
+// grid, an event-trace span. start is when the execution began; d its
+// duration. No-op when observability is disabled.
+func (is *InstanceStats) ObserveExec(start time.Time, d time.Duration) {
+	if is.exec == nil {
+		return
+	}
+	is.exec.RecordDuration(d)
+	is.spans.sample(is.executed.Load(), start, d)
+}
+
+// ObserveQueue records one emit-to-receive inbox latency sample.
+func (is *InstanceStats) ObserveQueue(d time.Duration) { is.queue.RecordDuration(d) }
+
+// ObserveQueueDepth folds one observed inbox depth into the
+// high-water backpressure gauge. No-op when observability is off.
+func (is *InstanceStats) ObserveQueueDepth(depth int) {
+	if is.exec == nil {
+		return
+	}
+	atomicMax(&is.maxQueue, int64(depth))
+}
+
+// MaxQueueDepth returns the high-water inbox depth.
+func (is *InstanceStats) MaxQueueDepth() int64 { return is.maxQueue.Load() }
+
+// ObserveMarkerLag records one marker-cut lag sample: the time from a
+// cut's first marker arrival to its snapshot flush.
+func (is *InstanceStats) ObserveMarkerLag(d time.Duration) { is.markerLag.RecordDuration(d) }
+
+// ExecHist returns a snapshot of the execute-latency histogram.
+func (is *InstanceStats) ExecHist() Hist { return is.exec.Snapshot() }
+
+// QueueHist returns a snapshot of the inbox-latency histogram.
+func (is *InstanceStats) QueueHist() Hist { return is.queue.Snapshot() }
+
+// MarkerLagHist returns a snapshot of the marker-cut-lag histogram.
+func (is *InstanceStats) MarkerLagHist() Hist { return is.markerLag.Snapshot() }
+
+// Spans returns the retained sampled spans (oldest first) and the
+// lifetime total sampled.
+func (is *InstanceStats) Spans() ([]Span, int64) { return is.spans.snapshot() }
 
 // Stats aggregates per-instance metrics for a topology run. Beyond
 // raw counters it computes the simulated-cluster schedule used by the
@@ -50,16 +183,41 @@ type InstanceStats struct {
 type Stats struct {
 	mu        sync.Mutex
 	instances []*InstanceStats
+	obs       ObsConfig
 }
 
 // NewStats creates an empty collector.
 func NewStats() *Stats { return &Stats{} }
+
+// SetObservability configures the observability subsystem for
+// instances registered after the call (runtimes call it once, before
+// starting executors).
+func (s *Stats) SetObservability(cfg ObsConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = cfg
+}
+
+// Observability returns the active configuration.
+func (s *Stats) Observability() ObsConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}
 
 // Instance registers and returns the stats record for an executor.
 func (s *Stats) Instance(component string, idx int) *InstanceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	is := &InstanceStats{Component: component, Instance: idx}
+	if s.obs.Enabled {
+		is.exec = NewHistogram()
+		is.queue = NewHistogram()
+		is.markerLag = NewHistogram()
+		if s.obs.sampleEvery() > 0 {
+			is.spans = newSpanRing(component, idx, s.obs.sampleEvery(), s.obs.spanRing())
+		}
+	}
 	s.instances = append(s.instances, is)
 	return is
 }
@@ -83,14 +241,14 @@ func (s *Stats) Normalize(wall time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, is := range s.instances {
-		total += is.Busy
+		total += is.Busy()
 	}
 	if total <= limit {
 		return
 	}
 	factor := float64(limit) / float64(total)
 	for _, is := range s.instances {
-		is.Busy = time.Duration(float64(is.Busy) * factor)
+		is.SetBusy(time.Duration(float64(is.Busy()) * factor))
 	}
 }
 
@@ -98,8 +256,8 @@ func (s *Stats) Normalize(wall time.Duration) {
 // instance.
 func (s *Stats) Instances() []*InstanceStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := append([]*InstanceStats(nil), s.instances...)
+	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Component != out[j].Component {
 			return out[i].Component < out[j].Component
@@ -113,8 +271,8 @@ func (s *Stats) Instances() []*InstanceStats {
 func (s *Stats) Component(name string) (executed, emitted int64) {
 	for _, is := range s.Instances() {
 		if is.Component == name {
-			executed += is.Executed
-			emitted += is.Emitted
+			executed += is.Executed()
+			emitted += is.Emitted()
 		}
 	}
 	return executed, emitted
@@ -125,9 +283,9 @@ func (s *Stats) Component(name string) (executed, emitted int64) {
 // dropped by degraded executors.
 func (s *Stats) Recovery() (restarts, replayed, dropped int64) {
 	for _, is := range s.Instances() {
-		restarts += is.Restarts
-		replayed += is.Replayed
-		dropped += is.Dropped
+		restarts += is.Restarts()
+		replayed += is.Replayed()
+		dropped += is.Dropped()
 	}
 	return restarts, replayed, dropped
 }
@@ -137,7 +295,7 @@ func (s *Stats) Recovery() (restarts, replayed, dropped int64) {
 func (s *Stats) TotalBusy() time.Duration {
 	var total time.Duration
 	for _, is := range s.Instances() {
-		total += is.Busy
+		total += is.Busy()
 	}
 	return total
 }
@@ -150,9 +308,10 @@ func (s *Stats) Makespan(workers int) time.Duration {
 	if workers < 1 {
 		workers = 1
 	}
-	busy := make([]time.Duration, 0, len(s.instances))
-	for _, is := range s.Instances() {
-		busy = append(busy, is.Busy)
+	insts := s.Instances()
+	busy := make([]time.Duration, 0, len(insts))
+	for _, is := range insts {
+		busy = append(busy, is.Busy())
 	}
 	sort.Slice(busy, func(i, j int) bool { return busy[i] > busy[j] })
 	loads := make([]time.Duration, workers)
@@ -199,9 +358,9 @@ func (s *Stats) String() string {
 	b.WriteByte('\n')
 	for _, is := range s.Instances() {
 		fmt.Fprintf(&b, "%-24s %4d %12d %12d %12s",
-			is.Component, is.Instance, is.Executed, is.Emitted, is.Busy.Round(time.Microsecond))
+			is.Component, is.Instance, is.Executed(), is.Emitted(), is.Busy().Round(time.Microsecond))
 		if recovery {
-			fmt.Fprintf(&b, " %9d %9d %9d", is.Restarts, is.Replayed, is.Dropped)
+			fmt.Fprintf(&b, " %9d %9d %9d", is.Restarts(), is.Replayed(), is.Dropped())
 		}
 		b.WriteByte('\n')
 	}
@@ -210,16 +369,29 @@ func (s *Stats) String() string {
 
 // Filtered returns a new Stats containing only the executors whose
 // component satisfies keep — e.g. to compare backends on operator
-// work alone, excluding sources a backend does not model.
+// work alone, excluding sources a backend does not model. Records are
+// deep copies: mutating the filtered view never touches the original.
 func (s *Stats) Filtered(keep func(component string) bool) *Stats {
 	out := NewStats()
 	for _, is := range s.Instances() {
 		if !keep(is.Component) {
 			continue
 		}
-		c := *is
+		c := &InstanceStats{Component: is.Component, Instance: is.Instance}
+		c.executed.Store(is.Executed())
+		c.emitted.Store(is.Emitted())
+		c.busy.Store(int64(is.Busy()))
+		c.restarts.Store(is.Restarts())
+		c.replayed.Store(is.Replayed())
+		c.dropped.Store(is.Dropped())
+		c.maxQueue.Store(is.MaxQueueDepth())
+		if is.ObsEnabled() {
+			c.exec = histogramFrom(is.ExecHist())
+			c.queue = histogramFrom(is.QueueHist())
+			c.markerLag = histogramFrom(is.MarkerLagHist())
+		}
 		out.mu.Lock()
-		out.instances = append(out.instances, &c)
+		out.instances = append(out.instances, c)
 		out.mu.Unlock()
 	}
 	return out

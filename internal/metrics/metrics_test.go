@@ -10,7 +10,7 @@ func TestMakespanLPT(t *testing.T) {
 	s := NewStats()
 	for _, busy := range []time.Duration{4 * time.Second, 3 * time.Second, 2 * time.Second, time.Second} {
 		is := s.Instance("c", len(s.Instances()))
-		is.Busy = busy
+		is.SetBusy(busy)
 	}
 	// LPT on 2 workers: {4,1} and {3,2} → makespan 5s.
 	if got := s.Makespan(2); got != 5*time.Second {
@@ -29,7 +29,7 @@ func TestMakespanLPT(t *testing.T) {
 
 func TestThroughput(t *testing.T) {
 	s := NewStats()
-	s.Instance("c", 0).Busy = 2 * time.Second
+	s.Instance("c", 0).SetBusy(2 * time.Second)
 	if got := s.Throughput(1000, 1); got < 499 || got > 501 {
 		t.Fatalf("throughput = %v, want ≈500", got)
 	}
@@ -42,10 +42,12 @@ func TestThroughput(t *testing.T) {
 func TestComponentAggregation(t *testing.T) {
 	s := NewStats()
 	a := s.Instance("a", 0)
-	a.Executed, a.Emitted = 10, 5
+	a.AddExecuted(10)
+	a.AddEmitted(5)
 	b := s.Instance("a", 1)
-	b.Executed, b.Emitted = 7, 2
-	s.Instance("b", 0).Executed = 100
+	b.AddExecuted(7)
+	b.AddEmitted(2)
+	s.Instance("b", 0).AddExecuted(100)
 	exec, emit := s.Component("a")
 	if exec != 17 || emit != 7 {
 		t.Fatalf("component a = %d/%d", exec, emit)
@@ -54,14 +56,14 @@ func TestComponentAggregation(t *testing.T) {
 
 func TestFiltered(t *testing.T) {
 	s := NewStats()
-	s.Instance("spout", 0).Busy = 5 * time.Second
-	s.Instance("op", 0).Busy = time.Second
+	s.Instance("spout", 0).SetBusy(5 * time.Second)
+	s.Instance("op", 0).SetBusy(time.Second)
 	f := s.Filtered(func(c string) bool { return c == "op" })
 	if f.TotalBusy() != time.Second {
 		t.Fatalf("filtered total = %v", f.TotalBusy())
 	}
 	// Mutating the filtered copy must not touch the original.
-	f.Instances()[0].Busy = 0
+	f.Instances()[0].SetBusy(0)
 	if s.TotalBusy() != 6*time.Second {
 		t.Fatal("Filtered must deep-copy records")
 	}
@@ -69,8 +71,8 @@ func TestFiltered(t *testing.T) {
 
 func TestNormalizeCapsAtWallTimesProcs(t *testing.T) {
 	s := NewStats()
-	s.Instance("a", 0).Busy = 3 * time.Second
-	s.Instance("b", 0).Busy = time.Second
+	s.Instance("a", 0).SetBusy(3 * time.Second)
+	s.Instance("b", 0).SetBusy(time.Second)
 	s.Normalize(time.Second) // limit = 1s × GOMAXPROCS(=1 on CI hosts, ≥1 anywhere)
 	total := s.TotalBusy()
 	if total > 4*time.Second {
@@ -78,15 +80,15 @@ func TestNormalizeCapsAtWallTimesProcs(t *testing.T) {
 	}
 	// Proportions preserved.
 	insts := s.Instances()
-	if insts[0].Busy < insts[1].Busy*2 {
-		t.Fatalf("normalization broke proportions: %v vs %v", insts[0].Busy, insts[1].Busy)
+	if insts[0].Busy() < insts[1].Busy()*2 {
+		t.Fatalf("normalization broke proportions: %v vs %v", insts[0].Busy(), insts[1].Busy())
 	}
 }
 
 func TestStringTable(t *testing.T) {
 	s := NewStats()
 	is := s.Instance("comp", 0)
-	is.Executed = 3
+	is.AddExecuted(3)
 	if !strings.Contains(s.String(), "comp") {
 		t.Fatal("table missing component")
 	}

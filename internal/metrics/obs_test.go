@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotWhileRecording is the -race soak for the copy-on-read
+// contract: writer goroutines hammer every counter and histogram of a
+// Stats while reader goroutines poll Snapshot, ByComponent and the
+// renderers. Run under -race this proves mid-run reads are safe; the
+// final snapshot is additionally checked for exact totals.
+func TestSnapshotWhileRecording(t *testing.T) {
+	s := NewStats()
+	s.SetObservability(ObsConfig{Enabled: true, SampleEvery: 8, SpanRing: 16})
+
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: poll everything the monitoring path exposes.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				for _, c := range snap.ByComponent() {
+					_ = c.Exec.Quantile(0.99)
+					_ = c.MarkerLag.Mean()
+				}
+				_ = snap.ObsTable()
+				_ = snap.SpanTrace()
+				_ = s.String()
+				_, _, _ = s.Recovery()
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			is := s.Instance("writer", w)
+			start := time.Now()
+			for i := 0; i < perWriter; i++ {
+				is.AddExecuted(1)
+				is.AddEmitted(1)
+				is.AddBusy(time.Microsecond)
+				is.ObserveExec(start, time.Duration(i%1000)*time.Nanosecond)
+				is.ObserveQueue(time.Duration(i) * time.Nanosecond)
+				is.ObserveQueueDepth(i % 64)
+				if i%100 == 0 {
+					is.ObserveMarkerLag(time.Duration(i) * time.Microsecond)
+					is.AddRestarts(1)
+					is.AddReplayed(2)
+					is.AddDropped(1)
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Wait for the writers by polling the executed total — itself a
+	// mid-run read, which is the point of the test.
+	deadline := time.After(30 * time.Second)
+	for {
+		snap := s.Snapshot()
+		var total int64
+		for _, is := range snap.Instances {
+			total += is.Executed
+		}
+		if total == writers*perWriter {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("writers did not finish")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+
+	snap := s.Snapshot()
+	if len(snap.Instances) != writers {
+		t.Fatalf("instances = %d", len(snap.Instances))
+	}
+	for _, is := range snap.Instances {
+		if is.Executed != perWriter || is.Emitted != perWriter {
+			t.Fatalf("writer %d: executed/emitted = %d/%d", is.Instance, is.Executed, is.Emitted)
+		}
+		if is.Exec.Count != perWriter {
+			t.Fatalf("writer %d: exec histogram count = %d", is.Instance, is.Exec.Count)
+		}
+		if is.Queue.Count != perWriter {
+			t.Fatalf("writer %d: queue histogram count = %d", is.Instance, is.Queue.Count)
+		}
+		if is.MarkerLag.Count != perWriter/100 {
+			t.Fatalf("writer %d: marker-lag count = %d", is.Instance, is.MarkerLag.Count)
+		}
+		if is.MaxQueueDepth != 63 {
+			t.Fatalf("writer %d: max queue depth = %d", is.Instance, is.MaxQueueDepth)
+		}
+		if is.SpanTotal != perWriter/8 {
+			t.Fatalf("writer %d: span total = %d", is.Instance, is.SpanTotal)
+		}
+		if len(is.Spans) != 16 {
+			t.Fatalf("writer %d: retained spans = %d", is.Instance, len(is.Spans))
+		}
+	}
+	comps := snap.ByComponent()
+	if len(comps) != 1 || comps[0].Executed != writers*perWriter {
+		t.Fatalf("component aggregate wrong: %+v", comps)
+	}
+	if comps[0].Exec.Count != writers*perWriter {
+		t.Fatalf("merged exec count = %d", comps[0].Exec.Count)
+	}
+}
+
+// TestObservabilityDisabledStructure checks the zero-overhead-when-
+// disabled design structurally: a Stats without observability hands
+// out records with nil histograms (one pointer test per event) and
+// every Observe call is a no-op that records nothing.
+func TestObservabilityDisabledStructure(t *testing.T) {
+	s := NewStats()
+	is := s.Instance("c", 0)
+	if is.ObsEnabled() {
+		t.Fatal("observability must default to disabled")
+	}
+	is.ObserveExec(time.Now(), time.Millisecond)
+	is.ObserveQueue(time.Millisecond)
+	is.ObserveQueueDepth(99)
+	is.ObserveMarkerLag(time.Millisecond)
+	snap := s.Snapshot()
+	if !snap.Instances[0].Exec.Empty() || !snap.Instances[0].Queue.Empty() ||
+		!snap.Instances[0].MarkerLag.Empty() {
+		t.Fatal("disabled observability must record nothing")
+	}
+	if snap.Instances[0].MaxQueueDepth != 0 {
+		t.Fatal("disabled observability must not track queue depth")
+	}
+	if spans, total := is.Spans(); len(spans) != 0 || total != 0 {
+		t.Fatal("disabled observability must not sample spans")
+	}
+}
+
+// TestObsConfigDefaults pins the documented defaults.
+func TestObsConfigDefaults(t *testing.T) {
+	cfg := DefaultObsConfig()
+	if !cfg.Enabled {
+		t.Fatal("DefaultObsConfig must enable observability")
+	}
+	if cfg.sampleEvery() != 256 || cfg.spanRing() != 128 {
+		t.Fatalf("defaults = %d/%d", cfg.sampleEvery(), cfg.spanRing())
+	}
+	neg := ObsConfig{Enabled: true, SampleEvery: -1}
+	s := NewStats()
+	s.SetObservability(neg)
+	is := s.Instance("c", 0)
+	if !is.ObsEnabled() {
+		t.Fatal("histograms must be on even with spans disabled")
+	}
+	is.ObserveExec(time.Now(), time.Millisecond)
+	if spans, _ := is.Spans(); len(spans) != 0 {
+		t.Fatal("SampleEvery < 0 must disable spans")
+	}
+}
+
+// TestFilteredCopiesObservability: Filtered deep-copies histograms so
+// the filtered view is isolated from the original.
+func TestFilteredCopiesObservability(t *testing.T) {
+	s := NewStats()
+	s.SetObservability(DefaultObsConfig())
+	is := s.Instance("op", 0)
+	is.ObserveExec(time.Now(), time.Millisecond)
+	is.ObserveQueueDepth(7)
+
+	f := s.Filtered(func(c string) bool { return true })
+	fis := f.Instances()[0]
+	if fis.ExecHist().Count != 1 || fis.MaxQueueDepth() != 7 {
+		t.Fatal("Filtered must copy observability state")
+	}
+	fis.ObserveExec(time.Now(), time.Millisecond)
+	if is.ExecHist().Count != 1 {
+		t.Fatal("mutating the filtered copy leaked into the original")
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the sampled event-trace span facility: every
+// executor keeps a small ring buffer of spans — one per SampleEvery
+// executed events — so a run can be traced ("what was component X
+// doing, and when") without recording every event. Sampling keeps the
+// overhead off the hot path: the per-event cost is a plain countdown
+// decrement and a branch (the ring, like the rest of an executor's
+// write path, is only ever written by its own executor goroutine);
+// the ring's mutex is taken only when a span is actually sampled
+// (every Nth event), never on the common path.
+
+// Span is one sampled event execution.
+type Span struct {
+	// Component and Instance identify the executor.
+	Component string
+	Instance  int
+	// Seq is the executor's executed-event ordinal at sampling time.
+	Seq int64
+	// Start and End are wall-clock nanoseconds (time.Time.UnixNano).
+	Start, End int64
+}
+
+// Duration is the span's execute latency.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// spanRing is a fixed-capacity ring of sampled spans. A nil *spanRing
+// ignores sample calls (observability disabled, or span sampling off).
+type spanRing struct {
+	component string
+	instance  int
+	every     int
+	// skip is the countdown to the next sampled call. Plain (not
+	// atomic): sample is called only from the owning executor
+	// goroutine, and snapshots never read it.
+	skip int
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total int64
+}
+
+func newSpanRing(component string, instance int, every, capacity int) *spanRing {
+	return &spanRing{
+		component: component,
+		instance:  instance,
+		every:     every,
+		skip:      1, // sample the first call, then every Nth
+		buf:       make([]Span, 0, capacity),
+	}
+}
+
+// sample records every Nth span (N = the ring's sampling period);
+// seq labels the recorded span with the executor's executed-event
+// ordinal. nil-safe no-op.
+func (r *spanRing) sample(seq int64, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.skip--
+	if r.skip > 0 {
+		return
+	}
+	r.skip = r.every
+	s := Span{
+		Component: r.component,
+		Instance:  r.instance,
+		Seq:       seq,
+		Start:     start.UnixNano(),
+		End:       start.Add(d).UnixNano(),
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained spans oldest-first, plus the total
+// number sampled over the executor's lifetime (≥ len of the result;
+// the ring keeps only the most recent ones).
+func (r *spanRing) snapshot() ([]Span, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out, r.total
+}

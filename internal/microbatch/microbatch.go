@@ -38,6 +38,9 @@ import (
 type Options struct {
 	// Hash overrides the key hash for keyed stages (nil = DefaultHash).
 	Hash func(any) int
+	// Obs configures the observability subsystem (latency histograms,
+	// batch-lag tracking, span sampling). Zero disables it.
+	Obs metrics.ObsConfig
 }
 
 // Result is a completed run.
@@ -79,6 +82,9 @@ func New(d *core.DAG, opts *Options) (*Engine, error) {
 		stats:     metrics.NewStats(),
 		taskStats: map[string]*metrics.InstanceStats{},
 	}
+	if opts != nil {
+		e.stats.SetObservability(opts.Obs)
+	}
 	for _, n := range d.Nodes() {
 		if n.Kind != core.OpNode {
 			continue
@@ -95,6 +101,10 @@ func New(d *core.DAG, opts *Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// Stats exposes the engine's live stats collector; it is safe to poll
+// (and Snapshot) from another goroutine while Run executes.
+func (e *Engine) Stats() *metrics.Stats { return e.stats }
 
 // task returns the metrics record for one (component, partition).
 func (e *Engine) task(name string, partition int) *metrics.InstanceStats {
@@ -171,16 +181,36 @@ func (e *Engine) runStage(n *core.Node, input []stream.Event) []stream.Event {
 		go func(p int) {
 			defer wg.Done()
 			is := tasks[p]
+			obs := is.ObsEnabled()
 			t0 := time.Now()
 			inst := insts[p]
 			var out []stream.Event
 			emit := func(ev stream.Event) { out = append(out, ev) }
-			for _, ev := range parts[p] {
-				is.Executed++
-				inst.Next(ev, emit)
+			if obs {
+				// The partition's input backlog is the micro-batch
+				// analogue of an inbox depth: how much work was queued
+				// behind the stage barrier.
+				is.ObserveQueueDepth(len(parts[p]))
 			}
-			is.Emitted += int64(len(out))
-			is.Busy += time.Since(t0)
+			for _, ev := range parts[p] {
+				is.AddExecuted(1)
+				if obs {
+					et := time.Now()
+					inst.Next(ev, emit)
+					is.ObserveExec(et, time.Since(et))
+				} else {
+					inst.Next(ev, emit)
+				}
+			}
+			is.AddEmitted(int64(len(out)))
+			d := time.Since(t0)
+			is.AddBusy(d)
+			if obs {
+				// Task duration is the micro-batch analogue of marker-cut
+				// lag: a batch is a marker-delimited block, and the task
+				// completes when the block is fully processed.
+				is.ObserveMarkerLag(d)
+			}
 			outs[p] = out
 		}(p)
 	}

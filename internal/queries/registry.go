@@ -5,6 +5,7 @@ import (
 
 	"datatrace/internal/compile"
 	"datatrace/internal/core"
+	"datatrace/internal/metrics"
 	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 	"datatrace/internal/workload"
@@ -119,6 +120,10 @@ type Spec struct {
 	// topology (Generated variant only; handcrafted topologies use raw
 	// edges and have no marker cuts to recover to).
 	Recovery bool
+	// Obs enables the runtime observability subsystem (latency
+	// histograms, queue gauges, marker-lag tracking) with default
+	// sampling for the run.
+	Obs bool
 }
 
 // Run executes the selected query variant to completion on the
@@ -128,19 +133,43 @@ func Run(env *Env, spec Spec) (*storm.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if spec.Par < 1 {
-		spec.Par = 1
-	}
 	if spec.SourcePar < 1 {
 		spec.SourcePar = 1
 	}
-	sources := def.Sources(env, spec.SourcePar)
+	return runWith(env, spec, def, def.Sources(env, spec.SourcePar))
+}
+
+// RunOn executes the selected query variant on explicit per-partition
+// event slices instead of the environment's generated workload. The
+// conformance tests use it to feed permuted inputs; spec.SourcePar is
+// taken from len(parts).
+func RunOn(env *Env, spec Spec, parts [][]stream.Event) (*storm.Result, error) {
+	def, err := ByName(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	spec.SourcePar = len(parts)
+	sources := make([]workload.Iterator, len(parts))
+	for i, p := range parts {
+		sources[i] = workload.Iterator(storm.SliceSpout(p))
+	}
+	return runWith(env, spec, def, sources)
+}
+
+func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.Result, error) {
+	if spec.Par < 1 {
+		spec.Par = 1
+	}
 	switch spec.Variant {
 	case Generated:
 		dag := def.DAG(env, spec.Par)
 		opts := &compile.Options{FuseSort: true}
 		if spec.Recovery {
 			opts.Recovery = &storm.RecoveryPolicy{Enabled: true}
+		}
+		if spec.Obs {
+			cfg := metrics.DefaultObsConfig()
+			opts.Observability = &cfg
 		}
 		top, err := compile.Compile(dag, map[string]compile.SourceSpec{
 			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
@@ -152,7 +181,11 @@ func Run(env *Env, spec Spec) (*storm.Result, error) {
 		}
 		return top.Run()
 	case Handcrafted:
-		return def.Handcrafted(env, spec.Par, sources).Run()
+		top := def.Handcrafted(env, spec.Par, sources)
+		if spec.Obs {
+			top.SetObservability(metrics.DefaultObsConfig())
+		}
+		return top.Run()
 	default:
 		return nil, fmt.Errorf("queries: unknown variant %q", spec.Variant)
 	}

@@ -1,7 +1,10 @@
 package storm
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -17,9 +20,20 @@ type message struct {
 	ch  int
 	ev  stream.Event
 	eos bool
+	// sent is the send wall time (UnixNano) when observability is
+	// enabled, 0 otherwise; receivers derive emit-to-receive inbox
+	// latency from it.
+	sent int64
 }
 
 const defaultChannelCap = 1024
+
+// queueObsEvery is the sampling period of the queue-side observations
+// (inbox depth gauge and emit-to-receive latency): every Nth received
+// message pays the two gauge updates, keeping the backpressure signal
+// representative while the per-message hot-path cost stays at the
+// per-event execute histogram alone.
+const queueObsEvery = 8
 
 // Result is the outcome of running a topology to completion.
 type Result struct {
@@ -125,6 +139,8 @@ func (t *Topology) Run() (*Result, error) {
 	}
 
 	stats := metrics.NewStats()
+	stats.SetObservability(t.obs)
+	t.live.Store(stats)
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
 	var failures []error
@@ -137,14 +153,24 @@ func (t *Topology) Run() (*Result, error) {
 			ef := t.faultPlan.faultsFor(rc.name, i)
 			go func(rc *runtimeComponent, i int, ef *executorFaults) {
 				defer wg.Done()
+				run := func() error {
+					switch {
+					case rc.spout != nil:
+						return runSpout(rc, i, is, hash, ef, t.recovery)
+					case t.recovery.Enabled && rc.aligned:
+						return runRecoverableBolt(rc, i, is, hash, ef, t.recovery)
+					default:
+						return runBolt(rc, i, is, hash, ef, t.recovery)
+					}
+				}
 				var err error
-				switch {
-				case rc.spout != nil:
-					err = runSpout(rc, i, is, hash, ef, t.recovery)
-				case t.recovery.Enabled && rc.aligned:
-					err = runRecoverableBolt(rc, i, is, hash, ef, t.recovery)
-				default:
-					err = runBolt(rc, i, is, hash, ef, t.recovery)
+				if t.obs.Enabled {
+					// Tag the executor goroutine so CPU profiles break
+					// down by component/instance.
+					labels := pprof.Labels("storm_component", rc.name, "storm_instance", strconv.Itoa(i))
+					pprof.Do(context.Background(), labels, func(context.Context) { err = run() })
+				} else {
+					err = run()
 				}
 				if err != nil {
 					failMu.Lock()
@@ -190,12 +216,21 @@ type emitter struct {
 	worker int
 	// faults, when set, injects serializer corruption on chosen edges.
 	faults *executorFaults
+	// stamp turns on send-time stamping of outgoing messages (queue
+	// latency observability); derived from the executor's stats record.
+	stamp bool
+	// now is the executor's current message timestamp (UnixNano), set
+	// once per processed input when stamp is on and reused for every
+	// send — emitted messages carry it instead of paying time.Now per
+	// emission. It under-reports the send time by at most the message's
+	// own processing latency, which the exec histogram bounds.
+	now int64
 	// scratch is the reused routing buffer of emit.
 	scratch []routedMsg
 }
 
 func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) *emitter {
-	em := &emitter{rc: rc, instance: instance, hash: hash, rrNext: make([]int, len(rc.subs)), stats: is, worker: rc.workerOf[instance]}
+	em := &emitter{rc: rc, instance: instance, hash: hash, rrNext: make([]int, len(rc.subs)), stats: is, worker: rc.workerOf[instance], stamp: is.ObsEnabled()}
 	if rc.serializerFactory != nil && len(rc.subs) > 0 {
 		em.ser = rc.serializerFactory()
 	}
@@ -213,7 +248,7 @@ type routedMsg struct {
 // route resolves the destinations of one emitted event, advancing the
 // round-robin cursors, without serializing or sending.
 func (em *emitter) route(e stream.Event, out []routedMsg) []routedMsg {
-	em.stats.Emitted++
+	em.stats.AddEmitted(1)
 	for si := range em.rc.subs {
 		sub := &em.rc.subs[si]
 		ch := sub.chBase + em.instance
@@ -264,7 +299,7 @@ func (em *emitter) emit(e stream.Event) {
 	for i := range em.scratch {
 		r := &em.scratch[i]
 		em.wire(r)
-		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e}
+		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e, sent: em.now}
 	}
 }
 
@@ -283,7 +318,7 @@ func (em *emitter) sendBlock(events []stream.Event) {
 	}
 	for i := range batch {
 		r := &batch[i]
-		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e}
+		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e, sent: em.now}
 	}
 	// Keep the grown buffer for the next block (emit and sendBlock are
 	// called from the same executor goroutine, never concurrently).
@@ -322,15 +357,20 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 		spout := rc.spout(instance)
 		for {
 			t0 := time.Now()
+			if em.stamp {
+				em.now = t0.UnixNano()
+			}
 			e, ok := spout.Next()
 			if !ok {
-				is.Busy += time.Since(t0)
+				is.AddBusy(time.Since(t0))
 				break
 			}
-			is.Executed++
+			is.AddExecuted(1)
 			ef.onEvent(rc.name, instance)
 			em.emit(e)
-			is.Busy += time.Since(t0)
+			d := time.Since(t0)
+			is.AddBusy(d)
+			is.ObserveExec(t0, d)
 		}
 	})
 	if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
@@ -364,10 +404,12 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 	}
 	emitFn := em.emit // one method-value closure per executor, not per event
 	deliver := func(e stream.Event) {
-		is.Executed++
+		is.AddExecuted(1)
 		bolt.Next(e, emitFn)
 	}
 	chBolt, chAware := bolt.(ChannelBolt)
+	obs := is.ObsEnabled()
+	qskip := 1
 	eosLeft := rc.nChannels
 	inbox := rc.inboxes[instance]
 	var err error
@@ -380,7 +422,7 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 		}
 		if dropping {
 			if !m.ev.IsMarker {
-				is.Dropped++
+				is.AddDropped(1)
 			}
 			continue
 		}
@@ -390,16 +432,30 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 		err = guard(rc.name, instance, func() {
 			ef.onEvent(rc.name, instance)
 			t0 := time.Now()
+			if obs {
+				now := t0.UnixNano()
+				em.now = now
+				if qskip--; qskip == 0 {
+					qskip = queueObsEvery
+					// +1: the message just dequeued occupied a slot too.
+					is.ObserveQueueDepth(len(inbox) + 1)
+					if m.sent != 0 {
+						is.ObserveQueue(time.Duration(now - m.sent))
+					}
+				}
+			}
 			switch {
 			case merge != nil:
 				merge.Next(m.ch, m.ev, deliver)
 			case chAware:
-				is.Executed++
+				is.AddExecuted(1)
 				chBolt.NextFrom(m.ch, m.ev, emitFn)
 			default:
 				deliver(m.ev)
 			}
-			is.Busy += time.Since(t0)
+			d := time.Since(t0)
+			is.AddBusy(d)
+			is.ObserveExec(t0, d)
 		})
 		if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
 			// No marker-cut recovery on this path (the bolt is not
@@ -412,6 +468,9 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 	if err == nil && !dropping {
 		err = guard(rc.name, instance, func() {
 			t0 := time.Now()
+			if obs {
+				em.now = t0.UnixNano()
+			}
 			if merge != nil {
 				// Items of the final incomplete block (after the last
 				// marker on every channel) are delivered unaligned at
@@ -423,7 +482,7 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 			if f, ok := bolt.(Flusher); ok {
 				f.Flush(emitFn)
 			}
-			is.Busy += time.Since(t0)
+			is.AddBusy(time.Since(t0))
 		})
 		if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
 			pol.logf("storm: %s[%d] failed at shutdown without recovery, dropping its trailing output: %v", rc.name, instance, err)

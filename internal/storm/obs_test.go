@@ -1,0 +1,216 @@
+package storm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+// obsTopology builds a small three-stage pipeline with observability
+// enabled: src → work(par) → sink, with an optional per-event delay to
+// keep the run alive long enough for mid-run polling.
+func obsTopology(in []stream.Event, par int, delay time.Duration, recovery bool) *Topology {
+	top := NewTopology("obs")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("work", par, func(int) Bolt {
+		return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+			if delay > 0 && !e.IsMarker {
+				time.Sleep(delay)
+			}
+			emit(e)
+		})
+	}).ShuffleGrouping("src", true)
+	top.AddSink("sink", "work")
+	top.SetObservability(metrics.ObsConfig{Enabled: true, SampleEvery: 4, SpanRing: 32})
+	if recovery {
+		top.SetRecovery(RecoveryPolicy{Enabled: true})
+	}
+	return top
+}
+
+// TestLiveStatsPolledMidRun is the storm-side -race soak: a monitor
+// goroutine polls LiveStats().Snapshot() (plus the renderers) while
+// the topology runs, and the final snapshot must show a complete,
+// consistent picture.
+func TestLiveStatsPolledMidRun(t *testing.T) {
+	in := testStream(20, 25, 5)
+	top := obsTopology(in, 2, 50*time.Microsecond, false)
+	if top.LiveStats() != nil {
+		t.Fatal("LiveStats must be nil before the first Run")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	polled := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := top.LiveStats(); s != nil {
+				snap := s.Snapshot()
+				_ = snap.ObsTable()
+				_ = snap.SpanTrace()
+				for _, c := range snap.ByComponent() {
+					_ = c.Exec.QuantileDuration(0.99)
+				}
+				polled++
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	res, err := top.Run()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled == 0 {
+		t.Fatal("monitor never managed a mid-run poll")
+	}
+
+	snap := top.LiveStats().Snapshot()
+	if top.LiveStats() != res.Stats {
+		t.Fatal("LiveStats must be the run's stats collector")
+	}
+	byComp := map[string]metrics.ComponentSnapshot{}
+	for _, c := range snap.ByComponent() {
+		byComp[c.Component] = c
+	}
+	nEvents := int64(len(in))
+	if byComp["src"].Executed != nEvents {
+		t.Fatalf("src executed %d, want %d", byComp["src"].Executed, nEvents)
+	}
+	// Every executor saw events, so exec histograms must have samples.
+	for _, name := range []string{"src", "work", "sink"} {
+		if byComp[name].Exec.Empty() {
+			t.Fatalf("%s: empty exec histogram with observability on", name)
+		}
+		if byComp[name].Exec.QuantileDuration(0.99) <= 0 {
+			t.Fatalf("%s: non-positive p99", name)
+		}
+	}
+	// Receivers observe queue latency and depth (the spout has no inbox).
+	for _, name := range []string{"work", "sink"} {
+		if byComp[name].Queue.Empty() {
+			t.Fatalf("%s: empty queue histogram", name)
+		}
+		if byComp[name].MaxQueueDepth < 1 {
+			t.Fatalf("%s: max queue depth = %d", name, byComp[name].MaxQueueDepth)
+		}
+	}
+	// The work bolt sleeps ~50µs per item, paid when the aligned merger
+	// flushes a whole block at its marker message — so the tail of the
+	// per-message exec distribution must reflect the block flush cost
+	// (most messages are cheap buffer-appends, which is itself the
+	// MRG-fusion behavior the histogram makes visible).
+	if byComp["work"].Exec.QuantileDuration(0.99) < 50*time.Microsecond {
+		t.Fatalf("work p99 = %v, expected ≥ 50µs with the injected per-item delay",
+			byComp["work"].Exec.QuantileDuration(0.99))
+	}
+	// Spans were sampled every 4th event into a ring of 32.
+	var spanTotal int64
+	for _, is := range snap.Instances {
+		_, tot := is.Spans, is.SpanTotal
+		spanTotal += tot
+	}
+	if spanTotal == 0 {
+		t.Fatal("no spans sampled")
+	}
+}
+
+// TestMarkerLagRecordedUnderRecovery: with recovery enabled, every
+// aligned bolt records one marker-cut lag sample per completed cut.
+func TestMarkerLagRecordedUnderRecovery(t *testing.T) {
+	const blocks = 12
+	in := testStream(blocks, 10, 3)
+	top := obsTopology(in, 2, 0, true)
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Stats.Snapshot()
+	var lag metrics.Hist
+	for _, c := range snap.ByComponent() {
+		if c.Component == "work" || c.Component == "sink" {
+			lag = lag.Merge(c.MarkerLag)
+		}
+	}
+	// Each of the 2 work instances and the sink completes one cut per
+	// block: 3 executors × blocks samples.
+	if lag.Count != 3*blocks {
+		t.Fatalf("marker-lag samples = %d, want %d", lag.Count, 3*blocks)
+	}
+	if lag.QuantileDuration(0.99) <= 0 {
+		t.Fatal("marker-cut lag must be positive")
+	}
+}
+
+// TestMarkerLagIncludesRecoveryTime: a cut interrupted by a crash
+// completes only after the restart, so its recorded lag includes the
+// recovery (here inflated by an artificial slowdown before the crash).
+func TestMarkerLagIncludesRecoveryTime(t *testing.T) {
+	in := testStream(6, 10, 3)
+	top := obsTopology(in, 1, 0, false)
+	top.SetObservability(metrics.DefaultObsConfig())
+	top.SetRecovery(RecoveryPolicy{Enabled: true})
+	// Crash the recoverable sink mid-run; its pending cut then completes
+	// after restart + replay.
+	plan := NewFaultPlan()
+	plan.CrashAt("sink", 0, 25)
+	top.SetFaultPlan(plan)
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Stats.Snapshot()
+	var sink metrics.InstanceSnapshot
+	for _, is := range snap.Instances {
+		if is.Component == "sink" {
+			sink = is
+		}
+	}
+	if sink.Restarts != 1 {
+		t.Fatalf("sink restarts = %d, want 1", sink.Restarts)
+	}
+	if sink.MarkerLag.Count != 6 {
+		t.Fatalf("marker-lag samples = %d, want one per block", sink.MarkerLag.Count)
+	}
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], in) {
+		t.Fatal("recovered run must stay trace-equivalent")
+	}
+}
+
+// TestObservabilityDisabledRecordsNothing: the default (disabled)
+// configuration takes no timestamps and allocates no histograms —
+// checked structurally through the snapshot.
+func TestObservabilityDisabledRecordsNothing(t *testing.T) {
+	in := testStream(5, 10, 3)
+	top := NewTopology("noobs")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("id", 2, identityBolt).ShuffleGrouping("src", true)
+	top.AddSink("sink", "id")
+	res, err := top.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range res.Stats.Snapshot().Instances {
+		if !is.Exec.Empty() || !is.Queue.Empty() || !is.MarkerLag.Empty() {
+			t.Fatalf("%s[%d]: histograms recorded with observability off", is.Component, is.Instance)
+		}
+		if is.MaxQueueDepth != 0 || is.SpanTotal != 0 {
+			t.Fatalf("%s[%d]: gauges recorded with observability off", is.Component, is.Instance)
+		}
+		if is.Executed == 0 && is.Component != "sink" {
+			t.Fatalf("%s[%d]: counters must still work", is.Component, is.Instance)
+		}
+	}
+}

@@ -73,6 +73,15 @@ type recExec struct {
 	hasSnap  bool
 	rrSnap   []int
 	restarts int
+	// markerSeen maps a marker sequence number to the wall time
+	// (UnixNano) its first copy arrived at this executor; the entry
+	// survives restarts, so the marker-cut lag recorded at the cut's
+	// completion includes any recovery time spent in between. nil when
+	// observability is disabled.
+	markerSeen map[int64]int64
+	// qskip is the countdown to the next sampled queue observation
+	// (see queueObsEvery).
+	qskip int
 	// deliverFn/bufEmitFn are the per-executor closures handed to the
 	// merger and the bolt (allocated once, not per event).
 	deliverFn func(stream.Event)
@@ -96,6 +105,10 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 	x.em.faults = ef
 	x.deliverFn = x.deliver
 	x.bufEmitFn = x.bufEmit
+	if is.ObsEnabled() {
+		x.markerSeen = map[int64]int64{}
+		x.qskip = 1
+	}
 	if !rc.isSink {
 		x.bolt = rc.bolt(instance)
 	}
@@ -117,7 +130,7 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 			degraded.handle(m.ev)
 			continue
 		}
-		recorded, err := x.process(m.ch, m.ev)
+		recorded, err := x.process(m.ch, m.ev, m.sent)
 		if err != nil {
 			// Capture the un-flushed input before restart replaces the
 			// merger. An injected fault fires before the event reaches
@@ -150,11 +163,12 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 }
 
 // process consumes one live event, converting an executor panic into
-// an error. recorded reports whether the event reached the merger: it
-// is false exactly when the injected fault fired first (once
-// merge.Next is entered the event is appended before any consumer
-// code that could panic runs).
-func (x *recExec) process(ch int, ev stream.Event) (recorded bool, err error) {
+// an error. sent is the message's send stamp (0 without observability).
+// recorded reports whether the event reached the merger: it is false
+// exactly when the injected fault fired first (once merge.Next is
+// entered the event is appended before any consumer code that could
+// panic runs).
+func (x *recExec) process(ch int, ev stream.Event, sent int64) (recorded bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("storm: executor %s[%d] panicked: %v", x.rc.name, x.instance, r)
@@ -163,22 +177,41 @@ func (x *recExec) process(ch int, ev stream.Event) (recorded bool, err error) {
 	x.ef.onEvent(x.rc.name, x.instance)
 	recorded = true
 	t0 := time.Now()
+	if x.markerSeen != nil {
+		now := t0.UnixNano()
+		x.em.now = now
+		if x.qskip--; x.qskip == 0 {
+			x.qskip = queueObsEvery
+			// +1: the message just dequeued occupied a slot too.
+			x.is.ObserveQueueDepth(len(x.rc.inboxes[x.instance]) + 1)
+			if sent != 0 {
+				x.is.ObserveQueue(time.Duration(now - sent))
+			}
+		}
+		if ev.IsMarker {
+			if _, ok := x.markerSeen[ev.Marker.Seq]; !ok {
+				x.markerSeen[ev.Marker.Seq] = now
+			}
+		}
+	}
 	x.merge.Next(ch, ev, x.deliverFn)
-	x.is.Busy += time.Since(t0)
+	d := time.Since(t0)
+	x.is.AddBusy(d)
+	x.is.ObserveExec(t0, d)
 	return recorded, nil
 }
 
 // deliver receives one merged event (item, or the cut-completing
 // marker) for the operator. It is the emit target of the MRG merger.
 func (x *recExec) deliver(e stream.Event) {
-	x.is.Executed++
+	x.is.AddExecuted(1)
 	if x.rc.isSink {
 		x.outBuf = append(x.outBuf, e)
 	} else {
 		x.bolt.Next(e, x.bufEmitFn)
 	}
 	if e.IsMarker {
-		x.completeCut()
+		x.completeCut(e.Marker.Seq)
 	}
 }
 
@@ -193,8 +226,10 @@ func (x *recExec) bufEmit(e stream.Event) { x.outBuf = append(x.outBuf, e) }
 // previous cut with nothing delivered; after the sends only
 // executor-local bookkeeping remains. The merger pops the flushed
 // block itself once the cut's marker delivery returns, so no replay
-// trimming is needed here.
-func (x *recExec) completeCut() {
+// trimming is needed here. seq is the cut's marker sequence number,
+// used to record the marker-cut lag (first marker arrival to this
+// commit, recovery time included).
+func (x *recExec) completeCut(seq int64) {
 	var snap []byte
 	snapped := x.rc.isSink
 	if !x.rc.isSink {
@@ -214,6 +249,12 @@ func (x *recExec) completeCut() {
 	// The buffered events were copied on send (or into the sink's
 	// output), so the backing array is reused for the next block.
 	x.outBuf = x.outBuf[:0]
+	if x.markerSeen != nil {
+		if first, ok := x.markerSeen[seq]; ok {
+			x.is.ObserveMarkerLag(time.Duration(time.Now().UnixNano() - first))
+			delete(x.markerSeen, seq)
+		}
+	}
 }
 
 // flushOut sends the buffered block downstream (or appends it to the
@@ -248,7 +289,7 @@ func (x *recExec) recoverFrom(cause error, pending [][]stream.Event) ([][]stream
 		if x.restarts > x.pol.maxRestarts() {
 			return pending, fmt.Errorf("%w (restart budget of %d exhausted)", cause, x.pol.maxRestarts())
 		}
-		x.is.Restarts++
+		x.is.AddRestarts(1)
 		x.pol.logf("storm: restarting %s[%d] from its last marker cut after: %v", x.rc.name, x.instance, cause)
 		if err := x.restart(); err != nil {
 			return pending, fmt.Errorf("storm: restart of %s[%d] failed: %w", x.rc.name, x.instance, err)
@@ -296,13 +337,16 @@ func (x *recExec) replayAll(pending [][]stream.Event) ([][]stream.Event, error) 
 	fed := make([]int, len(pending))
 	err := guard(x.rc.name, x.instance, func() {
 		t0 := time.Now()
+		if x.markerSeen != nil {
+			x.em.now = t0.UnixNano()
+		}
 		for {
 			progressed := false
 			for ch := range pending {
 				if fed[ch] < len(pending[ch]) {
 					e := pending[ch][fed[ch]]
 					fed[ch]++
-					x.is.Replayed++
+					x.is.AddReplayed(1)
 					x.merge.Next(ch, e, x.deliverFn)
 					progressed = true
 				}
@@ -311,7 +355,7 @@ func (x *recExec) replayAll(pending [][]stream.Event) ([][]stream.Event, error) 
 				break
 			}
 		}
-		x.is.Busy += time.Since(t0)
+		x.is.AddBusy(time.Since(t0))
 	})
 	if err == nil {
 		return nil, nil
@@ -331,6 +375,9 @@ func (x *recExec) finish() ([][]stream.Event, error) {
 	for {
 		err := guard(x.rc.name, x.instance, func() {
 			t0 := time.Now()
+			if x.markerSeen != nil {
+				x.em.now = t0.UnixNano()
+			}
 			for _, e := range x.merge.Trailing() {
 				x.deliver(e)
 			}
@@ -340,7 +387,7 @@ func (x *recExec) finish() ([][]stream.Event, error) {
 				}
 			}
 			x.flushOut()
-			x.is.Busy += time.Since(t0)
+			x.is.AddBusy(time.Since(t0))
 		})
 		if err == nil {
 			return nil, nil
@@ -383,7 +430,7 @@ func (x *recExec) degrade(cause error, pending [][]stream.Event) *degradeState {
 // handle processes one event in degraded mode.
 func (d *degradeState) handle(e stream.Event) {
 	if !e.IsMarker {
-		d.x.is.Dropped++
+		d.x.is.AddDropped(1)
 		return
 	}
 	d.seen[e.Marker.Seq]++

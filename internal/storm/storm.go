@@ -28,7 +28,9 @@ package storm
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"datatrace/internal/metrics"
 	"datatrace/internal/stream"
 )
 
@@ -164,6 +166,10 @@ type Topology struct {
 	workers    int
 	faultPlan  *FaultPlan
 	recovery   RecoveryPolicy
+	obs        metrics.ObsConfig
+	// live is the stats collector of the current (or last) Run,
+	// published at Run start so monitors can poll mid-run.
+	live atomic.Pointer[metrics.Stats]
 }
 
 // NewTopology creates an empty topology.
@@ -197,6 +203,18 @@ func (t *Topology) SetFaultPlan(p *FaultPlan) { t.faultPlan = p }
 // SetRecovery configures marker-cut checkpointing and executor
 // restart (see RecoveryPolicy). The zero policy disables recovery.
 func (t *Topology) SetRecovery(p RecoveryPolicy) { t.recovery = p }
+
+// SetObservability configures the observability subsystem for the
+// next Run: latency histograms, queue gauges, marker-lag tracking,
+// span sampling and pprof executor labels. The zero config (the
+// default) disables it all at zero per-event cost.
+func (t *Topology) SetObservability(cfg metrics.ObsConfig) { t.obs = cfg }
+
+// LiveStats returns the stats collector of the running (or most
+// recent) Run, or nil before the first Run. It is safe to poll from
+// any goroutine while the topology runs; pair with Stats.Snapshot for
+// a frozen view.
+func (t *Topology) LiveStats() *metrics.Stats { return t.live.Load() }
 
 // ComponentInfo describes one declared component, for tooling and
 // fault-plan construction.

@@ -287,7 +287,7 @@ func TestMakespanScaling(t *testing.T) {
 	s := metrics.NewStats()
 	for i := 0; i < 4; i++ {
 		is := s.Instance("c", i)
-		is.Busy = time.Second
+		is.SetBusy(time.Second)
 	}
 	if got := s.Makespan(1); got != 4*time.Second {
 		t.Fatalf("makespan(1) = %v", got)

@@ -12,6 +12,14 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-5s}"
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -21,6 +29,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== conformance suite (queries I-VI, permuted inputs, -race) =="
+go test -race -run 'TestConformanceDifferentialQueries' -count 1 ./internal/queries/
+
 echo "== fuzz smokes (${FUZZTIME} each) =="
 go test -run xxx -fuzz 'FuzzNormalFormInvariants$' -fuzztime "$FUZZTIME" ./internal/trace/
 go test -run xxx -fuzz 'FuzzTraceNormalForm$' -fuzztime "$FUZZTIME" ./internal/trace/
@@ -28,5 +39,6 @@ go test -run xxx -fuzz 'FuzzFoataAgreesWithNormalForm$' -fuzztime "$FUZZTIME" ./
 go test -run xxx -fuzz 'FuzzSplitMergeIdentity$' -fuzztime "$FUZZTIME" ./internal/stream/
 go test -run xxx -fuzz 'FuzzMergePreservesMarkers$' -fuzztime "$FUZZTIME" ./internal/stream/
 go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/core/
+go test -run xxx -fuzz 'FuzzHistogramRecord$' -fuzztime "$FUZZTIME" ./internal/metrics/
 
 echo "== ok =="
