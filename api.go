@@ -142,6 +142,15 @@ func Compile(d *DAG, sources map[string]SourceSpec, opts *CompileOptions) (*Topo
 // deployments.
 func NewTopology(name string) *Topology { return storm.NewTopology(name) }
 
+// TransportOptions configures the batched edge transport: emitters
+// accumulate per-destination send buffers and flush them as message
+// vectors when a buffer reaches BatchSize, when a marker or EOS must
+// cross the edge, or after FlushInterval of idleness. The zero value
+// selects the defaults (BatchSize 64, FlushInterval 1ms); BatchSize 1
+// reproduces the unbatched one-send-per-event transport exactly.
+// Attach with Topology.SetTransport or CompileOptions.Transport.
+type TransportOptions = storm.TransportOptions
+
 // --- fault injection and recovery ------------------------------------------
 
 // FaultPlan deterministically injects failures into a topology run:

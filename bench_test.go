@@ -110,6 +110,20 @@ func BenchmarkQueryIVGeneratedObserved(b *testing.B) {
 		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2, Obs: true,
 	})
 }
+
+// BenchmarkQueryIVGeneratedBatch1 is the unbatched-transport baseline
+// of the edge-batching subsystem: the same run as
+// BenchmarkQueryIVGenerated with BatchSize 1 — one channel send per
+// routed event, the pre-batching behavior. scripts/check.sh compares
+// tuples/s between the two as the transport regression gate; the
+// full batch-size sweep is in EXPERIMENTS.md.
+func BenchmarkQueryIVGeneratedBatch1(b *testing.B) {
+	benchQuerySpec(b, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2,
+		Transport: &storm.TransportOptions{BatchSize: 1},
+	})
+}
+
 func BenchmarkQueryVGenerated(b *testing.B)    { benchQuery(b, "V", queries.Generated) }
 func BenchmarkQueryVHandcrafted(b *testing.B)  { benchQuery(b, "V", queries.Handcrafted) }
 func BenchmarkQueryVIGenerated(b *testing.B)   { benchQuery(b, "VI", queries.Generated) }

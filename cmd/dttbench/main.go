@@ -4,6 +4,7 @@
 //	dttbench -figure 4          # Queries I–VI, generated vs handcrafted (Figure 4)
 //	dttbench -figure 6          # Smart Homes scaling (Figure 6)
 //	dttbench -figure recovery   # checkpoint-interval sweep of marker-cut recovery
+//	dttbench -figure transport  # batch-size sweep of the batched edge transport
 //	dttbench -figure all        # everything, plus the section 2 experiment
 //	dttbench -section2          # only the motivation experiment
 //	dttbench -obs               # Query IV observability report on both runtimes
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery or all")
+		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery, transport or all")
 		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
 		obs      = flag.Bool("obs", false, "run Query IV with observability on and print per-component p50/p99 exec latency, max queue depth and marker-cut lag for both runtimes")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
@@ -64,14 +65,17 @@ func main() {
 		emitFigure(bench.BackendComparison, cfg, *csv)
 	case "recovery":
 		runRecovery(cfg, *csv)
+	case "transport":
+		runTransport(cfg, *csv)
 	case "all":
 		emitFigure(bench.Figure4, cfg, *csv)
 		emitFigure(bench.Figure6, cfg, *csv)
 		emitFigure(bench.BackendComparison, cfg, *csv)
 		runRecovery(cfg, *csv)
+		runTransport(cfg, *csv)
 		runSection2()
 	default:
-		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6, backends, recovery or all)\n", *figure)
+		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6, backends, recovery, transport or all)\n", *figure)
 		os.Exit(2)
 	}
 }
@@ -91,6 +95,19 @@ func emitFigure(build func(bench.Config) (*bench.Figure, error), cfg bench.Confi
 
 func runRecovery(cfg bench.Config, csv bool) {
 	res, err := bench.RecoverySweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Println(res.Table())
+}
+
+func runTransport(cfg bench.Config, csv bool) {
+	res, err := bench.TransportSweep(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dttbench:", err)
 		os.Exit(1)

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datatrace/internal/queries"
+	"datatrace/internal/storm"
+)
+
+// This file measures the batched edge transport: the batch-size sweep
+// behind EXPERIMENTS.md's transport section. Query IV (the Yahoo
+// pipeline, the evaluation's centerpiece) runs end-to-end at a range
+// of batch sizes, BatchSize 1 being exactly the seed's
+// one-send-per-event transport, so the sweep reads directly as "what
+// does vectorized edge transfer buy on this workload".
+
+// TransportRow is one batch-size measurement.
+type TransportRow struct {
+	// BatchSize is the transport batch size of the run (1 = unbatched).
+	BatchSize int
+	// Wall is the minimum end-to-end wall time over the repetitions.
+	Wall time.Duration
+	// Throughput is input tuples divided by Wall.
+	Throughput float64
+	// Speedup is the batch-1 wall time divided by this row's wall time
+	// (1.00 for the batch-1 row itself).
+	Speedup float64
+}
+
+// TransportSweepResult is the full sweep.
+type TransportSweepResult struct {
+	Rows []TransportRow
+	// Par is the per-stage parallelism every run used.
+	Par int
+	// Reps is the number of interleaved repetitions per batch size.
+	Reps int
+}
+
+// TransportSweep runs generated Query IV once per batch size per
+// repetition, interleaving the batch sizes across repetitions (so
+// machine-load drift hits them equally) and keeping each size's
+// minimum wall — the least-perturbed run of a fixed workload.
+func TransportSweep(cfg Config) (*TransportSweepResult, error) {
+	batches := []int{1, 4, 16, 64, 256, 1024}
+	par := cfg.MaxWorkers
+	if par > 4 {
+		par = 4
+	}
+	const reps = 5
+	res := &TransportSweepResult{Par: par, Reps: reps}
+
+	walls := make([]time.Duration, len(batches))
+	var items int64
+	for i := 0; i < reps; i++ {
+		for bi, batch := range batches {
+			env, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+			if err != nil {
+				return nil, err
+			}
+			r, err := queries.Run(env, queries.Spec{
+				Query:     "IV",
+				Variant:   queries.Generated,
+				Par:       par,
+				SourcePar: cfg.SourcePar,
+				Transport: &storm.TransportOptions{BatchSize: batch},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: transport sweep (batch %d): %w", batch, err)
+			}
+			if walls[bi] == 0 || r.Wall < walls[bi] {
+				walls[bi] = r.Wall
+			}
+			items = countItems(r.Stats, "yahoo")
+		}
+	}
+
+	base := walls[0]
+	for bi, batch := range batches {
+		res.Rows = append(res.Rows, TransportRow{
+			BatchSize:  batch,
+			Wall:       walls[bi],
+			Throughput: float64(items) / walls[bi].Seconds(),
+			Speedup:    base.Seconds() / walls[bi].Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep as aligned text.
+func (r *TransportSweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== transport: batch-size sweep (Query IV generated, par=%d, min of %d interleaved reps) ==\n", r.Par, r.Reps)
+	fmt.Fprintf(&b, "%8s %12s %14s %8s\n", "batch", "wall", "tuples/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12s %14.0f %7.2fx\n",
+			row.BatchSize, row.Wall.Round(time.Microsecond), row.Throughput, row.Speedup)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated records.
+func (r *TransportSweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,batch_size,wall_s,tuples_per_s,speedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "transport,%d,%f,%f,%f\n",
+			row.BatchSize, row.Wall.Seconds(), row.Throughput, row.Speedup)
+	}
+	return b.String()
+}

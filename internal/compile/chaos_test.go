@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"datatrace/internal/core"
 	"datatrace/internal/storm"
@@ -205,6 +206,89 @@ func TestChaosRecoveryMatchesReference(t *testing.T) {
 			if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
 				t.Fatalf("trial %d par=%d: crash of %s[%d] at event %d:\n%s\n%v",
 					trial, maxPar, victim.Name, instance, atEvent, dag.Dot(), err)
+			}
+		}
+	}
+}
+
+// TestChaosBatchedTransportRecovery re-runs the crash-recovery chaos
+// harness with the batched edge transport enabled: every trial
+// crashes a random non-spout instance at a random event index AND
+// corrupts an early send on the sink's input edge (the corruption
+// fires at wire time, as the event is serialized into a batch), at
+// several batch sizes with a short idle-flush interval so timer
+// flushes interleave with recovery. Marker-cut recovery must still
+// replay exactly once: the run succeeds, at least one restart was
+// recorded (the corruption always fires — the feeder's markers cross
+// that edge), nothing was dropped, and the trace equals the
+// reference denotation.
+func TestChaosBatchedTransportRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(733))
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		build := randomDAG(int64(7000 + trial))
+		in := randomStream(r, 2+r.Intn(4), 10, 5)
+
+		refDag := build(1, r)
+		ref, err := refDag.Eval(map[string][]stream.Event{"src": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, batch := range []int{4, 64} {
+			dag := build(2, r)
+			probe, err := Compile(dag, map[string]SourceSpec{
+				"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+			}, &Options{FuseSort: true})
+			if err != nil {
+				t.Fatalf("trial %d batch=%d: %v", trial, batch, err)
+			}
+			var targets []storm.ComponentInfo
+			for _, c := range probe.Components() {
+				if c.Kind != "spout" {
+					targets = append(targets, c)
+				}
+			}
+			victim := targets[r.Intn(len(targets))]
+			instance := r.Intn(victim.Parallelism)
+			atEvent := int64(1 + r.Intn(8))
+			feeders := probe.Inputs("out")
+			if len(feeders) == 0 {
+				t.Fatalf("trial %d: sink has no input edge", trial)
+			}
+			plan := storm.NewFaultPlan().
+				CrashAt(victim.Name, instance, atEvent).
+				CorruptEdge(feeders[0], 0, "out", int64(1+r.Intn(2)))
+
+			top, err := Compile(dag, map[string]SourceSpec{
+				"src": {Parallelism: 1, Factory: func(int) storm.Spout { return storm.SliceSpout(in) }},
+			}, &Options{
+				FuseSort:  true,
+				Recovery:  &storm.RecoveryPolicy{Enabled: true, Logf: func(string, ...any) {}},
+				FaultPlan: plan,
+				Transport: &storm.TransportOptions{BatchSize: batch, FlushInterval: 200 * time.Microsecond},
+			})
+			if err != nil {
+				t.Fatalf("trial %d batch=%d: %v", trial, batch, err)
+			}
+			res, err := top.Run()
+			if err != nil {
+				t.Fatalf("trial %d batch=%d: crash of %s[%d] at event %d + corrupt %s[0]→out did not recover: %v",
+					trial, batch, victim.Name, instance, atEvent, feeders[0], err)
+			}
+			restarts, _, dropped := res.Stats.Recovery()
+			if restarts < 1 {
+				t.Fatalf("trial %d batch=%d: no restart recorded although the corruption fault must fire", trial, batch)
+			}
+			if dropped != 0 {
+				t.Fatalf("trial %d batch=%d: recovered run dropped %d events", trial, batch, dropped)
+			}
+			if err := dag.EquivalentOutputs(ref, res.Sinks); err != nil {
+				t.Fatalf("trial %d batch=%d: crash of %s[%d] at event %d + corrupt %s[0]→out:\n%s\n%v",
+					trial, batch, victim.Name, instance, atEvent, feeders[0], dag.Dot(), err)
 			}
 		}
 	}

@@ -72,6 +72,11 @@ type Options struct {
 	// observability subsystem (latency histograms, queue gauges,
 	// marker-lag tracking, span sampling; see metrics.ObsConfig).
 	Observability *metrics.ObsConfig
+	// Transport, when non-nil, configures the batched edge transport
+	// (see storm.TransportOptions); nil keeps the runtime defaults.
+	// BatchSize 1 reproduces the unbatched one-send-per-event
+	// transport exactly.
+	Transport *storm.TransportOptions
 }
 
 // sorter is implemented by core.Sort instances' operator; used to
@@ -174,6 +179,9 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 	}
 	if opts.FaultPlan != nil {
 		top.SetFaultPlan(opts.FaultPlan)
+	}
+	if opts.Transport != nil {
+		top.SetTransport(*opts.Transport)
 	}
 	if opts.Observability != nil {
 		top.SetObservability(*opts.Observability)

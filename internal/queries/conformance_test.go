@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 	"datatrace/internal/workload"
 )
@@ -74,6 +75,57 @@ func TestConformanceDifferentialQueries(t *testing.T) {
 					if !stream.Equivalent(sinkType, res.Sinks["sink"], ref["sink"]) {
 						t.Fatalf("par=%d %s: permuted input produced a different output trace (%d vs %d events)",
 							par, variant, len(res.Sinks["sink"]), len(ref["sink"]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransportEquivalenceDifferential proves the batched edge
+// transport semantics-preserving at the query level: every generated
+// topology I–VI runs at batch sizes {1, 4, 64, 1024} × parallelism
+// {1, 2, 4} on the same partitioned input, and each sink output must
+// be equal as a data trace to the BatchSize-1 run of the same
+// parallelism — the unbatched transport is the oracle. Run under
+// -race (scripts/check.sh does) so flush interleavings are exercised
+// under real executor concurrency.
+func TestTransportEquivalenceDifferential(t *testing.T) {
+	for _, def := range All() {
+		def := def
+		t.Run("Query"+def.Name, func(t *testing.T) {
+			env := testEnv(t)
+			sinkType := def.SinkType(env)
+			srcEnv := testEnv(t)
+			parts := def.Sources(srcEnv, 2)
+			base := make([][]stream.Event, len(parts))
+			for i, it := range parts {
+				base[i] = workload.Collect(it)
+			}
+			run := func(par, batch int) []stream.Event {
+				t.Helper()
+				in := make([][]stream.Event, len(base))
+				for i := range base {
+					in[i] = append([]stream.Event(nil), base[i]...)
+				}
+				// Fresh env per run: Query II mutates the DB.
+				runEnv := testEnv(t)
+				res, err := RunOn(runEnv, Spec{
+					Query: def.Name, Variant: Generated, Par: par,
+					Transport: &storm.TransportOptions{BatchSize: batch},
+				}, in)
+				if err != nil {
+					t.Fatalf("par=%d batch=%d: %v", par, batch, err)
+				}
+				return res.Sinks["sink"]
+			}
+			for _, par := range []int{1, 2, 4} {
+				baseline := run(par, 1)
+				for _, batch := range []int{4, 64, 1024} {
+					out := run(par, batch)
+					if !stream.Equivalent(sinkType, out, baseline) {
+						t.Fatalf("par=%d batch=%d: batched output is not trace-equivalent to the BatchSize-1 run (%d vs %d events)",
+							par, batch, len(out), len(baseline))
 					}
 				}
 			}

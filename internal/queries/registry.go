@@ -124,6 +124,10 @@ type Spec struct {
 	// histograms, queue gauges, marker-lag tracking) with default
 	// sampling for the run.
 	Obs bool
+	// Transport, when set, overrides the batched edge transport
+	// configuration of the topology (both variants); nil keeps the
+	// runtime defaults.
+	Transport *storm.TransportOptions
 }
 
 // Run executes the selected query variant to completion on the
@@ -171,6 +175,7 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 			cfg := metrics.DefaultObsConfig()
 			opts.Observability = &cfg
 		}
+		opts.Transport = spec.Transport
 		top, err := compile.Compile(dag, map[string]compile.SourceSpec{
 			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
 				return storm.SpoutFunc(sources[i])
@@ -184,6 +189,9 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 		top := def.Handcrafted(env, spec.Par, sources)
 		if spec.Obs {
 			top.SetObservability(metrics.DefaultObsConfig())
+		}
+		if spec.Transport != nil {
+			top.SetTransport(*spec.Transport)
 		}
 		return top.Run()
 	default:

@@ -7,15 +7,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datatrace/internal/metrics"
 	"datatrace/internal/stream"
 )
 
-// message is one unit on an executor's inbox: an event tagged with
-// the receiver-side input channel it arrived on, or an end-of-stream
-// notice for that channel.
+// message is one unit of executor input: an event tagged with the
+// receiver-side input channel it arrived on, or an end-of-stream
+// notice for that channel. Messages travel in vectors — the batched
+// edge transport (transport.go) groups them per destination — and
+// receivers unpack a vector one message at a time.
 type message struct {
 	ch  int
 	ev  stream.Event
@@ -59,10 +62,17 @@ type subscription struct {
 // runtimeComponent is a component with resolved wiring.
 type runtimeComponent struct {
 	*component
-	inboxes           []chan message
+	inboxes []chan *[]message
+	// depths[i] is inbox i's depth in *events* (a channel slot holds a
+	// whole vector, so len(inbox) alone under-counts): senders add a
+	// vector's length at flush, the receiver subtracts it at dequeue.
+	// Maintained only when observability is enabled; feeds the sampled
+	// queue-depth gauge.
+	depths            []atomic.Int64
 	subs              []subscription
 	nChannels         int // receiver-side input channel count
 	aligned           bool
+	transport         TransportOptions // normalized at Run
 	serializerFactory func() Serializer
 	// workerOf[i] is the worker hosting instance i (-1: no placement,
 	// every serialized send pays the wire format).
@@ -91,16 +101,18 @@ func (t *Topology) Run() (*Result, error) {
 	if hash == nil {
 		hash = stream.DefaultHash
 	}
+	tr := t.transport.normalized()
 
 	// Resolve components and receiver channel layouts.
 	rts := make(map[string]*runtimeComponent, len(t.order))
 	for _, name := range t.order {
 		c := t.components[name]
-		rc := &runtimeComponent{component: c}
-		rc.inboxes = make([]chan message, c.parallelism)
+		rc := &runtimeComponent{component: c, transport: tr}
+		rc.inboxes = make([]chan *[]message, c.parallelism)
 		for i := range rc.inboxes {
-			rc.inboxes[i] = make(chan message, cap)
+			rc.inboxes[i] = make(chan *[]message, cap)
 		}
+		rc.depths = make([]atomic.Int64, c.parallelism)
 		offset := 0
 		for _, in := range c.inputs {
 			offset += t.components[in.from].parallelism
@@ -223,16 +235,49 @@ type emitter struct {
 	// once per processed input when stamp is on and reused for every
 	// send — emitted messages carry it instead of paying time.Now per
 	// emission. It under-reports the send time by at most the message's
-	// own processing latency, which the exec histogram bounds.
+	// own processing latency, which the exec histogram bounds. A
+	// message buffered by the transport keeps the stamp of its emit, so
+	// the receiver's queue latency includes buffered residency.
 	now int64
 	// scratch is the reused routing buffer of emit.
 	scratch []routedMsg
+
+	// Batched transport state (see transport.go). bufs holds one send
+	// buffer per (subscription, destination instance), flattened;
+	// bufBase[si] indexes subscription si's instance-0 buffer. pending
+	// counts buffered events across all bufs; oldest is the idle-flush
+	// deadline anchor (zero when nothing is pending).
+	bufs       []outBuf
+	bufBase    []int
+	pending    int
+	oldest     time.Time
+	batchSize  int
+	flushEvery time.Duration
 }
 
 func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int) *emitter {
-	em := &emitter{rc: rc, instance: instance, hash: hash, rrNext: make([]int, len(rc.subs)), stats: is, worker: rc.workerOf[instance], stamp: is.ObsEnabled()}
+	tr := rc.transport.normalized()
+	em := &emitter{
+		rc: rc, instance: instance, hash: hash,
+		rrNext: make([]int, len(rc.subs)),
+		stats:  is, worker: rc.workerOf[instance], stamp: is.ObsEnabled(),
+		batchSize: tr.BatchSize, flushEvery: tr.FlushInterval,
+	}
 	if rc.serializerFactory != nil && len(rc.subs) > 0 {
 		em.ser = rc.serializerFactory()
+	}
+	em.bufBase = make([]int, len(rc.subs))
+	n := 0
+	for si := range rc.subs {
+		em.bufBase[si] = n
+		n += len(rc.subs[si].to.inboxes)
+	}
+	em.bufs = make([]outBuf, n)
+	for si := range rc.subs {
+		to := rc.subs[si].to
+		for k := range to.inboxes {
+			em.bufs[em.bufBase[si]+k] = outBuf{inbox: to.inboxes[k], depth: &to.depths[k]}
+		}
 	}
 	return em
 }
@@ -240,6 +285,7 @@ func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, h
 // routedMsg is one event resolved to a concrete destination.
 type routedMsg struct {
 	sub    *subscription
+	si     int // the subscription's index in rc.subs
 	target int
 	ch     int
 	e      stream.Event
@@ -256,7 +302,7 @@ func (em *emitter) route(e stream.Event, out []routedMsg) []routedMsg {
 			// Markers are always broadcast so they reach every
 			// consumer instance and can act as punctuations.
 			for k := range sub.to.inboxes {
-				out = append(out, routedMsg{sub, k, ch, e})
+				out = append(out, routedMsg{sub, si, k, ch, e})
 			}
 			continue
 		}
@@ -264,14 +310,14 @@ func (em *emitter) route(e stream.Event, out []routedMsg) []routedMsg {
 		case Shuffle:
 			k := em.rrNext[si]
 			em.rrNext[si] = (k + 1) % len(sub.to.inboxes)
-			out = append(out, routedMsg{sub, k, ch, e})
+			out = append(out, routedMsg{sub, si, k, ch, e})
 		case Fields:
-			out = append(out, routedMsg{sub, em.hash(e.Key) % len(sub.to.inboxes), ch, e})
+			out = append(out, routedMsg{sub, si, em.hash(e.Key) % len(sub.to.inboxes), ch, e})
 		case Global:
-			out = append(out, routedMsg{sub, 0, ch, e})
+			out = append(out, routedMsg{sub, si, 0, ch, e})
 		case Broadcast:
 			for k := range sub.to.inboxes {
-				out = append(out, routedMsg{sub, k, ch, e})
+				out = append(out, routedMsg{sub, si, k, ch, e})
 			}
 		}
 	}
@@ -299,15 +345,22 @@ func (em *emitter) emit(e stream.Event) {
 	for i := range em.scratch {
 		r := &em.scratch[i]
 		em.wire(r)
-		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e, sent: em.now}
+		em.push(r)
+	}
+	if e.IsMarker {
+		// Markers flush everything: they punctuate every buffer (being
+		// broadcast), and aligned consumers must not wait on a partial
+		// batch to complete a cut.
+		em.flushAll()
 	}
 }
 
 // sendBlock delivers a block of emitted events transactionally:
 // destinations are routed and serialized for every event before the
-// first send, so a serialization failure leaves nothing partially
-// delivered and marker-cut recovery can regenerate the block without
-// duplicating output downstream.
+// first buffer append, so a serialization failure leaves nothing
+// partially delivered and marker-cut recovery can regenerate the
+// block without duplicating output downstream. The block is flushed
+// when done — a committed cut leaves nothing buffered.
 func (em *emitter) sendBlock(events []stream.Event) {
 	batch := em.scratch[:0]
 	for _, e := range events {
@@ -317,24 +370,27 @@ func (em *emitter) sendBlock(events []stream.Event) {
 		em.wire(&batch[i])
 	}
 	for i := range batch {
-		r := &batch[i]
-		r.sub.to.inboxes[r.target] <- message{ch: r.ch, ev: r.e, sent: em.now}
+		em.push(&batch[i])
 	}
 	// Keep the grown buffer for the next block (emit and sendBlock are
 	// called from the same executor goroutine, never concurrently).
 	em.scratch = batch[:0]
+	em.flushAll()
 }
 
 // eos notifies every downstream instance that this sender instance's
-// channel has ended.
+// channel has ended: the notice is appended behind any still-buffered
+// events and everything is flushed, so EOS is the last message each
+// channel delivers.
 func (em *emitter) eos() {
 	for si := range em.rc.subs {
 		sub := &em.rc.subs[si]
 		ch := sub.chBase + em.instance
-		for _, inbox := range sub.to.inboxes {
-			inbox <- message{ch: ch, eos: true}
+		for k := range sub.to.inboxes {
+			em.pushEOS(&em.bufs[em.bufBase[si]+k], ch)
 		}
 	}
+	em.flushAll()
 }
 
 // guard runs fn, converting a panic into an error so the topology can
@@ -360,6 +416,11 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 			if em.stamp {
 				em.now = t0.UnixNano()
 			}
+			// Idle flush between Next calls: a throttled spout parked
+			// inside Next cannot flush, but one that merely produces
+			// slower than BatchSize per interval bounds its residency
+			// here.
+			em.tickAt(t0)
 			e, ok := spout.Next()
 			if !ok {
 				is.AddBusy(time.Since(t0))
@@ -412,58 +473,109 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 	qskip := 1
 	eosLeft := rc.nChannels
 	inbox := rc.inboxes[instance]
+	depth := &rc.depths[instance]
 	var err error
 	dropping := false
 	for eosLeft > 0 {
-		m := <-inbox
-		if m.eos {
-			eosLeft--
-			continue
+		bp := recvBatch(inbox, em)
+		if bp == nil {
+			continue // idle flush fired; retry the receive
 		}
-		if dropping {
-			if !m.ev.IsMarker {
-				is.AddDropped(1)
+		batch := *bp
+		if obs {
+			depth.Add(-int64(len(batch)))
+		}
+		bi := 0
+		for bi < len(batch) {
+			m := batch[bi]
+			if m.eos {
+				eosLeft--
+				bi++
+				continue
 			}
-			continue
-		}
-		if err != nil {
-			continue // failed executor keeps draining to its EOS
-		}
-		err = guard(rc.name, instance, func() {
-			ef.onEvent(rc.name, instance)
-			t0 := time.Now()
-			if obs {
-				now := t0.UnixNano()
-				em.now = now
-				if qskip--; qskip == 0 {
-					qskip = queueObsEvery
-					// +1: the message just dequeued occupied a slot too.
-					is.ObserveQueueDepth(len(inbox) + 1)
-					if m.sent != 0 {
-						is.ObserveQueue(time.Duration(now - m.sent))
-					}
+			if dropping {
+				if !m.ev.IsMarker {
+					is.AddDropped(1)
 				}
+				bi++
+				continue
 			}
-			switch {
-			case merge != nil:
-				merge.Next(m.ch, m.ev, deliver)
-			case chAware:
-				is.AddExecuted(1)
-				chBolt.NextFrom(m.ch, m.ev, emitFn)
-			default:
-				deliver(m.ev)
+			if err != nil {
+				bi++
+				continue // failed executor keeps draining to its EOS
 			}
-			d := time.Since(t0)
-			is.AddBusy(d)
-			is.ObserveExec(t0, d)
-		})
-		if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
-			// No marker-cut recovery on this path (the bolt is not
-			// aligned, or cannot snapshot); degrade by dropping.
-			pol.logf("storm: %s[%d] failed without recovery, dropping its remaining input: %v", rc.name, instance, err)
-			err = nil
-			dropping = true
+			if !obs {
+				// Fast path: process to the end of the vector (or the
+				// first panic) under one guard and one clock pair —
+				// the panic guard and busy-time reads amortize over
+				// the batch. bi advances before each message is
+				// processed, so a panic consumes the offending message
+				// and the drain above handles the remainder.
+				err = guard(rc.name, instance, func() {
+					t0 := time.Now()
+					defer func() { is.AddBusy(time.Since(t0)) }()
+					for bi < len(batch) {
+						m := batch[bi]
+						bi++
+						if m.eos {
+							eosLeft--
+							continue
+						}
+						ef.onEvent(rc.name, instance)
+						switch {
+						case merge != nil:
+							merge.Next(m.ch, m.ev, deliver)
+						case chAware:
+							is.AddExecuted(1)
+							chBolt.NextFrom(m.ch, m.ev, emitFn)
+						default:
+							deliver(m.ev)
+						}
+					}
+				})
+			} else {
+				err = guard(rc.name, instance, func() {
+					bi++
+					ef.onEvent(rc.name, instance)
+					t0 := time.Now()
+					now := t0.UnixNano()
+					em.now = now
+					if qskip--; qskip == 0 {
+						qskip = queueObsEvery
+						// Inbox depth in events, plus this vector's
+						// not-yet-processed remainder (the current
+						// message included).
+						is.ObserveQueueDepth(int(depth.Load()) + len(batch) - bi + 1)
+						if m.sent != 0 {
+							is.ObserveQueue(time.Duration(now - m.sent))
+						}
+					}
+					switch {
+					case merge != nil:
+						merge.Next(m.ch, m.ev, deliver)
+					case chAware:
+						is.AddExecuted(1)
+						chBolt.NextFrom(m.ch, m.ev, emitFn)
+					default:
+						deliver(m.ev)
+					}
+					d := time.Since(t0)
+					is.AddBusy(d)
+					is.ObserveExec(t0, d)
+				})
+			}
+			if err != nil && pol.Enabled && pol.OnUnrecoverable == DropAndLog {
+				// No marker-cut recovery on this path (the bolt is not
+				// aligned, or cannot snapshot); degrade by dropping.
+				pol.logf("storm: %s[%d] failed without recovery, dropping its remaining input: %v", rc.name, instance, err)
+				err = nil
+				dropping = true
+			}
 		}
+		putBatch(bp)
+		// Bound buffered-output residency even under a steady trickle
+		// of input (which keeps resetting recvBatch's idle timer).
+		em.tick()
 	}
 	if err == nil && !dropping {
 		err = guard(rc.name, instance, func() {

@@ -90,7 +90,12 @@ func (p *FaultPlan) SlowExecutor(component string, instance int, perEvent time.D
 }
 
 // CorruptEdge fails the atSend-th send (1-based) from executor
-// from[fromInstance] to component to.
+// from[fromInstance] to component to. Sends are counted per routed
+// event, not per transport vector, so the fault keeps per-event
+// granularity under the batched transport; it fires at wire time —
+// when the event is serialized toward its batch, before any of the
+// batch reaches the channel — so a corrupted emission never leaves a
+// vector partially delivered.
 func (p *FaultPlan) CorruptEdge(from string, fromInstance int, to string, atSend int64) *FaultPlan {
 	return p.add(Fault{Kind: CorruptFault, Component: from, Instance: fromInstance, To: to, AtEvent: atSend, Times: 1})
 }

@@ -115,39 +115,55 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 
 	var fatal error
 	var degraded *degradeState
+	obs := is.ObsEnabled()
 	eosLeft := rc.nChannels
 	inbox := rc.inboxes[instance]
+	depth := &rc.depths[instance]
 	for eosLeft > 0 {
-		m := <-inbox
-		if m.eos {
-			eosLeft--
-			continue
+		bp := recvBatch(inbox, x.em)
+		if bp == nil {
+			continue // idle flush fired; retry the receive
 		}
-		if fatal != nil {
-			continue // failed executor keeps draining to its EOS
+		batch := *bp
+		if obs {
+			depth.Add(-int64(len(batch)))
 		}
-		if degraded != nil {
-			degraded.handle(m.ev)
-			continue
-		}
-		recorded, err := x.process(m.ch, m.ev, m.sent)
-		if err != nil {
-			// Capture the un-flushed input before restart replaces the
-			// merger. An injected fault fires before the event reaches
-			// the merger, so re-append it to keep per-channel order.
-			pending := x.merge.Pending()
-			if !recorded {
-				pending[m.ch] = append(pending[m.ch], m.ev)
+		for bi := range batch {
+			m := batch[bi]
+			if m.eos {
+				eosLeft--
+				continue
 			}
-			left, rerr := x.recoverFrom(err, pending)
-			if rerr != nil {
-				if pol.OnUnrecoverable == DropAndLog {
-					degraded = x.degrade(rerr, left)
-				} else {
-					fatal = rerr
+			if fatal != nil {
+				continue // failed executor keeps draining to its EOS
+			}
+			if degraded != nil {
+				degraded.handle(m.ev)
+				continue
+			}
+			recorded, err := x.process(m.ch, m.ev, m.sent, len(batch)-bi)
+			if err != nil {
+				// Capture the un-flushed input before restart replaces the
+				// merger. An injected fault fires before the event reaches
+				// the merger, so re-append it to keep per-channel order.
+				pending := x.merge.Pending()
+				if !recorded {
+					pending[m.ch] = append(pending[m.ch], m.ev)
+				}
+				left, rerr := x.recoverFrom(err, pending)
+				if rerr != nil {
+					if pol.OnUnrecoverable == DropAndLog {
+						degraded = x.degrade(rerr, left)
+					} else {
+						fatal = rerr
+					}
 				}
 			}
 		}
+		putBatch(bp)
+		// Bound buffered-output residency under a steady input trickle
+		// (recvBatch's idle timer resets at every received vector).
+		x.em.tick()
 	}
 	if fatal == nil && degraded == nil {
 		if left, err := x.finish(); err != nil {
@@ -163,12 +179,13 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 }
 
 // process consumes one live event, converting an executor panic into
-// an error. sent is the message's send stamp (0 without observability).
-// recorded reports whether the event reached the merger: it is false
-// exactly when the injected fault fired first (once merge.Next is
-// entered the event is appended before any consumer code that could
-// panic runs).
-func (x *recExec) process(ch int, ev stream.Event, sent int64) (recorded bool, err error) {
+// an error. sent is the message's send stamp (0 without observability)
+// and rest is the not-yet-processed remainder of the current input
+// vector, this event included (queue-depth accounting). recorded
+// reports whether the event reached the merger: it is false exactly
+// when the injected fault fired first (once merge.Next is entered the
+// event is appended before any consumer code that could panic runs).
+func (x *recExec) process(ch int, ev stream.Event, sent int64, rest int) (recorded bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("storm: executor %s[%d] panicked: %v", x.rc.name, x.instance, r)
@@ -182,8 +199,9 @@ func (x *recExec) process(ch int, ev stream.Event, sent int64) (recorded bool, e
 		x.em.now = now
 		if x.qskip--; x.qskip == 0 {
 			x.qskip = queueObsEvery
-			// +1: the message just dequeued occupied a slot too.
-			x.is.ObserveQueueDepth(len(x.rc.inboxes[x.instance]) + 1)
+			// Inbox depth in events, plus the current vector's
+			// unprocessed remainder.
+			x.is.ObserveQueueDepth(int(x.rc.depths[x.instance].Load()) + rest)
 			if sent != 0 {
 				x.is.ObserveQueue(time.Duration(now - sent))
 			}
@@ -305,7 +323,12 @@ func (x *recExec) recoverFrom(cause error, pending [][]stream.Event) ([][]stream
 
 // restart rebuilds the executor at its last committed cut: a fresh
 // bolt instance restored from the snapshot, reset round-robin
-// cursors, an empty merger, and an empty output buffer.
+// cursors, an empty merger, and an empty output buffer. The emitter's
+// transport buffers need no discard: between cuts every emission is
+// parked in outBuf (never pushed to the transport), and a crash
+// inside a cut's flush can only fire before the first buffer append
+// (sendBlock wires everything first; flushAll itself cannot panic),
+// so the buffers are provably empty at every restart point.
 func (x *recExec) restart() error {
 	if !x.rc.isSink {
 		b := x.rc.bolt(x.instance)

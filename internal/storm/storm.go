@@ -159,7 +159,9 @@ type Topology struct {
 	components map[string]*component
 	order      []string
 	// ChannelCap bounds executor inboxes (backpressure); 0 selects the
-	// default of 1024.
+	// default of 1024. Each inbox slot holds one transport vector (up
+	// to TransportOptions.BatchSize events), so the in-flight event
+	// bound per edge is ChannelCap × BatchSize.
 	ChannelCap int
 	hash       func(any) int
 	serializer func() Serializer
@@ -167,6 +169,7 @@ type Topology struct {
 	faultPlan  *FaultPlan
 	recovery   RecoveryPolicy
 	obs        metrics.ObsConfig
+	transport  TransportOptions
 	// live is the stats collector of the current (or last) Run,
 	// published at Run start so monitors can poll mid-run.
 	live atomic.Pointer[metrics.Stats]
@@ -210,6 +213,12 @@ func (t *Topology) SetRecovery(p RecoveryPolicy) { t.recovery = p }
 // default) disables it all at zero per-event cost.
 func (t *Topology) SetObservability(cfg metrics.ObsConfig) { t.obs = cfg }
 
+// SetTransport configures the batched edge transport for the next Run
+// (see TransportOptions). The zero value selects the defaults
+// (BatchSize 64, FlushInterval 1ms); BatchSize 1 reproduces the
+// unbatched one-send-per-event transport exactly.
+func (t *Topology) SetTransport(o TransportOptions) { t.transport = o }
+
 // LiveStats returns the stats collector of the running (or most
 // recent) Run, or nil before the first Run. It is safe to poll from
 // any goroutine while the topology runs; pair with Stats.Snapshot for
@@ -240,6 +249,22 @@ func (t *Topology) Components() []ComponentInfo {
 		out = append(out, ComponentInfo{Name: c.name, Parallelism: c.parallelism, Kind: kind})
 	}
 	return out
+}
+
+// Inputs lists the components feeding the named component, in
+// declaration order of its input edges — for tooling and fault-plan
+// construction (e.g. picking an edge to corrupt). Unknown names
+// return nil.
+func (t *Topology) Inputs(name string) []string {
+	c, ok := t.components[name]
+	if !ok {
+		return nil
+	}
+	froms := make([]string, len(c.inputs))
+	for i, in := range c.inputs {
+		froms[i] = in.from
+	}
+	return froms
 }
 
 // AddSpout declares a source component with the given parallelism.

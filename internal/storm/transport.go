@@ -1,0 +1,227 @@
+package storm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the batched edge transport: instead of one
+// channel send per routed event, each emitter accumulates a
+// per-(subscription, destination-instance) buffer and flushes it as a
+// message vector, amortizing the synchronization cost of a channel op
+// over BatchSize events. Receivers drain one vector per channel op
+// and feed its events through the existing execute path one at a
+// time, so operator semantics are untouched.
+//
+// The transport preserves per-(sender,channel) FIFO order: every
+// receiver-side channel is fed by exactly one buffer (a channel
+// identifies one sender instance on one edge, and a buffer holds one
+// edge's traffic to one destination instance), and buffers append and
+// flush in order. The interleaving *across* channels of one inbox is
+// unspecified — exactly as it already is across sender instances —
+// and the MRG merger and ChannelBolt consumers only ever rely on
+// per-channel order.
+//
+// Flush triggers, chosen so batching is invisible to the protocol
+// layers above:
+//
+//   - size: a buffer reaching BatchSize flushes immediately.
+//   - marker: emitting a marker flushes every buffer. Markers are
+//     broadcast punctuations; a marker parked behind a partial batch
+//     would stall aligned consumers waiting to complete the cut, and
+//     marker-cut recovery relies on a cut's emissions being fully on
+//     the wire when the cut commits.
+//   - block: sendBlock flushes when the block is done, keeping the
+//     transactional all-routed-and-serialized-before-first-send
+//     contract of marker-cut recovery (the block's events may span
+//     several vectors, but nothing of the block stays buffered).
+//   - EOS: eos appends the end-of-stream notices after any buffered
+//     events and flushes, so EOS is always the last message a channel
+//     delivers.
+//   - idle: a bolt waiting on an empty inbox with buffered output
+//     flushes after FlushInterval, so low-rate streams don't stall
+//     (see recvBatch). Spouts flush between Next calls via tick; a
+//     spout blocked inside Next cannot flush — periodic markers or
+//     EOS bound the residency of its buffered output.
+//
+// With BatchSize 1 every push flushes immediately: the emitter never
+// holds a buffered event, tick and recvBatch take their zero-cost
+// early-outs, and the transport reproduces the unbatched runtime
+// exactly (one single-event vector per routed event).
+
+// DefaultBatchSize is the per-destination buffer capacity used when
+// TransportOptions.BatchSize is zero.
+const DefaultBatchSize = 64
+
+// DefaultFlushInterval is the idle-flush timeout used when
+// TransportOptions.FlushInterval is zero.
+const DefaultFlushInterval = time.Millisecond
+
+// TransportOptions configures the batched edge transport of a
+// topology's executors.
+type TransportOptions struct {
+	// BatchSize is the number of events a per-destination send buffer
+	// accumulates before it is flushed as one message vector. 0 means
+	// DefaultBatchSize; 1 reproduces the unbatched transport exactly.
+	BatchSize int
+	// FlushInterval bounds how long an emitted event may sit in a
+	// partial batch while the executor is otherwise idle. 0 means
+	// DefaultFlushInterval; negative disables the idle flush (markers,
+	// blocks and EOS still flush).
+	FlushInterval time.Duration
+}
+
+// normalized resolves defaults and clamps nonsensical values.
+func (o TransportOptions) normalized() TransportOptions {
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = DefaultFlushInterval
+	}
+	if o.FlushInterval < 0 {
+		o.FlushInterval = 0
+	}
+	return o
+}
+
+// batchPool recycles message vectors between receivers (which drain
+// a vector and return it) and senders (which fill the next one): the
+// boxed *[]message travels over the inbox channel, so the steady-state
+// transport moves one pointer per flush and allocates nothing.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]message, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+func getBatch() *[]message {
+	return batchPool.Get().(*[]message)
+}
+
+// putBatch returns a drained vector to the pool. Callers must have
+// copied every event they keep: the backing array is reused by the
+// next sender that flushes.
+func putBatch(b *[]message) {
+	batchPool.Put(b)
+}
+
+// outBuf is one emitter's send buffer for one destination instance of
+// one subscription. msgs is the working slice of box's backing array
+// (kept unboxed so the append hot path skips a pointer chase); the
+// two are reconciled at flush.
+type outBuf struct {
+	inbox chan<- *[]message
+	// depth is the destination inbox's event-depth counter (see
+	// runtimeComponent.depths); senders add at flush, receivers
+	// subtract at dequeue, both only when observability is on.
+	depth *atomic.Int64
+	box   *[]message
+	msgs  []message
+}
+
+// push appends one routed message to its destination buffer, flushing
+// the buffer when it reaches the batch size.
+func (em *emitter) push(r *routedMsg) {
+	b := &em.bufs[em.bufBase[r.si]+r.target]
+	if b.box == nil {
+		b.box = getBatch()
+		b.msgs = (*b.box)[:0]
+	}
+	b.msgs = append(b.msgs, message{ch: r.ch, ev: r.e, sent: em.now})
+	em.pending++
+	if len(b.msgs) >= em.batchSize {
+		em.flushBuf(b)
+	}
+}
+
+// pushEOS appends an end-of-stream notice for channel ch to buffer b,
+// after any events already buffered there.
+func (em *emitter) pushEOS(b *outBuf, ch int) {
+	if b.box == nil {
+		b.box = getBatch()
+		b.msgs = (*b.box)[:0]
+	}
+	b.msgs = append(b.msgs, message{ch: ch, eos: true})
+	em.pending++
+}
+
+// flushBuf sends one buffer's accumulated vector (a blocking channel
+// send: a full inbox applies backpressure here, exactly where the
+// unbatched transport blocked).
+func (em *emitter) flushBuf(b *outBuf) {
+	n := len(b.msgs)
+	if n == 0 {
+		return
+	}
+	if em.stamp {
+		b.depth.Add(int64(n))
+	}
+	em.pending -= n
+	*b.box = b.msgs
+	b.inbox <- b.box
+	b.box, b.msgs = nil, nil
+}
+
+// flushAll flushes every non-empty buffer and clears the idle-flush
+// deadline.
+func (em *emitter) flushAll() {
+	if em.pending > 0 {
+		for i := range em.bufs {
+			em.flushBuf(&em.bufs[i])
+		}
+	}
+	em.oldest = time.Time{}
+}
+
+// tick is the idle-flush hook called between an executor's loop
+// iterations. The first tick with pending output records the time;
+// a later tick flushes once the interval has elapsed. With BatchSize
+// 1 pending is always 0 and tick never reads the clock.
+func (em *emitter) tick() {
+	if em.pending == 0 || em.flushEvery <= 0 {
+		return
+	}
+	em.tickAt(time.Now())
+}
+
+// tickAt is tick with the caller's already-taken timestamp.
+func (em *emitter) tickAt(now time.Time) {
+	if em.pending == 0 || em.flushEvery <= 0 {
+		return
+	}
+	if em.oldest.IsZero() {
+		em.oldest = now
+		return
+	}
+	if now.Sub(em.oldest) >= em.flushEvery {
+		em.flushAll()
+	}
+}
+
+// recvBatch receives the next message vector from inbox. When the
+// executor has buffered output and an idle flush is configured, the
+// wait is bounded: if nothing arrives within the flush interval the
+// buffers are flushed and recvBatch returns nil (the caller retries),
+// so a quiet input edge can never strand this executor's buffered
+// output behind a blocking receive. On the hot path (nothing pending,
+// or idle flush disabled) it is a plain channel receive.
+func recvBatch(inbox <-chan *[]message, em *emitter) *[]message {
+	if em.pending == 0 || em.flushEvery <= 0 {
+		return <-inbox
+	}
+	t := time.NewTimer(em.flushEvery)
+	defer t.Stop()
+	select {
+	case b := <-inbox:
+		return b
+	case <-t.C:
+		em.flushAll()
+		return nil
+	}
+}

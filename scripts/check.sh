@@ -32,6 +32,35 @@ go test -race ./...
 echo "== conformance suite (queries I-VI, permuted inputs, -race) =="
 go test -race -run 'TestConformanceDifferentialQueries' -count 1 ./internal/queries/
 
+echo "== transport equivalence (queries I-VI, batch sweep vs batch-1, -race) =="
+go test -race -run 'TestTransportEquivalenceDifferential' -count 1 ./internal/queries/
+
+echo "== transport benchmark gate (batched must beat batch-1) =="
+# Interleaved paired runs of generated Query IV with the default batched
+# transport vs BatchSize 1 (the seed's one-send-per-event transport);
+# keep each side's best ns/op and fail if batching doesn't win. The
+# batched transport's whole point is throughput — a regression to parity
+# with the unbatched path is a bug even while every equivalence test
+# stays green.
+gate="$(
+    for i in 1 2 3; do
+        go test -run xxx -bench 'BenchmarkQueryIVGenerated$' -benchtime 3x .
+        go test -run xxx -bench 'BenchmarkQueryIVGeneratedBatch1$' -benchtime 3x .
+    done | awk '
+        /^BenchmarkQueryIVGeneratedBatch1/ { v = $3 + 0; if (!b1 || v < b1) b1 = v; next }
+        /^BenchmarkQueryIVGenerated/       { v = $3 + 0; if (!bb || v < bb) bb = v }
+        END {
+            if (!bb || !b1) { print "MISSING"; exit }
+            printf "batched %.0f ns/op  batch-1 %.0f ns/op  ratio %.2f\n", bb, b1, b1 / bb
+            print (bb < b1 ? "PASS" : "FAIL")
+        }'
+)"
+echo "$gate"
+case "$gate" in
+    *PASS) ;;
+    *) echo "transport benchmark gate failed: batched transport is not faster than batch-1" >&2; exit 1 ;;
+esac
+
 echo "== fuzz smokes (${FUZZTIME} each) =="
 go test -run xxx -fuzz 'FuzzNormalFormInvariants$' -fuzztime "$FUZZTIME" ./internal/trace/
 go test -run xxx -fuzz 'FuzzTraceNormalForm$' -fuzztime "$FUZZTIME" ./internal/trace/
@@ -40,5 +69,6 @@ go test -run xxx -fuzz 'FuzzSplitMergeIdentity$' -fuzztime "$FUZZTIME" ./interna
 go test -run xxx -fuzz 'FuzzMergePreservesMarkers$' -fuzztime "$FUZZTIME" ./internal/stream/
 go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/core/
 go test -run xxx -fuzz 'FuzzHistogramRecord$' -fuzztime "$FUZZTIME" ./internal/metrics/
+go test -run xxx -fuzz 'FuzzBatchFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
 
 echo "== ok =="
