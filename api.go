@@ -133,10 +133,38 @@ func SliceSpout(events []Event) Spout { return storm.SliceSpout(events) }
 
 // Compile translates a type-checked DAG into a topology, inserting
 // the groupings, marker propagation and merge/sort fusion of the
-// paper's section 5. A nil options selects the defaults.
+// paper's section 5. A nil options selects the defaults, which enable
+// the optimization passes (sort fusion, stateless chain fusion,
+// shuffle-side combiners).
 func Compile(d *DAG, sources map[string]SourceSpec, opts *CompileOptions) (*Topology, error) {
 	return compile.Compile(d, sources, opts)
 }
+
+// CompilePlan is the compiler's optimization report: which operators
+// fused into which bolts and which connections carry sender-side
+// combining buffers, with live per-stage delivery counters for fused
+// bolts.
+type CompilePlan = compile.Plan
+
+// CompileWithPlan is Compile returning, in addition, the optimization
+// plan.
+func CompileWithPlan(d *DAG, sources map[string]SourceSpec, opts *CompileOptions) (*Topology, *CompilePlan, error) {
+	return compile.CompileWithPlan(d, sources, opts)
+}
+
+// Combinable is the optional Operator extension that exposes a keyed
+// operator's aggregation monoid for sender-side combining; the
+// KeyedUnordered and SlidingAggregate templates implement it.
+type Combinable = core.Combinable
+
+// CombinerSpec is a sender-side combining buffer's configuration, for
+// hand-written topologies (BoltDecl.CombineWith); Compile installs
+// specs automatically when CompileOptions.Combiners is on.
+type CombinerSpec = storm.CombinerSpec
+
+// DefaultCombinerCap is the combining buffer's default distinct-key
+// capacity.
+const DefaultCombinerCap = storm.DefaultCombinerCap
 
 // NewTopology creates an empty runtime topology for hand-written
 // deployments.

@@ -53,14 +53,17 @@ func benchQuery(b *testing.B, name string, variant queries.Variant) {
 }
 
 func benchQuerySpec(b *testing.B, spec queries.Spec) {
+	benchQueryCfg(b, benchYahooCfg(), 2*time.Microsecond, spec)
+}
+
+func benchQueryCfg(b *testing.B, cfg workload.YahooConfig, opDelay time.Duration, spec queries.Spec) {
 	b.Helper()
-	cfg := benchYahooCfg()
 	items := int64(cfg.EventsPerSecond * cfg.Seconds)
 	var simTPS, wallTPS float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		env, err := queries.NewEnv(cfg, 2*time.Microsecond)
+		env, err := queries.NewEnv(cfg, opDelay)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,6 +124,54 @@ func BenchmarkQueryIVGeneratedBatch1(b *testing.B) {
 	benchQuerySpec(b, queries.Spec{
 		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2,
 		Transport: &storm.TransportOptions{BatchSize: 1},
+	})
+}
+
+// BenchmarkQueryIVGeneratedNoOpt is the optimization-pass baseline at
+// the Figure 4 workload: the same run as BenchmarkQueryIVGenerated
+// with chain fusion and shuffle-side combiners disabled. At this
+// workload the two are near parity — 12k events spread over 100
+// campaigns are too thin for sender-side combining to compress, and
+// the simulated DB latency floors both sides equally — which is
+// exactly what the pair documents: the passes never hurt the
+// evaluation workload.
+func BenchmarkQueryIVGeneratedNoOpt(b *testing.B) {
+	benchQuerySpec(b, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2,
+		NoFuseChains: true, NoCombiners: true,
+	})
+}
+
+// benchDenseYahooCfg is the optimization passes' operating point: a
+// 10× denser event rate, so each marker-delimited segment carries
+// hundreds of views per sender instance against the 100-campaign key
+// space and sender-side combining actually compresses (~8 items per
+// flushed partial). The DB runs at in-memory speed — the passes
+// optimize the runtime, and a simulated out-of-process latency floor
+// (identical on both sides) would only dilute the measured ratio.
+func benchDenseYahooCfg() workload.YahooConfig {
+	cfg := benchYahooCfg()
+	cfg.EventsPerSecond = 10000
+	return cfg
+}
+
+// BenchmarkQueryIVGeneratedDense and its NoOpt twin are the fusion
+// regression pair: generated Query IV at the dense operating point
+// with the optimization passes on vs off. scripts/check.sh compares
+// the two as the fusion benchmark gate and scripts/bench.sh records
+// their ratio in BENCH_PR4.json (query_iv_fusion_speedup); the full
+// pass-combination sweep is `dttbench -figure fusion` in
+// EXPERIMENTS.md.
+func BenchmarkQueryIVGeneratedDense(b *testing.B) {
+	benchQueryCfg(b, benchDenseYahooCfg(), 0, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2,
+	})
+}
+
+func BenchmarkQueryIVGeneratedDenseNoOpt(b *testing.B) {
+	benchQueryCfg(b, benchDenseYahooCfg(), 0, queries.Spec{
+		Query: "IV", Variant: queries.Generated, Par: 4, SourcePar: 2,
+		NoFuseChains: true, NoCombiners: true,
 	})
 }
 

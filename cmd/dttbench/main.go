@@ -5,6 +5,7 @@
 //	dttbench -figure 6          # Smart Homes scaling (Figure 6)
 //	dttbench -figure recovery   # checkpoint-interval sweep of marker-cut recovery
 //	dttbench -figure transport  # batch-size sweep of the batched edge transport
+//	dttbench -figure fusion     # optimization-pass sweep (chain fusion × combiners)
 //	dttbench -figure all        # everything, plus the section 2 experiment
 //	dttbench -section2          # only the motivation experiment
 //	dttbench -obs               # Query IV observability report on both runtimes
@@ -13,12 +14,20 @@
 // Workload knobs: -eps (events/second), -seconds (event-time length),
 // -workers (max simulated cluster size), -opdelay (simulated DB call
 // latency), -sources (source partitions).
+//
+// Profiling: -cpuprofile and -memprofile write pprof files covering
+// whatever figures the invocation runs, e.g.
+//
+//	dttbench -figure fusion -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"datatrace/internal/bench"
@@ -26,7 +35,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery, transport or all")
+		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery, transport, fusion or all")
 		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
 		obs      = flag.Bool("obs", false, "run Query IV with observability on and print per-component p50/p99 exec latency, max queue depth and marker-cut lag for both runtimes")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
@@ -36,8 +45,41 @@ func main() {
 		shSecs   = flag.Int("sh-seconds", 300, "Smart Homes event-time length")
 		opDelay  = flag.Duration("opdelay", 2*time.Microsecond, "simulated DB per-call latency")
 		sources  = flag.Int("sources", 2, "source partitions")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dttbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dttbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dttbench: memprofile:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dttbench: memprofile:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.MaxWorkers = *workers
@@ -67,15 +109,18 @@ func main() {
 		runRecovery(cfg, *csv)
 	case "transport":
 		runTransport(cfg, *csv)
+	case "fusion":
+		runFusion(cfg, *csv)
 	case "all":
 		emitFigure(bench.Figure4, cfg, *csv)
 		emitFigure(bench.Figure6, cfg, *csv)
 		emitFigure(bench.BackendComparison, cfg, *csv)
 		runRecovery(cfg, *csv)
 		runTransport(cfg, *csv)
+		runFusion(cfg, *csv)
 		runSection2()
 	default:
-		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6, backends, recovery, transport or all)\n", *figure)
+		fmt.Fprintf(os.Stderr, "dttbench: unknown figure %q (want 4, 6, backends, recovery, transport, fusion or all)\n", *figure)
 		os.Exit(2)
 	}
 }
@@ -108,6 +153,19 @@ func runRecovery(cfg bench.Config, csv bool) {
 
 func runTransport(cfg bench.Config, csv bool) {
 	res, err := bench.TransportSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Println(res.Table())
+}
+
+func runFusion(cfg bench.Config, csv bool) {
+	res, err := bench.FusionSweep(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dttbench:", err)
 		os.Exit(1)

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datatrace/internal/queries"
+)
+
+// This file measures the compiler's optimization passes: chain fusion
+// (collapsing maximal stateless operator chains into one bolt) and
+// shuffle-side combiners (sender-side partial aggregation on fields
+// edges into combinable keyed consumers). Generated Query IV — whose
+// pipeline has both a fusable Filter→Project chain and a combinable
+// fields edge into the sliding count — runs end-to-end under each of
+// the four on/off combinations, so the sweep reads directly as "what
+// does each pass buy on the evaluation's centerpiece".
+
+// FusionRow is one pass-combination measurement.
+type FusionRow struct {
+	// Label names the combination ("none", "fusion", "combiners", "both").
+	Label string
+	// FuseChains and Combiners are the pass switches of the run.
+	FuseChains bool
+	Combiners  bool
+	// Wall is the minimum end-to-end wall time over the repetitions.
+	Wall time.Duration
+	// Throughput is input tuples divided by Wall.
+	Throughput float64
+	// Speedup is the passes-off wall time divided by this row's wall
+	// time (1.00 for the passes-off row itself).
+	Speedup float64
+	// CombinedIn and CombinedOut are the combiner traffic counters of
+	// the run: items folded into combining buffers and partial
+	// aggregates flushed out. Zero when the combiner pass is off.
+	CombinedIn, CombinedOut int64
+	// Compression is CombinedIn / CombinedOut — the average number of
+	// raw items each flushed partial stands for (0 when no combining).
+	Compression float64
+}
+
+// FusionSweepResult is the full sweep.
+type FusionSweepResult struct {
+	Rows []FusionRow
+	// Par is the per-stage parallelism every run used.
+	Par int
+	// Reps is the number of interleaved repetitions per combination.
+	Reps int
+}
+
+// FusionSweep runs generated Query IV once per pass combination per
+// repetition, interleaving the combinations across repetitions (so
+// machine-load drift hits them equally) and keeping each combination's
+// minimum wall — the least-perturbed run of a fixed workload.
+func FusionSweep(cfg Config) (*FusionSweepResult, error) {
+	combos := []struct {
+		label             string
+		fusion, combiners bool
+	}{
+		{"none", false, false},
+		{"fusion", true, false},
+		{"combiners", false, true},
+		{"both", true, true},
+	}
+	par := cfg.MaxWorkers
+	if par > 4 {
+		par = 4
+	}
+	const reps = 5
+	res := &FusionSweepResult{Par: par, Reps: reps}
+
+	walls := make([]time.Duration, len(combos))
+	cins := make([]int64, len(combos))
+	couts := make([]int64, len(combos))
+	var items int64
+	for i := 0; i < reps; i++ {
+		for ci, combo := range combos {
+			env, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+			if err != nil {
+				return nil, err
+			}
+			r, err := queries.Run(env, queries.Spec{
+				Query:        "IV",
+				Variant:      queries.Generated,
+				Par:          par,
+				SourcePar:    cfg.SourcePar,
+				NoFuseChains: !combo.fusion,
+				NoCombiners:  !combo.combiners,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fusion sweep (%s): %w", combo.label, err)
+			}
+			if walls[ci] == 0 || r.Wall < walls[ci] {
+				walls[ci] = r.Wall
+			}
+			cins[ci], couts[ci] = r.Stats.Combined()
+			items = countItems(r.Stats, "yahoo")
+		}
+	}
+
+	base := walls[0]
+	for ci, combo := range combos {
+		row := FusionRow{
+			Label:       combo.label,
+			FuseChains:  combo.fusion,
+			Combiners:   combo.combiners,
+			Wall:        walls[ci],
+			Throughput:  float64(items) / walls[ci].Seconds(),
+			Speedup:     base.Seconds() / walls[ci].Seconds(),
+			CombinedIn:  cins[ci],
+			CombinedOut: couts[ci],
+		}
+		if couts[ci] > 0 {
+			row.Compression = float64(cins[ci]) / float64(couts[ci])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the sweep as aligned text.
+func (r *FusionSweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fusion: optimization-pass sweep (Query IV generated, par=%d, min of %d interleaved reps) ==\n", r.Par, r.Reps)
+	fmt.Fprintf(&b, "%10s %12s %14s %8s %12s %12s %12s\n",
+		"passes", "wall", "tuples/s", "speedup", "combined_in", "combined_out", "compression")
+	for _, row := range r.Rows {
+		comp := "-"
+		if row.Compression > 0 {
+			comp = fmt.Sprintf("%.1fx", row.Compression)
+		}
+		fmt.Fprintf(&b, "%10s %12s %14.0f %7.2fx %12d %12d %12s\n",
+			row.Label, row.Wall.Round(time.Microsecond), row.Throughput, row.Speedup,
+			row.CombinedIn, row.CombinedOut, comp)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated records.
+func (r *FusionSweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,passes,fuse_chains,combiners,wall_s,tuples_per_s,speedup,combined_in,combined_out,compression\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "fusion,%s,%v,%v,%f,%f,%f,%d,%d,%f\n",
+			row.Label, row.FuseChains, row.Combiners, row.Wall.Seconds(),
+			row.Throughput, row.Speedup, row.CombinedIn, row.CombinedOut, row.Compression)
+	}
+	return b.String()
+}

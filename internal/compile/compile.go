@@ -18,17 +18,24 @@
 //     operator that follows" optimization;
 //   - optionally fuses a SORT vertex into its (sole) downstream
 //     operator so sorting happens in the consumer's executor without
-//     an extra network hop, the paper's second fusion rule.
+//     an extra network hop, the paper's second fusion rule;
+//   - optionally collapses maximal linear chains of stateless
+//     operators into one composite bolt (FuseChains), removing the
+//     intermediate shuffle hops entirely;
+//   - optionally installs sender-side combining buffers on
+//     fields-grouped connections whose consumer admits
+//     pre-aggregation (Combiners): partial aggregates are folded at
+//     the producer per destination instance and the consumer is
+//     rewritten to merge partials, sound exactly because the
+//     consumer's aggregation monoid is commutative (Theorem 4.2).
 //
-// By Corollary 4.4, the resulting topology — at any parallelism — is
-// equivalent to the DAG's reference denotation (core.DAG.Eval); the
-// package tests check exactly that, over the truly concurrent
-// runtime.
+// By Corollary 4.4, the resulting topology — at any parallelism and
+// under any combination of passes — is equivalent to the DAG's
+// reference denotation (core.DAG.Eval); the package tests check
+// exactly that, over the truly concurrent runtime.
 package compile
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"datatrace/internal/core"
@@ -55,6 +62,29 @@ type Options struct {
 	// consumer into that consumer's bolt. Enabled by default in
 	// Compile's nil-Options path.
 	FuseSort bool
+	// FuseChains collapses maximal linear chains of stateless (ParAny)
+	// operators — equal parallelism, single producer/consumer edges —
+	// into one composite bolt, eliminating the shuffle hops between
+	// them. The fused bolt keeps the chain tail's name so downstream
+	// wiring is unchanged, snapshots/restores all stages for
+	// marker-cut recovery, and reports per-stage delivery counts
+	// through the compilation Plan. Enabled by default in Compile's
+	// nil-Options path.
+	FuseChains bool
+	// Combiners installs a sender-side combining buffer on every
+	// fields-grouped connection whose consumer is a lone keyed
+	// operator admitting pre-aggregation (core.Combinable with a usable
+	// monoid): producers fold a bounded per-destination map of partial
+	// aggregates and the consumer is rewritten (PreCombined) to merge
+	// partials. Buffers drain into the batched transport on capacity,
+	// markers, EOS and transactional send blocks, so they are provably
+	// empty at every recovery restart point. Enabled by default in
+	// Compile's nil-Options path.
+	Combiners bool
+	// CombinerCap bounds the distinct keys a combining buffer holds
+	// before draining early. 0 selects storm.DefaultCombinerCap;
+	// negative is a compile error.
+	CombinerCap int
 	// Hash overrides the fields-grouping key hash (nil = stream.DefaultHash).
 	Hash func(any) int
 	// ChannelCap bounds executor inboxes (0 = runtime default).
@@ -79,6 +109,21 @@ type Options struct {
 	Transport *storm.TransportOptions
 }
 
+// validate rejects malformed option values with descriptive errors
+// before any topology is built.
+func (o *Options) validate() error {
+	if o.CombinerCap < 0 {
+		return fmt.Errorf("compile: Options.CombinerCap must be ≥ 0 (0 selects the default, %d), got %d",
+			storm.DefaultCombinerCap, o.CombinerCap)
+	}
+	if o.Transport != nil {
+		if err := o.Transport.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sorter is implemented by core.Sort instances' operator; used to
 // recognize SORT vertices for fusion. Any keyed operator whose name
 // reports itself as a sort could match; we detect by concrete type
@@ -87,17 +132,32 @@ type sorter interface{ IsSort() bool }
 
 // Compile translates the DAG into a storm topology. sources must
 // provide a SourceSpec for every DAG source. A nil opts selects the
-// defaults (sort fusion on).
+// defaults: sort fusion, chain fusion and shuffle combiners all on.
 func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.Topology, error) {
+	top, _, err := CompileWithPlan(d, sources, opts)
+	return top, err
+}
+
+// CompileWithPlan is Compile returning, in addition, the optimization
+// Plan: which operators fused into which bolts and which connections
+// carry combining buffers, plus live per-stage delivery counters for
+// fused bolts.
+func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.Topology, *Plan, error) {
+	if d == nil {
+		return nil, nil, fmt.Errorf("compile: nil DAG — build one with core.NewDAG and add nodes before compiling")
+	}
 	if opts == nil {
-		opts = &Options{FuseSort: true}
+		opts = &Options{FuseSort: true, FuseChains: true, Combiners: true}
+	}
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
 	}
 	if err := d.Check(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, src := range d.Sources() {
 		if _, ok := sources[src.Name]; !ok {
-			return nil, fmt.Errorf("compile: no SourceSpec for source %q", src.Name)
+			return nil, nil, fmt.Errorf("compile: no SourceSpec for source %q", src.Name)
 		}
 	}
 
@@ -109,7 +169,9 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 		}
 	}
 
-	// Decide fusion: fusedInto[sortNodeID] = consumer node.
+	// Decide sort fusion: fusedInto[sortNodeID] = consumer node. The
+	// consumer must have the sort as its only input, so replacing its
+	// inputs with the sort's drops no edges.
 	fusedInto := map[int]*core.Node{}
 	if opts.FuseSort {
 		for _, n := range d.Nodes() {
@@ -117,8 +179,53 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 				continue
 			}
 			cs := consumers[n.ID]
-			if len(cs) == 1 && cs[0].Kind == core.OpNode && cs[0].Op.Mode() != core.ParNone {
+			if len(cs) == 1 && cs[0].Kind == core.OpNode && cs[0].Op.Mode() != core.ParNone &&
+				len(cs[0].Inputs) == 1 {
 				fusedInto[n.ID] = cs[0]
+			}
+		}
+	}
+
+	// Decide chain fusion: chains[tailID] = member nodes head..tail;
+	// absorbed marks every member except the tail. A link n→c joins a
+	// chain when both are stateless operators at equal parallelism and
+	// the edge is n's only outgoing and c's only incoming edge — then
+	// shuffling between them routes every event to exactly one
+	// consumer instance anyway, and running c in n's executor is
+	// trace-equivalent while saving the hop.
+	chains := map[int][]*core.Node{}
+	absorbed := map[int]bool{}
+	if opts.FuseChains {
+		next := map[int]*core.Node{}
+		hasPrev := map[int]bool{}
+		for _, n := range d.Nodes() {
+			if n.Kind != core.OpNode || n.Op.Mode() != core.ParAny {
+				continue
+			}
+			cs := consumers[n.ID]
+			if len(cs) != 1 {
+				continue
+			}
+			c := cs[0]
+			if c.Kind != core.OpNode || c.Op.Mode() != core.ParAny ||
+				c.Parallelism != n.Parallelism || len(c.Inputs) != 1 {
+				continue
+			}
+			next[n.ID] = c
+			hasPrev[c.ID] = true
+		}
+		for _, n := range d.Nodes() {
+			if next[n.ID] == nil || hasPrev[n.ID] {
+				continue // not a chain head
+			}
+			members := []*core.Node{n}
+			for m := next[n.ID]; m != nil; m = next[m.ID] {
+				members = append(members, m)
+			}
+			tail := members[len(members)-1]
+			chains[tail.ID] = members
+			for _, m := range members[:len(members)-1] {
+				absorbed[m.ID] = true
 			}
 		}
 	}
@@ -128,6 +235,7 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 	if opts.Hash != nil {
 		top.SetHash(opts.Hash)
 	}
+	plan := &Plan{Name: "compiled"}
 
 	for _, n := range d.Nodes() {
 		switch n.Kind {
@@ -142,35 +250,85 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 			if _, fusedAway := fusedInto[n.ID]; fusedAway {
 				continue
 			}
-			// If an input of n is a fused sort, n's bolt runs the sort
-			// instance in front of its own and takes the sort's inputs.
+			if absorbed[n.ID] {
+				continue // emitted with its chain's tail
+			}
+			nodes := []*core.Node{n}
+			if ch := chains[n.ID]; ch != nil {
+				nodes = ch
+			}
+			// The bolt is named after n (the chain tail, or the lone
+			// node) so downstream wiring is unchanged; its inputs and
+			// grouping come from the chain head. If the head's input is
+			// a fused sort, the bolt runs the sort instance in front and
+			// takes the sort's inputs. Mid-chain members can never own a
+			// fused sort: their single input is the previous (stateless)
+			// member.
+			head := nodes[0]
 			var fusedSort core.Operator
-			inputs := n.Inputs
-			for _, in := range n.Inputs {
-				if fusedInto[in.ID] == n {
+			inputs := head.Inputs
+			for _, in := range head.Inputs {
+				if fusedInto[in.ID] == head {
 					fusedSort = in.Op
 					inputs = in.Inputs
 					break
 				}
 			}
-			op := n.Op
-			sortOp := fusedSort
-			top.AddBolt(n.Name, n.Parallelism, func(int) storm.Bolt {
-				inst := op.New()
-				if sortOp != nil {
-					return chain(sortOp.New(), inst)
+			stageOps := make([]core.Operator, 0, len(nodes)+1)
+			var stageNames []string
+			if fusedSort != nil {
+				stageOps = append(stageOps, fusedSort)
+				stageNames = append(stageNames, fusedSort.Name())
+			}
+			for _, m := range nodes {
+				stageOps = append(stageOps, m.Op)
+				stageNames = append(stageNames, m.Op.Name())
+			}
+			// Combiner pass: a lone keyed consumer whose operator admits
+			// pre-aggregation is rewritten to fold partial aggregates,
+			// and every one of its (fields-grouped) connections gets a
+			// sender-side combining buffer over the same monoid. A fused
+			// sort excludes combining — its consumer needs the items
+			// themselves, in order.
+			var comb *storm.CombinerSpec
+			if opts.Combiners && len(stageOps) == 1 && n.Op.Mode() == core.ParKeyed {
+				if c, ok := n.Op.(core.Combinable); ok {
+					if inFn, combineFn, can := c.CombinerMonoid(); can {
+						capKeys := opts.CombinerCap
+						if capKeys == 0 {
+							capKeys = storm.DefaultCombinerCap
+						}
+						comb = &storm.CombinerSpec{In: inFn, Combine: combineFn, Cap: capKeys}
+						stageOps[0] = c.PreCombined()
+					}
 				}
-				return adapt(inst)
+			}
+			counts := plan.addBolt(n.Name, n.Parallelism, stageNames)
+			ops := stageOps
+			top.AddBolt(n.Name, n.Parallelism, func(int) storm.Bolt {
+				if len(ops) == 1 {
+					return adapt(ops[0].New())
+				}
+				insts := make([]core.Instance, len(ops))
+				for i, op := range ops {
+					insts[i] = op.New()
+				}
+				return newFusedBolt(insts, counts)
 			})
 			decl := boltDecl(top, n.Name)
-			grouping := groupingFor(n, fusedSort != nil)
+			grouping := groupingFor(head, fusedSort != nil)
 			for _, in := range inputs {
 				connect(decl, in.Name, grouping)
+				if comb != nil {
+					decl.CombineWith(*comb)
+					plan.CombinedEdges = append(plan.CombinedEdges, PlanEdge{From: in.Name, To: n.Name, Cap: comb.Cap})
+				}
 			}
 		case core.SinkNode:
 			in := n.Inputs[0]
-			// A sink consuming a fused-away sort cannot occur: fusion
-			// requires the consumer to be an OpNode.
+			// A sink consuming a fused-away node cannot occur: both
+			// fusion passes require the absorbed node's sole consumer to
+			// be an OpNode.
 			top.AddSink(n.Name, in.Name)
 		}
 	}
@@ -186,7 +344,7 @@ func Compile(d *core.DAG, sources map[string]SourceSpec, opts *Options) (*storm.
 	if opts.Observability != nil {
 		top.SetObservability(*opts.Observability)
 	}
-	return top, nil
+	return top, plan, nil
 }
 
 // isSortOp recognizes core.Sort operators structurally: they are the
@@ -267,64 +425,10 @@ func adapt(inst core.Instance) storm.Bolt {
 	return instanceBolt{inst}
 }
 
-// chainBolt runs instance a and feeds its emissions into instance b —
-// the fusion of two operators into one bolt. The intermediate closure
-// is allocated once, not per event.
-type chainBolt struct {
-	a, b  core.Instance
-	outer func(stream.Event)
-	mid   func(stream.Event)
-}
-
-// Next implements storm.Bolt.
-func (c *chainBolt) Next(e stream.Event, emit func(stream.Event)) {
-	c.outer = emit
-	c.a.Next(e, c.mid)
-}
-
-// Snapshot implements storm.Recoverable: the fused bolt's checkpoint
-// is the pair of its instances' snapshots.
-func (c *chainBolt) Snapshot() ([]byte, error) {
-	sa, err := core.SnapshotInstance(c.a)
-	if err != nil {
-		return nil, err
-	}
-	sb, err := core.SnapshotInstance(c.b)
-	if err != nil {
-		return nil, err
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode([2][]byte{sa, sb}); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// Restore implements storm.Recoverable.
-func (c *chainBolt) Restore(data []byte) error {
-	var parts [2][]byte
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&parts); err != nil {
-		return err
-	}
-	if err := core.RestoreInstance(c.a, parts[0]); err != nil {
-		return err
-	}
-	return core.RestoreInstance(c.b, parts[1])
-}
-
-// plainBolt hides chainBolt's Recoverable methods when one of the
+// plainBolt hides a fused bolt's Recoverable methods when one of the
 // fused instances cannot snapshot, so the runtime sees an accurate
 // method set.
 type plainBolt struct{ b storm.Bolt }
 
 // Next implements storm.Bolt.
 func (p plainBolt) Next(e stream.Event, emit func(stream.Event)) { p.b.Next(e, emit) }
-
-func chain(a, b core.Instance) storm.Bolt {
-	c := &chainBolt{a: a, b: b}
-	c.mid = func(e stream.Event) { c.b.Next(e, c.outer) }
-	if core.CanSnapshot(a) && core.CanSnapshot(b) {
-		return c
-	}
-	return plainBolt{c}
-}

@@ -1,0 +1,100 @@
+package compile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync/atomic"
+
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// fusedBolt runs a pipeline of operator instances inside one
+// executor: each stage's emissions feed the next stage directly, as
+// plain function composition — no edge, no batching, no queueing in
+// between. It generalizes the original two-instance SORT fusion to
+// arbitrary chain length; the compiler uses it both for a fused SORT
+// prefix and for maximal stateless chains (FuseChains).
+//
+// The per-stage feed closures are allocated once per bolt, not per
+// event, so the steady-state hot path is a chain of direct calls.
+type fusedBolt struct {
+	insts []core.Instance
+	outer func(stream.Event)
+	feeds []func(stream.Event)
+	// counts[i], when set, counts events delivered into stage i across
+	// the component's instances — the per-stage visibility a fused
+	// chain would otherwise lose by sharing one executor's histograms.
+	// Shared atomics owned by the compilation's Plan.
+	counts []*atomic.Int64
+}
+
+func newFusedBolt(insts []core.Instance, counts []*atomic.Int64) storm.Bolt {
+	f := &fusedBolt{insts: insts, counts: counts}
+	f.feeds = make([]func(stream.Event), len(insts))
+	last := len(insts) - 1
+	f.feeds[last] = func(e stream.Event) { f.outer(e) }
+	for i := 0; i < last; i++ {
+		i := i
+		f.feeds[i] = func(e stream.Event) {
+			if f.counts != nil {
+				f.counts[i+1].Add(1)
+			}
+			f.insts[i+1].Next(e, f.feeds[i+1])
+		}
+	}
+	for _, in := range insts {
+		if !core.CanSnapshot(in) {
+			// Hide the Recoverable method set when any stage cannot
+			// checkpoint, so the runtime sees an accurate capability.
+			return plainBolt{f}
+		}
+	}
+	return f
+}
+
+// Next implements storm.Bolt.
+func (f *fusedBolt) Next(e stream.Event, emit func(stream.Event)) {
+	f.outer = emit
+	if f.counts != nil {
+		f.counts[0].Add(1)
+	}
+	f.insts[0].Next(e, f.feeds[0])
+}
+
+// Snapshot implements storm.Recoverable: the fused bolt's checkpoint
+// is the sequence of its stages' snapshots.
+func (f *fusedBolt) Snapshot() ([]byte, error) {
+	parts := make([][]byte, len(f.insts))
+	for i, in := range f.insts {
+		b, err := core.SnapshotInstance(in)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = b
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(parts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements storm.Recoverable.
+func (f *fusedBolt) Restore(data []byte) error {
+	var parts [][]byte
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&parts); err != nil {
+		return err
+	}
+	if len(parts) != len(f.insts) {
+		return fmt.Errorf("compile: fused-bolt snapshot has %d stages, bolt has %d", len(parts), len(f.insts))
+	}
+	for i, in := range f.insts {
+		if err := core.RestoreInstance(in, parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

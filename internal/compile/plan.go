@@ -1,0 +1,100 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Plan is the optimization pipeline's debugging output: which
+// operators ended up fused into which bolts, and which edges carry
+// sender-side combining buffers. CompileWithPlan returns it alongside
+// the topology; fused bolts additionally feed per-stage delivery
+// counters into it at run time, restoring the per-operator visibility
+// a fused chain would otherwise lose by sharing one executor's
+// metrics.
+type Plan struct {
+	// Name is the compiled topology's name.
+	Name string
+	// Bolts lists every emitted bolt with the operator stages running
+	// inside it, in execution order. More than one stage means fusion
+	// happened (a fused SORT appears as its own stage).
+	Bolts []PlanBolt
+	// CombinedEdges lists the edges carrying sender-side combining
+	// buffers (the Combiners pass).
+	CombinedEdges []PlanEdge
+}
+
+// PlanBolt describes one emitted bolt.
+type PlanBolt struct {
+	Name        string
+	Parallelism int
+	// Stages names the operators executed inside the bolt, in order.
+	Stages []string
+	// counts[i] accumulates events delivered into stage i, summed over
+	// the component's instances; allocated only for fused bolts.
+	counts []*atomic.Int64
+}
+
+// PlanEdge is one combined connection.
+type PlanEdge struct {
+	From, To string
+	// Cap is the combining buffer's distinct-key capacity.
+	Cap int
+}
+
+// StageCount is one fused stage's delivery count.
+type StageCount struct {
+	Stage  string
+	Events int64
+}
+
+// StageCounts returns the per-stage delivery counts of a fused bolt,
+// readable during or after a run of the compiled topology. Unknown or
+// unfused bolts return nil.
+func (p *Plan) StageCounts(bolt string) []StageCount {
+	for i := range p.Bolts {
+		b := &p.Bolts[i]
+		if b.Name != bolt || b.counts == nil {
+			continue
+		}
+		out := make([]StageCount, len(b.Stages))
+		for j, s := range b.Stages {
+			out[j] = StageCount{Stage: s, Events: b.counts[j].Load()}
+		}
+		return out
+	}
+	return nil
+}
+
+// addBolt records one emitted bolt, allocating shared stage counters
+// when the bolt fuses several stages, and returns the counter slice
+// for the bolt factory to capture.
+func (p *Plan) addBolt(name string, par int, stages []string) []*atomic.Int64 {
+	pb := PlanBolt{Name: name, Parallelism: par, Stages: stages}
+	if len(stages) > 1 {
+		pb.counts = make([]*atomic.Int64, len(stages))
+		for i := range pb.counts {
+			pb.counts[i] = new(atomic.Int64)
+		}
+	}
+	p.Bolts = append(p.Bolts, pb)
+	return pb.counts
+}
+
+// String renders the plan for debugging.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "optimization plan for %s:\n", p.Name)
+	for _, pb := range p.Bolts {
+		if len(pb.Stages) > 1 {
+			fmt.Fprintf(&b, "  bolt %s ×%d fuses [%s]\n", pb.Name, pb.Parallelism, strings.Join(pb.Stages, " → "))
+		} else {
+			fmt.Fprintf(&b, "  bolt %s ×%d\n", pb.Name, pb.Parallelism)
+		}
+	}
+	for _, e := range p.CombinedEdges {
+		fmt.Fprintf(&b, "  edge %s → %s combined (cap %d)\n", e.From, e.To, e.Cap)
+	}
+	return b.String()
+}

@@ -73,6 +73,14 @@ type InstanceStats struct {
 	replayed atomic.Int64 // events re-delivered during recoveries
 	dropped  atomic.Int64 // events discarded after degradation
 
+	// combinedIn/combinedOut measure the sender-side combining buffers
+	// of this executor's combined edges: events absorbed into partial
+	// aggregates, and partial aggregates shipped. Their ratio is the
+	// combiner's compression (hit rate = 1 − out/in); both stay zero on
+	// uncombined edges.
+	combinedIn  atomic.Int64
+	combinedOut atomic.Int64
+
 	// maxQueue is the high-water inbox depth observed at receives —
 	// the backpressure gauge (0 when observability is disabled).
 	maxQueue atomic.Int64
@@ -124,6 +132,19 @@ func (is *InstanceStats) AddDropped(n int64) { is.dropped.Add(n) }
 
 // Dropped returns the events discarded after degradation.
 func (is *InstanceStats) Dropped() int64 { return is.dropped.Load() }
+
+// AddCombinedIn counts n events absorbed into sender-side partial
+// aggregates.
+func (is *InstanceStats) AddCombinedIn(n int64) { is.combinedIn.Add(n) }
+
+// CombinedIn returns the events absorbed into partial aggregates.
+func (is *InstanceStats) CombinedIn() int64 { return is.combinedIn.Load() }
+
+// AddCombinedOut counts n partial aggregates shipped downstream.
+func (is *InstanceStats) AddCombinedOut(n int64) { is.combinedOut.Add(n) }
+
+// CombinedOut returns the partial aggregates shipped downstream.
+func (is *InstanceStats) CombinedOut() int64 { return is.combinedOut.Load() }
 
 // ObsEnabled reports whether this record collects observability data.
 // Executors use it to skip the extra time.Now calls of queue-latency
@@ -278,6 +299,17 @@ func (s *Stats) Component(name string) (executed, emitted int64) {
 	return executed, emitted
 }
 
+// Combined sums the combining-buffer counters over all executors:
+// events absorbed into sender-side partial aggregates and partial
+// aggregates shipped. A run without combined edges returns (0, 0).
+func (s *Stats) Combined() (in, out int64) {
+	for _, is := range s.Instances() {
+		in += is.CombinedIn()
+		out += is.CombinedOut()
+	}
+	return in, out
+}
+
 // Recovery sums the fault-tolerance counters over all executors:
 // restarts performed, events replayed from replay buffers, and events
 // dropped by degraded executors.
@@ -384,6 +416,8 @@ func (s *Stats) Filtered(keep func(component string) bool) *Stats {
 		c.restarts.Store(is.Restarts())
 		c.replayed.Store(is.Replayed())
 		c.dropped.Store(is.Dropped())
+		c.combinedIn.Store(is.CombinedIn())
+		c.combinedOut.Store(is.CombinedOut())
 		c.maxQueue.Store(is.MaxQueueDepth())
 		if is.ObsEnabled() {
 			c.exec = histogramFrom(is.ExecHist())

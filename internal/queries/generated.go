@@ -118,8 +118,11 @@ func QueryIIIDAG(env *Env, par int) *core.DAG {
 }
 
 // filterMapOp is the first stage of the original Yahoo pipeline
-// (Figure 3): keep view events, project the ad id, look up the
-// campaign, and key by campaign.
+// (Figure 3) as a single vertex: keep view events, project the ad id,
+// look up the campaign, and key by campaign. The window-template DAG
+// still uses it; Query IV/V split it into filterOp → projectOp so the
+// compiler's chain-fusion pass has a chain to collapse (Figure 3's
+// pipeline actually draws Filter and Project as separate vertices).
 func filterMapOp(env *Env) core.Operator {
 	return &core.Stateless[stream.Unit, workload.YahooEvent, int64, stream.Unit]{
 		OpName: "Filter-Map",
@@ -129,6 +132,33 @@ func filterMapOp(env *Env) core.Operator {
 			if ev.Type != workload.View {
 				return
 			}
+			emit(env.CampaignOf(ev.AdID), stream.Unit{})
+		},
+	}
+}
+
+// filterOp keeps view events (Figure 3's Filter vertex).
+func filterOp() core.Operator {
+	return &core.Stateless[stream.Unit, workload.YahooEvent, stream.Unit, workload.YahooEvent]{
+		OpName: "Filter",
+		In:     stream.U("Ut", "YItem"),
+		Out:    stream.U("Ut", "YItem"),
+		OnItem: func(emit core.Emit[stream.Unit, workload.YahooEvent], _ stream.Unit, ev workload.YahooEvent) {
+			if ev.Type == workload.View {
+				emit(stream.Unit{}, ev)
+			}
+		},
+	}
+}
+
+// projectOp looks up the campaign of the surviving views and keys by
+// it (Figure 3's Project + join).
+func projectOp(env *Env) core.Operator {
+	return &core.Stateless[stream.Unit, workload.YahooEvent, int64, stream.Unit]{
+		OpName: "Project",
+		In:     stream.U("Ut", "YItem"),
+		Out:    stream.U("CID", "Ut"),
+		OnItem: func(emit core.Emit[int64, stream.Unit], _ stream.Unit, ev workload.YahooEvent) {
 			emit(env.CampaignOf(ev.AdID), stream.Unit{})
 		},
 	}
@@ -163,12 +193,15 @@ func slidingCountOp() core.Operator {
 	}
 }
 
-// QueryIVDAG: SOURCE → Filter-Map → Count(10 sec) → SINK (Figure 3).
+// QueryIVDAG: SOURCE → Filter → Project → Count(10 sec) → SINK
+// (Figure 3). Filter and Project form a stateless chain the compiler
+// fuses into one bolt when Options.FuseChains is on.
 func QueryIVDAG(env *Env, par int) *core.DAG {
 	d := core.NewDAG()
 	src := d.Source("yahoo", stream.U("Ut", "YItem"))
-	fm := d.Op(filterMapOp(env), par, src)
-	cnt := d.Op(slidingCountOp(), par, fm)
+	flt := d.Op(filterOp(), par, src)
+	prj := d.Op(projectOp(env), par, flt)
+	cnt := d.Op(slidingCountOp(), par, prj)
 	d.Sink("sink", cnt)
 	return d
 }
@@ -200,12 +233,13 @@ func tumblingCountOp() core.Operator {
 	}
 }
 
-// QueryVDAG: SOURCE → Filter-Map → Count(tumbling) → SINK.
+// QueryVDAG: SOURCE → Filter → Project → Count(tumbling) → SINK.
 func QueryVDAG(env *Env, par int) *core.DAG {
 	d := core.NewDAG()
 	src := d.Source("yahoo", stream.U("Ut", "YItem"))
-	fm := d.Op(filterMapOp(env), par, src)
-	cnt := d.Op(tumblingCountOp(), par, fm)
+	flt := d.Op(filterOp(), par, src)
+	prj := d.Op(projectOp(env), par, flt)
+	cnt := d.Op(tumblingCountOp(), par, prj)
 	d.Sink("sink", cnt)
 	return d
 }

@@ -48,9 +48,9 @@ func All() []Def {
 			DAG: QueryIIDAG, Handcrafted: QueryIIHandcrafted},
 		{Name: "III", Stages: 2, Description: "location enrichment + historical summarization",
 			DAG: QueryIIIDAG, Handcrafted: QueryIIIHandcrafted},
-		{Name: "IV", Stages: 2, Description: "Yahoo benchmark pipeline (10s sliding windows)",
+		{Name: "IV", Stages: 3, Description: "Yahoo benchmark pipeline (10s sliding windows)",
 			DAG: QueryIVDAG, Handcrafted: QueryIVHandcrafted},
-		{Name: "V", Stages: 2, Description: "Yahoo pipeline with tumbling windows",
+		{Name: "V", Stages: 3, Description: "Yahoo pipeline with tumbling windows",
 			DAG: QueryVDAG, Handcrafted: QueryVHandcrafted},
 		{Name: "VI", Stages: 3, Description: "location enrichment + features + k-means",
 			DAG: QueryVIDAG, Handcrafted: QueryVIHandcrafted},
@@ -128,6 +128,12 @@ type Spec struct {
 	// configuration of the topology (both variants); nil keeps the
 	// runtime defaults.
 	Transport *storm.TransportOptions
+	// NoFuseChains disables the compiler's stateless chain-fusion pass
+	// (Generated variant only; the pass is on by default).
+	NoFuseChains bool
+	// NoCombiners disables the compiler's shuffle-side combiner pass
+	// (Generated variant only; the pass is on by default).
+	NoCombiners bool
 }
 
 // Run executes the selected query variant to completion on the
@@ -167,7 +173,11 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 	switch spec.Variant {
 	case Generated:
 		dag := def.DAG(env, spec.Par)
-		opts := &compile.Options{FuseSort: true}
+		opts := &compile.Options{
+			FuseSort:   true,
+			FuseChains: !spec.NoFuseChains,
+			Combiners:  !spec.NoCombiners,
+		}
 		if spec.Recovery {
 			opts.Recovery = &storm.RecoveryPolicy{Enabled: true}
 		}

@@ -324,11 +324,14 @@ func (x *recExec) recoverFrom(cause error, pending [][]stream.Event) ([][]stream
 // restart rebuilds the executor at its last committed cut: a fresh
 // bolt instance restored from the snapshot, reset round-robin
 // cursors, an empty merger, and an empty output buffer. The emitter's
-// transport buffers need no discard: between cuts every emission is
-// parked in outBuf (never pushed to the transport), and a crash
-// inside a cut's flush can only fire before the first buffer append
-// (sendBlock wires everything first; flushAll itself cannot panic),
-// so the buffers are provably empty at every restart point.
+// transport buffers — combining buffers included — need no discard:
+// between cuts every emission is parked in outBuf (never pushed to
+// the transport), a crash inside a cut's flush can only fire before
+// the first buffer append (sendBlock wires everything first; flushAll
+// itself cannot panic — combiner In/Combine are pure by the template
+// contract), and sendBlock ends in flushAll, which drains every
+// combining buffer before flushing, so both buffer layers are
+// provably empty at every restart point.
 func (x *recExec) restart() error {
 	if !x.rc.isSink {
 		b := x.rc.bolt(x.instance)

@@ -133,6 +133,9 @@ type connection struct {
 	// aligned requests receiver-side MRG marker alignment across all
 	// input channels of the consumer (all its connections jointly).
 	aligned bool
+	// combiner, when set, installs a sender-side combining buffer on
+	// this edge (see BoltDecl.CombineWith and combiner.go).
+	combiner *CombinerSpec
 }
 
 // component is a spout or bolt declaration.
@@ -373,6 +376,11 @@ func (t *Topology) validate() error {
 			}
 			if in.aligned {
 				aligned++
+			}
+			if in.combiner != nil {
+				if err := in.combiner.validate(name, in.from, in.grouping); err != nil {
+					return err
+				}
 			}
 		}
 		if aligned != 0 && aligned != len(c.inputs) {

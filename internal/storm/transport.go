@@ -1,6 +1,7 @@
 package storm
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,17 @@ type TransportOptions struct {
 	FlushInterval time.Duration
 }
 
+// Validate rejects nonsensical option values with a descriptive
+// error. Run calls it before starting executors; callers configuring
+// transports programmatically can call it early for better error
+// locality.
+func (o TransportOptions) Validate() error {
+	if o.BatchSize < 0 {
+		return fmt.Errorf("storm: TransportOptions.BatchSize must be ≥ 0 (0 selects the default %d, 1 disables batching), got %d", DefaultBatchSize, o.BatchSize)
+	}
+	return nil
+}
+
 // normalized resolves defaults and clamps nonsensical values.
 func (o TransportOptions) normalized() TransportOptions {
 	if o.BatchSize == 0 {
@@ -123,17 +135,35 @@ type outBuf struct {
 	depth *atomic.Int64
 	box   *[]message
 	msgs  []message
+	// comb, when set, pre-aggregates this buffer's items per key
+	// before they enter msgs (see combiner.go); nil on ordinary edges.
+	comb *combBuf
 }
 
 // push appends one routed message to its destination buffer, flushing
-// the buffer when it reaches the batch size.
+// the buffer when it reaches the batch size. On a combined edge,
+// items are folded into the combining buffer instead; a marker drains
+// it first so the partial aggregates stay inside their block.
 func (em *emitter) push(r *routedMsg) {
 	b := &em.bufs[em.bufBase[r.si]+r.target]
+	if b.comb != nil {
+		if !r.e.IsMarker {
+			em.combine(b, r.e)
+			return
+		}
+		em.drainComb(b)
+	}
+	em.append(b, message{ch: r.ch, ev: r.e, sent: em.now})
+}
+
+// append places one message in a transport buffer, flushing at the
+// batch size.
+func (em *emitter) append(b *outBuf, m message) {
 	if b.box == nil {
 		b.box = getBatch()
 		b.msgs = (*b.box)[:0]
 	}
-	b.msgs = append(b.msgs, message{ch: r.ch, ev: r.e, sent: em.now})
+	b.msgs = append(b.msgs, m)
 	em.pending++
 	if len(b.msgs) >= em.batchSize {
 		em.flushBuf(b)
@@ -141,8 +171,9 @@ func (em *emitter) push(r *routedMsg) {
 }
 
 // pushEOS appends an end-of-stream notice for channel ch to buffer b,
-// after any events already buffered there.
+// after any events still held by its combining or transport buffer.
 func (em *emitter) pushEOS(b *outBuf, ch int) {
+	em.drainComb(b)
 	if b.box == nil {
 		b.box = getBatch()
 		b.msgs = (*b.box)[:0]
@@ -168,9 +199,16 @@ func (em *emitter) flushBuf(b *outBuf) {
 	b.box, b.msgs = nil, nil
 }
 
-// flushAll flushes every non-empty buffer and clears the idle-flush
-// deadline.
+// flushAll drains every combining buffer, flushes every non-empty
+// transport buffer and clears the idle-flush deadline. This is the
+// trigger behind blocks, EOS and the idle flush — after it returns,
+// nothing the emitter sent is held back anywhere.
 func (em *emitter) flushAll() {
+	if em.cpending > 0 {
+		for i := range em.bufs {
+			em.drainComb(&em.bufs[i])
+		}
+	}
 	if em.pending > 0 {
 		for i := range em.bufs {
 			em.flushBuf(&em.bufs[i])
@@ -182,9 +220,10 @@ func (em *emitter) flushAll() {
 // tick is the idle-flush hook called between an executor's loop
 // iterations. The first tick with pending output records the time;
 // a later tick flushes once the interval has elapsed. With BatchSize
-// 1 pending is always 0 and tick never reads the clock.
+// 1 and no combined edges nothing is ever pending and tick never
+// reads the clock.
 func (em *emitter) tick() {
-	if em.pending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
 		return
 	}
 	em.tickAt(time.Now())
@@ -192,7 +231,7 @@ func (em *emitter) tick() {
 
 // tickAt is tick with the caller's already-taken timestamp.
 func (em *emitter) tickAt(now time.Time) {
-	if em.pending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
 		return
 	}
 	if em.oldest.IsZero() {
@@ -209,10 +248,11 @@ func (em *emitter) tickAt(now time.Time) {
 // wait is bounded: if nothing arrives within the flush interval the
 // buffers are flushed and recvBatch returns nil (the caller retries),
 // so a quiet input edge can never strand this executor's buffered
-// output behind a blocking receive. On the hot path (nothing pending,
-// or idle flush disabled) it is a plain channel receive.
+// output behind a blocking receive. Events held by combining buffers
+// count as buffered output here too. On the hot path (nothing
+// pending, or idle flush disabled) it is a plain channel receive.
 func recvBatch(inbox <-chan *[]message, em *emitter) *[]message {
-	if em.pending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
 		return <-inbox
 	}
 	t := time.NewTimer(em.flushEvery)

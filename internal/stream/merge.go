@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 )
 
 // DefaultHash is the key-hash used by HASH splitters and fields
@@ -10,10 +11,56 @@ import (
 // rendered key. Any deterministic hash preserves semantics (Theorem
 // 4.3); this one is stable across runs so experiments are
 // reproducible.
+//
+// The common key kinds (integers and strings — every key the
+// evaluation workloads route on) take an allocation-free fast path
+// that hashes exactly the bytes fmt would render, so the function's
+// values are independent of which path computes them; everything else
+// falls back to fmt. The fast path matters: fields routing and the
+// sender-side combining buffers hash every item.
 func DefaultHash(key any) int {
-	h := fnv.New32a()
-	fmt.Fprint(h, key)
-	return int(h.Sum32() & 0x7fffffff)
+	var buf [20]byte
+	var bs []byte
+	switch k := key.(type) {
+	case int64:
+		bs = strconv.AppendInt(buf[:0], k, 10)
+	case int:
+		bs = strconv.AppendInt(buf[:0], int64(k), 10)
+	case int32:
+		bs = strconv.AppendInt(buf[:0], int64(k), 10)
+	case uint64:
+		bs = strconv.AppendUint(buf[:0], k, 10)
+	case string:
+		return fnvString(k)
+	default:
+		h := fnv.New32a()
+		fmt.Fprint(h, key)
+		return int(h.Sum32() & 0x7fffffff)
+	}
+	return fnvBytes(bs)
+}
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnvBytes(bs []byte) int {
+	h := uint32(fnvOffset32)
+	for _, b := range bs {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	return int(h & 0x7fffffff)
+}
+
+func fnvString(s string) int {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return int(h & 0x7fffffff)
 }
 
 // ---------------------------------------------------------------------------

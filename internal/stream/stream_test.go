@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 )
 
@@ -87,5 +89,30 @@ func TestRender(t *testing.T) {
 	got := Render([]Event{Item(1, 2), Mark(Marker{Seq: 0, Timestamp: 10})})
 	if got != "(1,2) #0@10" {
 		t.Errorf("got %q", got)
+	}
+}
+
+func TestDefaultHashFastPathsMatchRendered(t *testing.T) {
+	// The typed fast paths must agree with the generic fmt-rendered
+	// FNV-1a they replace, so hash placement is independent of a key's
+	// static type (an int64 7 and an int 7 route identically, and
+	// adding a fast path can never reshuffle existing partitions).
+	rendered := func(key any) int {
+		h := fnv.New32a()
+		fmt.Fprint(h, key)
+		return int(h.Sum32() & 0x7fffffff)
+	}
+	keys := []any{
+		int64(0), int64(7), int64(-3), int64(1) << 62, int64(-1) << 62,
+		int(42), int(-42), int32(9), int32(-9), uint64(0), uint64(1) << 63,
+		"", "a", "campaign-17", struct{ A, B int }{1, 2}, 3.5, true,
+	}
+	for _, k := range keys {
+		if got, want := DefaultHash(k), rendered(k); got != want {
+			t.Errorf("DefaultHash(%T %v) = %d, want rendered-FNV %d", k, k, got, want)
+		}
+	}
+	if DefaultHash(int64(7)) != DefaultHash(7) {
+		t.Error("int64 and int renderings of the same value must collide")
 	}
 }

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"datatrace/internal/stream"
+)
+
+// This file checks the load-balance premise behind the compiler's
+// fields grouping and combiner placement: stream.DefaultHash must
+// spread the key populations the evaluation workloads actually route
+// on — Yahoo campaign ids and Smart Homes house keys — roughly evenly
+// across instances. A pathological hash would silently serialize a
+// "parallel" keyed stage (and starve the per-destination combining
+// buffers), so the bound is pinned here: at parallelism 2, 4 and 8 no
+// instance may receive more than 2× its fair share of distinct keys.
+
+// assertBalanced hashes every key at several parallelisms and fails
+// if any instance holds more than twice the fair share.
+func assertBalanced(t *testing.T, population string, keys []any) {
+	t.Helper()
+	for _, par := range []int{2, 4, 8} {
+		counts := make([]int, par)
+		for _, k := range keys {
+			counts[stream.DefaultHash(k)%par]++
+		}
+		fair := float64(len(keys)) / float64(par)
+		for inst, c := range counts {
+			if float64(c) > 2*fair {
+				t.Errorf("%s: par=%d instance %d got %d of %d keys (fair share %.1f, limit %.1f); distribution %v",
+					population, par, inst, c, len(keys), fair, 2*fair, counts)
+			}
+		}
+	}
+}
+
+// TestDefaultHashBalancedOnWorkloadKeys runs the balance check over
+// both benchmark key populations at their default sizes.
+func TestDefaultHashBalancedOnWorkloadKeys(t *testing.T) {
+	y, err := NewYahoo(DefaultYahooConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigns := make([]any, 0, 100)
+	for ad := int64(0); ad < int64(y.Ads()); ad++ {
+		cid := y.CampaignOf(ad)
+		if len(campaigns) == 0 || campaigns[len(campaigns)-1] != any(cid) {
+			campaigns = append(campaigns, cid)
+		}
+	}
+	assertBalanced(t, "yahoo campaign ids", campaigns)
+
+	// A wider campaign population than the benchmark default, so the
+	// bound is not an artifact of the small id range.
+	wide := make([]any, 0, 1000)
+	for cid := int64(0); cid < 1000; cid++ {
+		wide = append(wide, cid)
+	}
+	assertBalanced(t, "yahoo campaign ids (wide)", wide)
+
+	sh, err := NewSmartHome(DefaultSmartHomeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	houses := map[PlugKey]bool{}
+	plugs := make([]any, 0, len(sh.Plugs()))
+	for _, k := range sh.Plugs() {
+		plugs = append(plugs, k)
+		houses[PlugKey{Building: k.Building, Unit: k.Unit}] = true
+	}
+	assertBalanced(t, "smart homes plug keys", plugs)
+
+	houseKeys := make([]any, 0, len(houses))
+	for h := range houses {
+		houseKeys = append(houseKeys, h)
+	}
+	assertBalanced(t, "smart homes house keys", houseKeys)
+}

@@ -35,6 +35,9 @@ go test -race -run 'TestConformanceDifferentialQueries' -count 1 ./internal/quer
 echo "== transport equivalence (queries I-VI, batch sweep vs batch-1, -race) =="
 go test -race -run 'TestTransportEquivalenceDifferential' -count 1 ./internal/queries/
 
+echo "== optimization-pass equivalence (queries I-VI, passes on/off, -race) =="
+go test -race -run 'TestOptimizationEquivalenceDifferential' -count 1 ./internal/queries/
+
 echo "== transport benchmark gate (batched must beat batch-1) =="
 # Interleaved paired runs of generated Query IV with the default batched
 # transport vs BatchSize 1 (the seed's one-send-per-event transport);
@@ -61,6 +64,36 @@ case "$gate" in
     *) echo "transport benchmark gate failed: batched transport is not faster than batch-1" >&2; exit 1 ;;
 esac
 
+echo "== fusion benchmark gate (passes on must beat passes off) =="
+# Interleaved paired runs of generated Query IV at the dense operating
+# point (see bench_test.go) with the optimization passes on (the
+# default: chain fusion + shuffle-side combiners) vs off (the seed's
+# one-bolt-per-operator topology); keep each side's best ns/op and
+# fail if the passes don't win. The passes' whole point is throughput
+# — parity with the unoptimized plan is a bug even while every
+# equivalence test stays green.
+fgate="$(
+    for i in 1 2 3; do
+        go test -run xxx -bench 'BenchmarkQueryIVGeneratedDense$' -benchtime 3x .
+        go test -run xxx -bench 'BenchmarkQueryIVGeneratedDenseNoOpt$' -benchtime 3x .
+    done | awk '
+        /^BenchmarkQueryIVGeneratedDenseNoOpt/ { v = $3 + 0; if (!off || v < off) off = v; next }
+        /^BenchmarkQueryIVGeneratedDense/      { v = $3 + 0; if (!on || v < on) on = v }
+        END {
+            if (!on || !off) { print "MISSING"; exit }
+            printf "passes-on %.0f ns/op  passes-off %.0f ns/op  speedup %.2f\n", on, off, off / on
+            print (on < off ? "PASS" : "FAIL")
+        }'
+)"
+echo "$fgate"
+case "$fgate" in
+    *PASS) ;;
+    *) echo "fusion benchmark gate failed: optimization passes are not faster than passes-off" >&2; exit 1 ;;
+esac
+
+echo "== benchmark snapshot (scripts/bench.sh -> BENCH_PR4.json) =="
+scripts/bench.sh
+
 echo "== fuzz smokes (${FUZZTIME} each) =="
 go test -run xxx -fuzz 'FuzzNormalFormInvariants$' -fuzztime "$FUZZTIME" ./internal/trace/
 go test -run xxx -fuzz 'FuzzTraceNormalForm$' -fuzztime "$FUZZTIME" ./internal/trace/
@@ -70,5 +103,6 @@ go test -run xxx -fuzz 'FuzzMergePreservesMarkers$' -fuzztime "$FUZZTIME" ./inte
 go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/core/
 go test -run xxx -fuzz 'FuzzHistogramRecord$' -fuzztime "$FUZZTIME" ./internal/metrics/
 go test -run xxx -fuzz 'FuzzBatchFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
+go test -run xxx -fuzz 'FuzzCombinerFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
 
 echo "== ok =="
