@@ -159,7 +159,7 @@ func benchDenseYahooCfg() workload.YahooConfig {
 // regression pair: generated Query IV at the dense operating point
 // with the optimization passes on vs off. scripts/check.sh compares
 // the two as the fusion benchmark gate and scripts/bench.sh records
-// their ratio in BENCH_PR4.json (query_iv_fusion_speedup); the full
+// their ratio in BENCH_PR5.json (query_iv_fusion_speedup); the full
 // pass-combination sweep is `dttbench -figure fusion` in
 // EXPERIMENTS.md.
 func BenchmarkQueryIVGeneratedDense(b *testing.B) {

@@ -7,6 +7,7 @@
 //	dttcheck -dag smarthome      # Figure 5
 //	dttcheck -dag iot -dot       # Graphviz output with typed edges
 //	dttcheck -dag queryIV -topology   # the compiled storm topology
+//	dttcheck -dag iot -lint      # also run the dttlint source analyzer
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"datatrace/internal/compile"
 	"datatrace/internal/core"
 	"datatrace/internal/iot"
+	"datatrace/internal/lint"
 	"datatrace/internal/queries"
 	"datatrace/internal/smarthome"
 	"datatrace/internal/storm"
@@ -63,6 +65,7 @@ func main() {
 		dot      = flag.Bool("dot", false, "print Graphviz with typed edges")
 		topology = flag.Bool("topology", false, "print the compiled storm topology")
 		gotypes  = flag.Bool("gotypes", false, "print the operators' Go-level key/value types")
+		runLint  = flag.Bool("lint", false, "after the DAG type-check, run the dttlint source analyzer over the module")
 	)
 	flag.Parse()
 
@@ -103,5 +106,25 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(top.String())
+	}
+	if *runLint {
+		// The DAG check proves the edges; dttlint proves the code
+		// inside the vertices keeps the determinism obligations those
+		// edge types assume.
+		res, err := lint.Run(nil, lint.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dttcheck: lint:", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+		if len(res.Diagnostics) == 0 {
+			fmt.Printf("dttlint: %d packages clean (%dms).\n", len(res.Packages), res.ElapsedMS)
+			return
+		}
+		for _, diag := range res.Diagnostics {
+			fmt.Println(diag)
+		}
+		fmt.Fprintf(os.Stderr, "dttcheck: dttlint reported %d finding(s)\n", len(res.Diagnostics))
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,52 @@
+// Command dttlint runs the repository's streaming-determinism
+// analyzer (internal/lint) over module packages and prints every
+// finding as `file:line:col [DTT00N] message`.
+//
+// Usage:
+//
+//	dttlint [-json] [-tests] [packages]
+//
+// Packages default to ./... relative to the working directory. Exit
+// status is 0 when the analysis is clean, 1 when diagnostics were
+// reported, and 2 when the analysis itself failed (unparseable or
+// ill-typed code, bad pattern).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"datatrace/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print the result as JSON instead of file:line:col lines")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	flag.Parse()
+
+	patterns := flag.Args()
+	res, err := lint.Run(patterns, lint.Options{IncludeTests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dttlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "dttlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d.String())
+		}
+		fmt.Fprintf(os.Stderr, "dttlint: %d package(s), %d finding(s), %dms\n",
+			len(res.Packages), len(res.Diagnostics), res.ElapsedMS)
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

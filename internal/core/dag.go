@@ -160,6 +160,21 @@ func (d *DAG) Check() error {
 	fail := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
+	// Re-verify name uniqueness at check time, not only at add time:
+	// Nodes() hands out mutable *Node, and passes that rename nodes
+	// after construction (e.g. operator-chain fusion) can collide two
+	// names. Names key topology wiring, so a collision silently merges
+	// vertices downstream.
+	byName := map[string]int{}
+	for _, n := range d.nodes {
+		byName[n.Name]++
+	}
+	for _, n := range d.nodes {
+		if count := byName[n.Name]; count > 1 {
+			fail("node name %q is used by %d nodes (renamed after construction?)", n.Name, count)
+			byName[n.Name] = 0 // report each collision once, in node order
+		}
+	}
 	consumers := map[int]int{}
 	for _, n := range d.nodes {
 		for _, in := range n.Inputs {

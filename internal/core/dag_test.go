@@ -93,6 +93,39 @@ func TestCheckRejectsDuplicateNames(t *testing.T) {
 	}
 }
 
+// TestCheckRejectsTwoSameNamedOperators covers duplicate names on op
+// nodes specifically: two operators built from templates carrying the
+// same OpName.
+func TestCheckRejectsTwoSameNamedOperators(t *testing.T) {
+	d := NewDAG()
+	src := d.Source("source", stream.U("Int", "Int"))
+	a := d.Op(evenFilter(), 1, src)
+	b := d.Op(evenFilter(), 1, a)
+	d.Sink("printer", b)
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "duplicate node name") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestCheckRejectsPostAddRenameCollision covers the hole add-time
+// detection cannot see: Nodes() hands out mutable *Node, so a pass
+// that renames nodes after construction (as the fusion pass does) can
+// collide two names that were distinct when added. Check must catch
+// the collision at verification time.
+func TestCheckRejectsPostAddRenameCollision(t *testing.T) {
+	d, _ := figure2DAG()
+	if err := d.Check(); err != nil {
+		t.Fatalf("pre-rename DAG must be clean: %v", err)
+	}
+	nodes := d.Nodes()
+	nodes[1].Name = nodes[2].Name // simulate a buggy rename pass
+	err := d.Check()
+	if err == nil || !strings.Contains(err.Error(), "renamed after construction") {
+		t.Fatalf("got %v", err)
+	}
+}
+
 func TestCheckMergeOrderedDisjointKeys(t *testing.T) {
 	// MRG : O(K1,V) × O(K2,V) → O(K1∪K2,V).
 	d := NewDAG()

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression. A finding is silenced by
+//
+//	//lint:ignore DTT00N reason
+//	//lint:ignore DTT001,DTT002 reason
+//
+// placed either on the flagged line (trailing comment) or on the line
+// directly above it. The reason is mandatory: an unexplained
+// suppression is indistinguishable from a stale one, so the directive
+// itself is checked and malformed forms (missing code, unknown code,
+// missing reason) are reported as DTT000. DTT000 cannot be
+// suppressed — a directive cannot vouch for itself.
+
+// directive is one parsed, well-formed //lint:ignore comment.
+type directive struct {
+	file  string          // module-root-relative file name
+	line  int             // 1-based line the comment sits on
+	codes map[string]bool // codes it suppresses
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the
+// package, recording valid ones and reporting malformed ones.
+func (a *analyzer) collectDirectives(p *Package) {
+	known := map[string]bool{}
+	for _, c := range Codes {
+		known[c] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a.parseDirective(c, known)
+			}
+		}
+	}
+}
+
+// parseDirective handles one comment.
+func (a *analyzer) parseDirective(c *ast.Comment, known map[string]bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // some other word, e.g. //lint:ignorefile
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		a.reportf(c.Pos(), CodeDirective,
+			"malformed //lint:ignore directive: expected \"//lint:ignore DTT00N reason\", got no code")
+		return
+	}
+	codes := map[string]bool{}
+	for _, code := range strings.Split(fields[0], ",") {
+		if !known[code] {
+			a.reportf(c.Pos(), CodeDirective,
+				"//lint:ignore names unknown code %q (known codes: %s)",
+				code, strings.Join(Codes[1:], ", "))
+			return
+		}
+		if code == CodeDirective {
+			a.reportf(c.Pos(), CodeDirective,
+				"//lint:ignore cannot suppress %s: directive diagnostics are not suppressible", CodeDirective)
+			return
+		}
+		codes[code] = true
+	}
+	if len(fields) < 2 {
+		a.reportf(c.Pos(), CodeDirective,
+			"//lint:ignore %s has no reason: every suppression must say why the finding is safe", fields[0])
+		return
+	}
+	pos := a.ld.fset.Position(c.Pos())
+	a.direct = append(a.direct, directive{
+		file:  a.relFile(pos.Filename),
+		line:  pos.Line,
+		codes: codes,
+	})
+}
+
+// applyDirectives drops diagnostics covered by a directive on the
+// same line or the line above. DTT000 survives unconditionally.
+func applyDirectives(diags []Diagnostic, direct []directive) []Diagnostic {
+	if len(direct) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if d.Code != CodeDirective && suppressed(d, direct) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// suppressed reports whether some directive covers the diagnostic.
+func suppressed(d Diagnostic, direct []directive) bool {
+	for _, dir := range direct {
+		if dir.file != d.File || !dir.codes[d.Code] {
+			continue
+		}
+		if dir.line == d.Line || dir.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: the unit dttlint
+// analyzes. Dependency packages (stdlib, other module packages) are
+// loaded through the same machinery, so cross-package facts — does
+// this type implement core.Snapshotter? — come from real go/types
+// objects, not name matching.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed files, in file-name order.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader loads and type-checks module packages from source using only
+// the standard library: go/parser for syntax, go/types for semantics,
+// and the "source" go/importer (which compiles dependencies from
+// GOROOT source) for everything outside the module. No x/tools.
+type loader struct {
+	fset         *token.FileSet
+	root         string // module root (directory containing go.mod)
+	module       string // module path from go.mod
+	workdir      string // directory patterns are resolved against
+	includeTests bool
+	delegate     types.ImporterFrom
+	pkgs         map[string]*Package // loaded module packages by import path
+	loading      map[string]bool     // import-cycle guard
+}
+
+// newLoader locates the enclosing module of dir (or the working
+// directory when dir is empty) and prepares a loader for it.
+func newLoader(dir string, includeTests bool) (*loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, module, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	delegate, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not support ImporterFrom")
+	}
+	return &loader{
+		fset:         fset,
+		root:         root,
+		module:       module,
+		workdir:      abs,
+		includeTests: includeTests,
+		delegate:     delegate,
+		pkgs:         map[string]*Package{},
+		loading:      map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// pathFor maps an absolute package directory to its import path.
+func (ld *loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %s is outside module %s", dir, ld.root)
+	}
+	if rel == "." {
+		return ld.module, nil
+	}
+	return ld.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module import path to its absolute directory.
+func (ld *loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.module), "/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// inModule reports whether an import path belongs to the module.
+func (ld *loader) inModule(path string) bool {
+	return path == ld.module || strings.HasPrefix(path, ld.module+"/")
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, ld.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module packages are
+// loaded from the module tree with full syntax retained; everything
+// else goes through the stdlib source importer.
+func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if ld.inModule(path) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.delegate.ImportFrom(path, srcDir, mode)
+}
+
+// load parses and type-checks one module package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.dirFor(path)
+	names, err := goFileNames(dir, ld.includeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// In-package test files are kept; external test packages
+	// (package foo_test) cannot join this type-check unit.
+	pkgName := files[0].Name.Name
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName || !strings.HasSuffix(f.Name.Name, "_test") {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: %s does not type-check:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// goFileNames lists the package's Go file names in sorted order.
+// Test files are included only when requested; files for external
+// test packages are filtered later (they need the package clause).
+func goFileNames(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// expand resolves the command-line patterns ("./...", "./internal/x",
+// absolute directories) to absolute package directories, mirroring
+// the go tool's behavior: "..." walks recursively, and testdata,
+// vendor, hidden and underscore directories are skipped during the
+// walk (but an explicitly named directory is always accepted).
+func (ld *loader) expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(ld.workdir, base)
+		}
+		base = filepath.Clean(base)
+		fi, err := os.Stat(base)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory %s", pat, base)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := goFileNames(p, ld.includeTests)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DTT001 — map iteration order must not reach emission.
+//
+// Go randomizes map iteration order per range statement, so a
+// map-range whose body emits (or whose body accumulates output that
+// is later emitted unsorted) makes the operator's output sequence a
+// function of the runtime's hash seed, not of the input trace. The
+// conformance oracles (PR 2–4) compare traces up to the congruence
+// induced by the data-trace type — which never licenses reordering
+// that depends on anything but the input — so such an operator fails
+// the very equivalence the typed DAG promises. The fix is the one the
+// built-in templates use: keep a first-seen key slice (or sort the
+// keys) and iterate that.
+func (a *analyzer) rule001(c *hotCtx) {
+	inspectShallow(c.body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := c.pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pos, found := findEmitCall(c, rs.Body); found {
+			a.reportf(pos, CodeMapOrder,
+				"emission inside range over map %s in %s: map iteration order is nondeterministic, so the output trace depends on the hash seed — iterate a deterministic key slice (or sort the keys) instead",
+				exprString(rs.X), c.desc)
+			return true
+		}
+		for _, obj := range outerAppendTargets(c, rs) {
+			a.checkSortBeforeEmit(c, rs, obj)
+		}
+		return true
+	})
+}
+
+// findEmitCall looks for a direct call to one of the context's
+// emission callbacks inside n (not descending into nested literals).
+func findEmitCall(c *hotCtx, n ast.Node) (pos token.Pos, found bool) {
+	inspectShallow(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pkg.Info.Uses[id]; obj != nil && c.emits[obj] {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// outerAppendTargets collects slice variables declared outside the
+// range statement that its body appends to — candidate accumulators
+// whose element order now carries map-iteration nondeterminism.
+func outerAppendTargets(c *hotCtx, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(c.pkg, call) {
+			return true
+		}
+		obj := c.pkg.Info.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return true // declared inside the loop: fresh per iteration
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// checkSortBeforeEmit scans the statements following the map-range in
+// its enclosing statement list: if the accumulated slice reaches an
+// emission callback before any sort/slices call touches it, the
+// map-iteration order leaked into the output.
+func (a *analyzer) checkSortBeforeEmit(c *hotCtx, rs *ast.RangeStmt, obj types.Object) {
+	stmts := enclosingStmtList(c.body, rs)
+	if stmts == nil {
+		return
+	}
+	after := false
+	for _, s := range stmts {
+		if s == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after || !stmtReferences(c.pkg, s, obj) {
+			continue
+		}
+		if stmtCallsSortPkg(c.pkg, s, obj) {
+			return // deterministically reordered before any emission
+		}
+		if pos, found := findEmitCall(c, s); found {
+			a.reportf(pos, CodeMapOrder,
+				"%q is filled by ranging over map %s and emitted without an intervening deterministic sort in %s: the emission order depends on the hash seed — sort %q (sort/slices) before emitting",
+				obj.Name(), exprString(rs.X), c.desc, obj.Name())
+			return
+		}
+	}
+}
+
+// enclosingStmtList finds the statement list that contains the given
+// statement directly.
+func enclosingStmtList(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s == target {
+				found = list
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtReferences reports whether the statement mentions the object.
+func stmtReferences(p *Package, s ast.Stmt, obj types.Object) bool {
+	ref := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if ref {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			ref = true
+			return false
+		}
+		return true
+	})
+	return ref
+}
+
+// stmtCallsSortPkg reports whether the statement calls into package
+// sort or slices with the object among the call's arguments.
+func stmtCallsSortPkg(p *Package, s ast.Stmt, obj types.Object) bool {
+	hit := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprReferences(p, arg, obj) {
+				hit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// exprReferences reports whether the expression mentions the object.
+func exprReferences(p *Package, e ast.Expr, obj types.Object) bool {
+	ref := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ref {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			ref = true
+			return false
+		}
+		return true
+	})
+	return ref
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

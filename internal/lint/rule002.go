@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DTT002 — no ambient nondeterminism in hot paths.
+//
+// Marker-cut recovery (PR 1) replays the suffix of the input after a
+// restored checkpoint and relies on re-execution producing the same
+// trace. A hot path that reads the wall clock (time.Now/Since/Until),
+// draws random numbers (math/rand, math/rand/v2 — including methods
+// on a *rand.Rand), or races goroutines through a multi-way select
+// produces different output on replay, so the recovered run diverges
+// from the crash-free one even though every equivalence test of the
+// fault suite assumes they agree. Deterministic alternatives: derive
+// time from marker timestamps (the paper's logical punctuation), and
+// key any sampling on event fields.
+func (a *analyzer) rule002(c *hotCtx) {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			a.checkAmbientCall(c, n)
+		case *ast.SelectStmt:
+			clauses := 0
+			if n.Body != nil {
+				clauses = len(n.Body.List)
+			}
+			if clauses >= 2 {
+				a.reportf(n.Pos(), CodeAmbient,
+					"select over multiple cases in %s: case choice is made by the scheduler, not the input trace, so replay after marker-cut recovery diverges — route all deliveries through the runtime's merged input instead",
+					c.desc)
+			}
+		}
+		return true
+	})
+}
+
+// ambientTimeFuncs are the wall-clock reads DTT002 rejects; the rest
+// of package time (durations, formatting) is pure.
+var ambientTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// checkAmbientCall flags wall-clock and random-number calls.
+func (a *analyzer) checkAmbientCall(c *hotCtx, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return
+	}
+	fn, ok := c.pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch path := fn.Pkg().Path(); {
+	case path == "time" && ambientTimeFuncs[fn.Name()]:
+		a.reportf(call.Pos(), CodeAmbient,
+			"call to time.%s in %s: wall-clock reads make the output depend on execution time, so replay after marker-cut recovery produces a different trace — derive time from marker timestamps instead",
+			fn.Name(), c.desc)
+	case path == "math/rand" || path == "math/rand/v2":
+		a.reportf(call.Pos(), CodeAmbient,
+			"call to %s.%s in %s: random draws are not a function of the input trace, so parallel instances and post-recovery replays disagree — key any sampling on event fields instead",
+			path, fn.Name(), c.desc)
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DTT003 — template callbacks must not write captured variables.
+//
+// An Operator built from a template composite literal is an immutable
+// description: Operator.New() creates a fresh Instance per executor,
+// but every instance shares the template's callback closures. A
+// callback that writes a variable captured from the enclosing scope
+// therefore mutates state shared across all parallel instances — a
+// data race the runtime's model forbids (instances are documented as
+// single-goroutine), and a semantic leak even at parallelism 1: the
+// captured variable survives across blocks outside the snapshot, so
+// marker-cut recovery silently loses it. State belongs in the
+// template's state/aggregate machinery (InitialState/UpdateState), or
+// per-instance inside a factory.
+func (a *analyzer) rule003(c *hotCtx) {
+	if c.kind != ctxTemplate || c.lit == nil {
+		return
+	}
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				a.checkCaptureWrite(c, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			a.checkCaptureWrite(c, n.X, n.Pos())
+		}
+		return true
+	})
+}
+
+// checkCaptureWrite reports a write whose ultimate target is a
+// variable declared outside the callback literal. Three shapes are
+// recognized: `x = ...` (rebinding the captured variable), `x[k] =
+// ...` (writing a captured map or slice), and `x.f = ...` (writing
+// through a captured struct or pointer).
+func (a *analyzer) checkCaptureWrite(c *hotCtx, lhs ast.Expr, pos token.Pos) {
+	var base *ast.Ident
+	var how string
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		base, how = e, "assigns to"
+	case *ast.IndexExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			base, how = id, "writes an element of"
+		}
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			base, how = id, "writes a field of"
+		}
+	}
+	if base == nil {
+		return
+	}
+	obj, ok := c.pkg.Info.ObjectOf(base).(*types.Var)
+	if !ok || obj.IsField() || obj.Name() == "_" {
+		return
+	}
+	if obj.Pos() >= c.lit.Pos() && obj.Pos() < c.lit.End() {
+		return // declared inside the callback (parameters included)
+	}
+	a.reportf(pos, CodeCapture,
+		"%s %s captured variable %q declared outside the callback: template callbacks are shared by every parallel instance of the operator, so this is cross-instance mutable state (a data race under Theorem 4.3 replication, and invisible to snapshots) — keep state in the template's state/aggregate parameters",
+		c.desc, how, obj.Name())
+}

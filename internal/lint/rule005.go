@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DTT005 — hot paths must not spawn goroutines or send on raw
+// channels.
+//
+// The runtime owns delivery: emissions go through the emit callback
+// into batched transport buffers whose flush points (size, markers,
+// EOS, transactional send blocks) are exactly what makes marker cuts
+// consistent — every buffer is provably empty at a restart point, and
+// fault injection counts every routed event. An operator that spawns
+// a goroutine or pushes data through its own channel moves events (or
+// state transitions) outside that discipline: the transactional flush
+// cannot see them, recovery cannot replay them, and a goroutine
+// outliving Next races the executor's single-goroutine instance
+// contract. Emit synchronously; if a computation needs parallelism,
+// raise the operator's deployment parallelism and let the typed DAG
+// prove it sound.
+func (a *analyzer) rule005(c *hotCtx) {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			a.reportf(n.Pos(), CodeSideSpawn,
+				"goroutine spawned in %s: work escaping the executor bypasses the transactional flush and marker-cut recovery, and races the single-goroutine instance contract — emit synchronously and use deployment parallelism instead",
+				c.desc)
+		case *ast.SendStmt:
+			a.reportf(n.Pos(), CodeSideSpawn,
+				"raw channel send in %s: events bypassing emit skip the batched transport, fault accounting and the transactional flush, so marker cuts are no longer consistent — emit through the runtime instead",
+				c.desc)
+		}
+		return true
+	})
+}

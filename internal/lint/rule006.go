@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DTT006 — ParAny-declared operators must be immutable.
+//
+// Mode() == ParAny is a theorem citation: it asserts the operator
+// commutes with arbitrary splitters (Theorem 4.3's stateless case),
+// which is what licenses round-robin replication and the PR 4 chain
+// fusion pass (maximal linear chains of ParAny operators collapse
+// into one bolt). A method that writes a field of such an operator
+// introduces exactly the state the declaration denies: instances
+// share the operator value, so the write is visible across parallel
+// instances, invalidates the fusion preconditions, and is absent from
+// snapshots. Either move the state into an instance created by New()
+// (and declare the operator keyed/none as appropriate) or drop the
+// mutation.
+func (a *analyzer) rule006(p *Package) {
+	parAny := a.parAnyOperatorTypes(p)
+	if len(parAny) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tn := receiverTypeName(p, fd)
+			if tn == nil || !parAny[tn] {
+				continue
+			}
+			recvObj := receiverObject(p, fd)
+			if recvObj == nil {
+				continue
+			}
+			a.checkOperatorWrites(p, fd, tn, recvObj)
+		}
+	}
+}
+
+// parAnyOperatorTypes finds the package's named types that implement
+// core.Operator and whose Mode method returns core.ParAny.
+func (a *analyzer) parAnyOperatorTypes(p *Package) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Mode" || fd.Body == nil {
+				continue
+			}
+			tn := receiverTypeName(p, fd)
+			if tn == nil || !typeImplements(tn.Type(), a.hooks.coreOperator) {
+				continue
+			}
+			if a.returnsParAny(p, fd.Body) {
+				out[tn] = true
+			}
+		}
+	}
+	return out
+}
+
+// returnsParAny reports whether any return statement resolves to the
+// core.ParAny constant.
+func (a *analyzer) returnsParAny(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		var id *ast.Ident
+		switch e := ret.Results[0].(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return true
+		}
+		if p.Info.Uses[id] == a.hooks.parAny {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkOperatorWrites flags receiver-field writes in one method of a
+// ParAny operator type.
+func (a *analyzer) checkOperatorWrites(p *Package, fd *ast.FuncDecl, tn *types.TypeName, recvObj types.Object) {
+	check := func(lhs ast.Expr, pos ast.Node) {
+		field := receiverFieldTarget(p, lhs, recvObj)
+		if field == "" {
+			return
+		}
+		a.reportf(pos.Pos(), CodeStateless,
+			"method (%s).%s writes field %q of an operator whose Mode() is ParAny: a stateless-declared operator is shared by all parallel instances, so the write is cross-instance state — it breaks the arbitrary-split theorem the mode cites and the chain-fusion preconditions; keep state in the Instance returned by New()",
+			tn.Name(), fd.Name.Name, field)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			check(n.X, n)
+		}
+		return true
+	})
+}
+
+// receiverFieldTarget returns the written receiver field's name when
+// the LHS is recv.Field, recv.Field[i] or a deeper chain rooted at
+// the receiver; "" otherwise.
+func receiverFieldTarget(p *Package, lhs ast.Expr, recvObj types.Object) string {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && p.Info.ObjectOf(id) == recvObj {
+				return e.Sel.Name
+			}
+			lhs = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its defining
+// *types.TypeName (generic receivers resolve to the origin type).
+func receiverTypeName(p *Package, fd *ast.FuncDecl) *types.TypeName {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// receiverObject returns the receiver variable's object.
+func receiverObject(p *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[fd.Recv.List[0].Names[0]]
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzerSelfCheck runs the analyzer over the whole repository:
+// the codebase must satisfy its own determinism contract. This is the
+// in-tree twin of the `== dttlint ==` gate in scripts/check.sh.
+func TestAnalyzerSelfCheck(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]string{"./..."}, Options{Dir: root})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("self-check finding: %s", d)
+	}
+	if len(res.Packages) < 10 {
+		t.Errorf("self-check analyzed only %d packages — loader lost most of the module", len(res.Packages))
+	}
+}
+
+// TestAnalyzerSelfCheckWithTests extends the self-check to in-package
+// test files: test bolts are held to the same determinism contract
+// (the two historical findings there are fixed or carry a justified
+// //lint:ignore, and this test keeps it that way).
+func TestAnalyzerSelfCheckWithTests(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]string{"./..."}, Options{Dir: root, IncludeTests: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("self-check finding: %s", d)
+	}
+}

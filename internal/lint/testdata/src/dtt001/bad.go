@@ -1,0 +1,53 @@
+// Package dtt001 exercises DTT001: map iteration order reaching
+// emission. `// want DTT00N` marks the expected diagnostic lines.
+package dtt001
+
+import (
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// BadDirect emits from inside a range over a map: the output order is
+// a function of the hash seed.
+func BadDirect() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-direct",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			acc := map[string]int{key: value, key + "!": value}
+			for k, v := range acc {
+				emit(k, v) // want DTT001
+			}
+		},
+	}
+}
+
+// BadAccum fills a slice from a map range and emits it without an
+// intervening sort.
+func BadAccum() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-accum",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			acc := map[string]int{key: value, key + "!": value}
+			var keys []string
+			for k := range acc {
+				keys = append(keys, k)
+			}
+			for _, k := range keys {
+				emit(k, acc[k]) // want DTT001
+			}
+		},
+	}
+}
+
+// BadBolt shows the same defect in a handcrafted bolt closure.
+var BadBolt storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	seen := map[any]int{e.Key: 1}
+	for k := range seen {
+		emit(stream.Item(k, 1)) // want DTT001
+	}
+})

@@ -1,0 +1,44 @@
+package dtt001
+
+import (
+	"sort"
+
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// OkSorted sorts the accumulated keys before emitting — the pattern
+// the built-in templates use.
+func OkSorted() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "ok-sorted",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			acc := map[string]int{key: value, key + "!": value}
+			var keys []string
+			for k := range acc {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				emit(k, acc[k])
+			}
+		},
+	}
+}
+
+// OkSlice ranges over a slice, which is deterministic.
+func OkSlice() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "ok-slice",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			parts := []int{value, value + 1}
+			for _, v := range parts {
+				emit(key, v)
+			}
+		},
+	}
+}

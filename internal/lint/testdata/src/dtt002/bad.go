@@ -1,0 +1,50 @@
+// Package dtt002 exercises DTT002: ambient nondeterminism (wall
+// clock, random numbers, multi-way select) in hot paths.
+package dtt002
+
+import (
+	"math/rand"
+	"time"
+
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// stampBolt tags each item with the wall clock: replay after recovery
+// produces a different trace.
+type stampBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *stampBolt) Next(e stream.Event, emit func(stream.Event)) {
+	emit(stream.Item(e.Key, time.Now().UnixNano())) // want DTT002
+}
+
+var _ storm.Bolt = (*stampBolt)(nil)
+
+// BadSample drops items at random inside a template callback.
+func BadSample() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-sample",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			if rand.Intn(2) == 0 { // want DTT002
+				emit(key, value)
+			}
+		},
+	}
+}
+
+var in1, in2 chan stream.Event
+
+// BadSelect lets the scheduler pick between two sources inside a bolt
+// closure.
+var BadSelect storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	select { // want DTT002
+	case x := <-in1:
+		emit(x)
+	case x := <-in2:
+		emit(x)
+	}
+})

@@ -1,0 +1,30 @@
+package dtt002
+
+import (
+	"math/rand"
+	"time"
+
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// OkMarker derives time from the marker's event-time watermark and
+// uses only pure duration arithmetic — both deterministic.
+func OkMarker() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "ok-marker",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			d := 5 * time.Millisecond
+			emit(key, value+int(d/time.Millisecond))
+		},
+		OnMarker: func(emit core.Emit[string, int], m stream.Marker) {
+			emit("watermark", int(m.Timestamp))
+		},
+	}
+}
+
+// Randomness outside a hot context (test-data generation at package
+// init) is not the analyzer's business.
+var warmup = rand.New(rand.NewSource(1)).Intn(10)

@@ -1,0 +1,55 @@
+// Package dtt003 exercises DTT003: template callbacks writing
+// variables captured from the enclosing scope — state shared by every
+// parallel instance of the operator.
+package dtt003
+
+import (
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// BadCounter shares a captured counter across all instances.
+func BadCounter() core.Operator {
+	total := 0
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-counter",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			total++ // want DTT003
+			emit(key, total)
+		},
+	}
+}
+
+// BadMap dedupes through a captured map.
+func BadMap() core.Operator {
+	seen := map[string]bool{}
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-seen",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			if !seen[key] {
+				seen[key] = true // want DTT003
+				emit(key, value)
+			}
+		},
+	}
+}
+
+type config struct{ limit int }
+
+// BadField writes a field through a captured struct pointer.
+func BadField() core.Operator {
+	cfg := &config{limit: 1}
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-cfg",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			cfg.limit = value // want DTT003
+			emit(key, cfg.limit)
+		},
+	}
+}

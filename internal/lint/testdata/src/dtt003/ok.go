@@ -1,0 +1,33 @@
+package dtt003
+
+import (
+	"datatrace/internal/core"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// OkLocal writes only callback-local state.
+func OkLocal() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "ok-local",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			n := value
+			n++
+			emit(key, n)
+		},
+	}
+}
+
+// OkFactory is the handcrafted-topology pattern: the factory runs
+// once per deployed instance, so the closure's captures are
+// instance-local state, not cross-instance sharing. DTT003 applies
+// only to template callbacks, which live on the shared Operator.
+func OkFactory() storm.Bolt {
+	count := 0
+	return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+		count++
+		emit(stream.Item(e.Key, count))
+	})
+}

@@ -1,0 +1,47 @@
+// Package dtt004 exercises DTT004: Snapshotter state that gob cannot
+// encode, which fails at the marker cut instead of at compile time.
+package dtt004
+
+import (
+	"encoding/gob"
+
+	"datatrace/internal/stream"
+)
+
+// badState mixes encodable and non-encodable fields.
+type badState struct {
+	Count int
+	Fn    func() int
+	Done  chan struct{}
+}
+
+type badInst struct{ state badState }
+
+// Next implements core.Instance.
+func (in *badInst) Next(e stream.Event, emit func(stream.Event)) {}
+
+// Snapshot implements core.Snapshotter — but the encoded value
+// carries a func and a channel.
+func (in *badInst) Snapshot(enc *gob.Encoder) error {
+	return enc.Encode(in.state) // want DTT004 DTT004
+}
+
+// Restore implements core.Snapshotter.
+func (in *badInst) Restore(dec *gob.Decoder) error { return dec.Decode(&in.state) }
+
+// opaque has fields but none exported: gob silently encodes nothing
+// and Restore yields zero state.
+type opaque struct{ hidden int }
+
+type opaqueInst struct{ st opaque }
+
+// Next implements core.Instance.
+func (in *opaqueInst) Next(e stream.Event, emit func(stream.Event)) {}
+
+// Snapshot implements core.Snapshotter.
+func (in *opaqueInst) Snapshot(enc *gob.Encoder) error {
+	return enc.Encode(in.st) // want DTT004
+}
+
+// Restore implements core.Snapshotter.
+func (in *opaqueInst) Restore(dec *gob.Decoder) error { return dec.Decode(&in.st) }

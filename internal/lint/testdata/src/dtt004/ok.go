@@ -1,0 +1,33 @@
+package dtt004
+
+import (
+	"encoding/gob"
+	"time"
+
+	"datatrace/internal/stream"
+)
+
+// okState is fully encodable: plain exported fields, and time.Time is
+// trusted because it implements gob.GobEncoder.
+type okState struct {
+	Counts map[string]int
+	When   time.Time
+}
+
+type okInst struct{ st okState }
+
+// Next implements core.Instance.
+func (in *okInst) Next(e stream.Event, emit func(stream.Event)) {}
+
+// Snapshot implements core.Snapshotter.
+func (in *okInst) Snapshot(enc *gob.Encoder) error { return enc.Encode(in.st) }
+
+// Restore implements core.Snapshotter.
+func (in *okInst) Restore(dec *gob.Decoder) error { return dec.Decode(&in.st) }
+
+// notSnapshotter has a Snapshot method but no Restore, so it is not a
+// core.Snapshotter and the recovery contract does not apply.
+type notSnapshotter struct{ fn func() }
+
+// Snapshot is not part of any checkpoint protocol here.
+func (n *notSnapshotter) Snapshot(enc *gob.Encoder) error { return enc.Encode(n.fn) }

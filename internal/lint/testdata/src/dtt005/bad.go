@@ -1,0 +1,32 @@
+// Package dtt005 exercises DTT005: goroutine spawns and raw channel
+// sends that move events around the runtime's delivery machinery.
+package dtt005
+
+import (
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// spawnBolt leaks work to a goroutine and a side channel: neither is
+// visible to the transactional flush or to marker-cut recovery.
+type spawnBolt struct {
+	side chan stream.Event
+}
+
+// Next implements storm.Bolt.
+func (b *spawnBolt) Next(e stream.Event, emit func(stream.Event)) {
+	go func() { // want DTT005
+		b.side <- e // want DTT005
+	}()
+}
+
+var _ storm.Bolt = (*spawnBolt)(nil)
+
+var side = make(chan stream.Event, 1)
+
+// BadSend pushes events through a package channel from a bolt
+// closure.
+var BadSend storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	side <- e // want DTT005
+	emit(e)
+})

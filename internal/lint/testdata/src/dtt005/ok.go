@@ -1,0 +1,17 @@
+package dtt005
+
+import (
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// okBolt emits synchronously through the runtime — the only sanctioned
+// output path.
+type okBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *okBolt) Next(e stream.Event, emit func(stream.Event)) {
+	emit(e)
+}
+
+var _ storm.Bolt = (*okBolt)(nil)

@@ -1,0 +1,48 @@
+// Package dtt006 exercises DTT006: operators that declare
+// Mode() == ParAny (stateless, splittable behind any splitter) but
+// write their own fields — cross-instance state the declaration
+// denies.
+package dtt006
+
+import (
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// tagOp declares ParAny yet counts events on itself.
+type tagOp struct {
+	total int
+	cache map[string]int
+}
+
+// Name implements core.Operator.
+func (o *tagOp) Name() string { return "tag" }
+
+// InType implements core.Operator.
+func (o *tagOp) InType() stream.Type { return stream.U("K", "V") }
+
+// OutType implements core.Operator.
+func (o *tagOp) OutType() stream.Type { return stream.U("K", "V") }
+
+// Mode implements core.Operator: the claim the writes below violate.
+func (o *tagOp) Mode() core.ParMode { return core.ParAny }
+
+// Validate implements core.Operator.
+func (o *tagOp) Validate() error { return nil }
+
+// New implements core.Operator — and mutates the shared operator.
+func (o *tagOp) New() core.Instance {
+	o.total++ // want DTT006
+	return &tagInst{}
+}
+
+// Warm writes through a field; any method of a ParAny operator is
+// covered, interface method or not.
+func (o *tagOp) Warm(k string) {
+	o.cache[k] = 1 // want DTT006
+}
+
+type tagInst struct{}
+
+// Next implements core.Instance.
+func (in *tagInst) Next(e stream.Event, emit func(stream.Event)) { emit(e) }

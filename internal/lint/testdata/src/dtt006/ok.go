@@ -1,0 +1,68 @@
+package dtt006
+
+import (
+	"datatrace/internal/core"
+	"datatrace/internal/stream"
+)
+
+// pureOp is a well-behaved ParAny operator: no mutable fields, all
+// state lives in the instance.
+type pureOp struct {
+	label string
+}
+
+// Name implements core.Operator.
+func (o *pureOp) Name() string { return o.label }
+
+// InType implements core.Operator.
+func (o *pureOp) InType() stream.Type { return stream.U("K", "V") }
+
+// OutType implements core.Operator.
+func (o *pureOp) OutType() stream.Type { return stream.U("K", "V") }
+
+// Mode implements core.Operator.
+func (o *pureOp) Mode() core.ParMode { return core.ParAny }
+
+// Validate implements core.Operator.
+func (o *pureOp) Validate() error { return nil }
+
+// New implements core.Operator: state goes into the fresh instance.
+func (o *pureOp) New() core.Instance {
+	n := 0
+	n++
+	return &pureInst{count: n}
+}
+
+type pureInst struct{ count int }
+
+// Next implements core.Instance.
+func (in *pureInst) Next(e stream.Event, emit func(stream.Event)) {
+	in.count++
+	emit(e)
+}
+
+// keyedOp writes a field, but declares ParKeyed — a different
+// discipline with its own (keyed) obligations; DTT006 targets the
+// stateless claim specifically.
+type keyedOp struct{ builds int }
+
+// Name implements core.Operator.
+func (o *keyedOp) Name() string { return "keyed" }
+
+// InType implements core.Operator.
+func (o *keyedOp) InType() stream.Type { return stream.U("K", "V") }
+
+// OutType implements core.Operator.
+func (o *keyedOp) OutType() stream.Type { return stream.U("K", "V") }
+
+// Mode implements core.Operator.
+func (o *keyedOp) Mode() core.ParMode { return core.ParKeyed }
+
+// Validate implements core.Operator.
+func (o *keyedOp) Validate() error { return nil }
+
+// New implements core.Operator.
+func (o *keyedOp) New() core.Instance {
+	o.builds++
+	return &pureInst{}
+}

@@ -1,0 +1,52 @@
+// Package suppress exercises //lint:ignore handling: trailing and
+// line-above placement, wrong codes, out-of-range placement, missing
+// reasons, unknown codes, and the DTT000 self-suppression ban.
+package suppress
+
+import (
+	"time"
+
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// Suppressed by a trailing directive on the flagged line.
+var trailing storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	emit(stream.Item(e.Key, time.Now().Unix())) //lint:ignore DTT002 fixture: trailing suppression
+})
+
+// Suppressed by a directive on the line directly above.
+var above storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	//lint:ignore DTT002 fixture: suppression from the line above
+	emit(stream.Item(e.Key, time.Now().Unix()))
+})
+
+// NOT suppressed: the directive names the wrong code.
+var wrongCode storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	//lint:ignore DTT001 fixture: wrong code on purpose
+	emit(stream.Item(e.Key, time.Now().Unix()))
+})
+
+// NOT suppressed: the directive is two lines above the finding.
+var tooFar storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	//lint:ignore DTT002 fixture: placed out of range on purpose
+	_ = e.Key
+	emit(stream.Item(e.Key, time.Now().Unix()))
+})
+
+// Malformed: no reason. The directive is rejected (DTT000) and the
+// finding it meant to silence survives.
+var noReason storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	//lint:ignore DTT002
+	emit(stream.Item(e.Key, time.Now().Unix()))
+})
+
+// Malformed: unknown code.
+//
+//lint:ignore DTT999 fixture: no such rule
+var unknownCode = 0
+
+// Malformed: DTT000 cannot vouch for itself.
+//
+//lint:ignore DTT000 fixture: trying to silence the meta rule
+var selfIgnore = 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -205,13 +206,20 @@ func TestCombinerStatsCounters(t *testing.T) {
 }
 
 // combSumBolt aggregates int values per key and emits the per-key totals
-// at each marker — commutative, so it tolerates combined input.
+// at each marker, in sorted key order so its output block is a pure
+// function of the input block (dttlint DTT001) — commutative, so it
+// tolerates combined input.
 func combSumBolt() Bolt {
 	acc := map[any]int{}
 	return BoltFunc(func(e stream.Event, emit func(stream.Event)) {
 		if e.IsMarker {
-			for k, v := range acc {
-				emit(stream.Item(k, v))
+			keys := make([]int, 0, len(acc))
+			for k := range acc {
+				keys = append(keys, k.(int))
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				emit(stream.Item(k, acc[k]))
 			}
 			acc = map[any]int{}
 			emit(e)
@@ -219,6 +227,30 @@ func combSumBolt() Bolt {
 		}
 		acc[e.Key.(int)%3] += e.Value.(int)
 	})
+}
+
+// TestCombSumBoltDeterministicEmitOrder pins the DTT001 fix above:
+// the per-key totals at a marker come out in sorted key order, never
+// in map iteration order.
+func TestCombSumBoltDeterministicEmitOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		b := combSumBolt()
+		for i := 0; i < 30; i++ {
+			b.Next(stream.Item(i, 1), func(stream.Event) {})
+		}
+		var keys []int
+		b.Next(stream.Mark(stream.Marker{Seq: 0}), func(e stream.Event) {
+			if !e.IsMarker {
+				keys = append(keys, e.Key.(int))
+			}
+		})
+		if !sort.IntsAreSorted(keys) {
+			t.Fatalf("trial %d: marker emission order %v is not sorted", trial, keys)
+		}
+		if len(keys) != 3 {
+			t.Fatalf("trial %d: expected 3 keys, got %v", trial, keys)
+		}
+	}
 }
 
 // TestCombinedTopologyMatchesUncombined runs a real topology — spout →

@@ -26,6 +26,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== dttlint (streaming determinism analyzer, self-check) =="
+# The analyzer's own determinism contract, enforced on the repository
+# that defines it: any DTT00N finding (or analysis failure) fails the
+# gate before the test steps run. -tests holds test bolts to the same
+# standard.
+go run ./cmd/dttlint ./...
+go run ./cmd/dttlint -tests ./...
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -91,7 +99,7 @@ case "$fgate" in
     *) echo "fusion benchmark gate failed: optimization passes are not faster than passes-off" >&2; exit 1 ;;
 esac
 
-echo "== benchmark snapshot (scripts/bench.sh -> BENCH_PR4.json) =="
+echo "== benchmark snapshot (scripts/bench.sh -> BENCH_PR5.json) =="
 scripts/bench.sh
 
 echo "== fuzz smokes (${FUZZTIME} each) =="
