@@ -210,6 +210,42 @@ const (
 	DropAndLog = storm.DropAndLog
 )
 
+// --- networked runtime -------------------------------------------------------
+
+// Placed is one executor's process placement: component, instance,
+// hosting worker and global executor index.
+type Placed = storm.Placed
+
+// WorkerConfig tells ServeWorker which worker a process is and where
+// the coordinator listens; WorkerEnvConfig reads it from the
+// DTT_NET_* spawn contract.
+type WorkerConfig = storm.WorkerConfig
+
+// WorkerEnvConfig reads the networked-worker spawn contract from the
+// environment; ok is false when this process was not spawned as a
+// worker, and spec is the opaque application payload.
+func WorkerEnvConfig() (cfg WorkerConfig, spec string, ok bool) {
+	return storm.WorkerEnvConfig()
+}
+
+// NetOptions configures a networked multi-process run: worker count,
+// worker command, fault injection and restart policy.
+type NetOptions = storm.NetOptions
+
+// KillPlan schedules one SIGKILL against a worker process after a
+// number of committed marker cuts (chaos testing).
+type KillPlan = storm.KillPlan
+
+// NetResult is a networked run's outcome: spliced sink streams,
+// worker-reported stats, and recovery counters.
+type NetResult = storm.NetResult
+
+// RunNetworked launches a cluster of worker processes over localhost
+// TCP, runs the topology they rebuild from NetOptions.Spec, and
+// recovers from worker-process failure by restarting the cluster and
+// splicing sink output at the last committed marker cut.
+func RunNetworked(opts NetOptions) (*NetResult, error) { return storm.RunNetworked(opts) }
+
 // --- observability -----------------------------------------------------------
 
 // ObsConfig configures the executor-level observability subsystem:

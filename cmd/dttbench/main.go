@@ -9,6 +9,7 @@
 //	dttbench -figure all        # everything, plus the section 2 experiment
 //	dttbench -section2          # only the motivation experiment
 //	dttbench -obs               # Query IV observability report on both runtimes
+//	dttbench -net               # Query IV over localhost TCP vs in-process
 //	dttbench -figure 4 -csv     # machine-readable output
 //
 // Workload knobs: -eps (events/second), -seconds (event-time length),
@@ -31,9 +32,14 @@ import (
 	"time"
 
 	"datatrace/internal/bench"
+	"datatrace/internal/queries"
 )
 
 func main() {
+	// Re-exec'd with the DTT_NET_* spawn contract, this binary is a
+	// worker process of a networked run (the -net benchmark launches
+	// them); RunWorkerIfSpawned serves and exits in that case.
+	queries.RunWorkerIfSpawned()
 	var (
 		figure   = flag.String("figure", "all", "which figure to regenerate: 4, 6, backends, recovery, transport, fusion or all")
 		section2 = flag.Bool("section2", false, "run only the section 2 semantics experiment")
@@ -45,6 +51,8 @@ func main() {
 		shSecs   = flag.Int("sh-seconds", 300, "Smart Homes event-time length")
 		opDelay  = flag.Duration("opdelay", 2*time.Microsecond, "simulated DB per-call latency")
 		sources  = flag.Int("sources", 2, "source partitions")
+		netBench = flag.Bool("net", false, "benchmark Query IV on a localhost-TCP multi-process cluster against the in-process runtime, at transport batch sizes 1 and 64")
+		netProcs = flag.Int("net-workers", 2, "worker processes of the -net benchmark")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
 	)
@@ -95,6 +103,10 @@ func main() {
 	}
 	if *obs {
 		runObs(cfg, *csv)
+		return
+	}
+	if *netBench {
+		runNet(cfg, *netProcs, *csv)
 		return
 	}
 

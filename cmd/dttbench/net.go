@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datatrace/internal/bench"
+	"datatrace/internal/queries"
+	"datatrace/internal/storm"
+)
+
+// runNet measures the cost of the process boundary: Query IV compiled
+// and run in-process versus on a localhost-TCP cluster of worker
+// processes (re-execs of this binary), at batch sizes 1 and 64. The
+// comparison isolates the frame transport — same topology, same
+// workload, same machine — so the gap is serialization plus socket
+// hops, and the batch-size axis shows how much of it the batched
+// transport amortizes away.
+func runNet(cfg bench.Config, workers int, csv bool) {
+	type row struct {
+		batch   int
+		mode    string
+		events  int64
+		wall    time.Duration
+		perSec  float64
+		streams string
+	}
+	var rows []row
+	for _, batch := range []int{1, 64} {
+		spec := queries.Spec{
+			Query:     "IV",
+			Variant:   queries.Generated,
+			Par:       2,
+			SourcePar: cfg.SourcePar,
+			Transport: &storm.TransportOptions{BatchSize: batch},
+		}
+
+		env, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dttbench:", err)
+			os.Exit(1)
+		}
+		local, err := queries.Run(env, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dttbench: in-process run:", err)
+			os.Exit(1)
+		}
+		localEvents, _ := local.Stats.Component("yahoo")
+		rows = append(rows, row{batch, "in-process", localEvents, local.Wall,
+			float64(localEvents) / local.Wall.Seconds(), "channels"})
+
+		net, err := queries.RunNetworked(queries.NetSpec{
+			Spec: spec, Workers: workers, Cfg: cfg.Yahoo, OpDelay: cfg.OpDelay,
+		}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dttbench: networked run:", err)
+			os.Exit(1)
+		}
+		netEvents, _ := net.Stats.Component("yahoo")
+		rows = append(rows, row{batch, fmt.Sprintf("tcp ×%d procs", workers), netEvents, net.Wall,
+			float64(netEvents) / net.Wall.Seconds(), "frames"})
+	}
+
+	if csv {
+		fmt.Println("batch,mode,events,wall_ms,events_per_sec")
+		for _, r := range rows {
+			fmt.Printf("%d,%s,%d,%.1f,%.0f\n", r.batch, r.mode, r.events,
+				float64(r.wall.Microseconds())/1000, r.perSec)
+		}
+		return
+	}
+	fmt.Println("== networked transport: Query IV, localhost TCP vs in-process ==")
+	fmt.Printf("%-6s %-14s %12s %12s %14s\n", "batch", "mode", "events", "wall", "events/s")
+	for _, r := range rows {
+		fmt.Printf("%-6d %-14s %12d %12s %14.0f\n", r.batch, r.mode, r.events,
+			r.wall.Round(time.Millisecond), r.perSec)
+	}
+	fmt.Println(strings.Repeat("-", 62))
+}

@@ -42,21 +42,25 @@ func New() *Codec { return &Codec{} }
 // Register every type that flows through serialized connections.
 func Register(v any) { gob.Register(v) }
 
-// Encode serializes one event.
+// Encode serializes one event. An unregistered key or value type is
+// reported as ErrUnregisteredType.
 func (c *Codec) Encode(e stream.Event) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(toWire(e)); err != nil {
-		return nil, fmt.Errorf("codec: encode %s: %w", e, err)
+		return nil, classify(fmt.Errorf("codec: encode %s: %w", e, err))
 	}
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes one event produced by Encode.
+// Decode deserializes one event produced by Encode. An event whose
+// concrete key or value type is not registered on this side is
+// reported as ErrUnregisteredType, so transports can degrade per the
+// drop-and-log policy instead of treating it as stream corruption.
 func (c *Codec) Decode(b []byte) (stream.Event, error) {
 	var w wire
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
-		return stream.Event{}, fmt.Errorf("codec: decode: %w", err)
+		return stream.Event{}, classify(fmt.Errorf("codec: decode: %w", err))
 	}
 	return fromWire(w), nil
 }
@@ -97,11 +101,11 @@ func (c *Conn) RoundTrip(e stream.Event) (stream.Event, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(toWire(e)); err != nil {
-		return stream.Event{}, fmt.Errorf("codec: conn encode %s: %w", e, err)
+		return stream.Event{}, classify(fmt.Errorf("codec: conn encode %s: %w", e, err))
 	}
 	var w wire
 	if err := c.dec.Decode(&w); err != nil {
-		return stream.Event{}, fmt.Errorf("codec: conn decode: %w", err)
+		return stream.Event{}, classify(fmt.Errorf("codec: conn decode: %w", err))
 	}
 	return fromWire(w), nil
 }

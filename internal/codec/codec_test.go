@@ -1,4 +1,4 @@
-package codec
+package codec_test
 
 import (
 	"math/rand"
@@ -6,23 +6,24 @@ import (
 	"testing"
 	"testing/quick"
 
+	"datatrace/internal/codec"
 	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 	"datatrace/internal/workload"
 )
 
 func init() {
-	Register(workload.YahooEvent{})
-	Register(workload.PlugMeasurement{})
-	Register(stream.Unit{})
-	Register(int(0))
-	Register(int64(0))
-	Register(float64(0))
-	Register("")
+	codec.Register(workload.YahooEvent{})
+	codec.Register(workload.PlugMeasurement{})
+	codec.Register(stream.Unit{})
+	codec.Register(int(0))
+	codec.Register(int64(0))
+	codec.Register(float64(0))
+	codec.Register("")
 }
 
 func TestRoundTripBasics(t *testing.T) {
-	c := New()
+	c := codec.New()
 	cases := []stream.Event{
 		stream.Item(int64(3), "hello"),
 		stream.Item("key", 3.5),
@@ -45,7 +46,7 @@ func TestRoundTripBasics(t *testing.T) {
 }
 
 func TestRoundTripProperty(t *testing.T) {
-	c := New()
+	c := codec.New()
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(91))}
 	f := func(key int64, value float64, marker bool, seq int64, ts int64) bool {
 		var e stream.Event
@@ -67,7 +68,7 @@ func TestRoundTripProperty(t *testing.T) {
 }
 
 func TestConnAmortizesTypeInfo(t *testing.T) {
-	conn := NewConn()
+	conn := codec.NewConn()
 	for i := 0; i < 100; i++ {
 		e := stream.Item(int64(i), float64(i)*1.5)
 		got, err := conn.RoundTrip(e)
@@ -81,7 +82,7 @@ func TestConnAmortizesTypeInfo(t *testing.T) {
 }
 
 func TestDecodeGarbageFails(t *testing.T) {
-	c := New()
+	c := codec.New()
 	if _, err := c.Decode([]byte("not gob")); err == nil {
 		t.Fatal("garbage must not decode")
 	}
@@ -89,7 +90,7 @@ func TestDecodeGarbageFails(t *testing.T) {
 
 func TestUnregisteredTypeFailsLoudly(t *testing.T) {
 	type secret struct{ X int }
-	c := New()
+	c := codec.New()
 	if _, err := c.Encode(stream.Item(int64(1), secret{X: 1})); err == nil {
 		t.Fatal("unregistered concrete type must fail to encode")
 	}
@@ -109,7 +110,7 @@ func TestSerializedTopologyPreservesTrace(t *testing.T) {
 	build := func(serialize bool) (*storm.Result, error) {
 		top := storm.NewTopology("wire")
 		if serialize {
-			top.SetSerializer(func() storm.Serializer { return NewConn() })
+			top.SetSerializer(func() storm.Serializer { return codec.NewConn() })
 		}
 		top.AddSpout("src", 1, func(int) storm.Spout { return storm.SliceSpout(in) })
 		top.AddBolt("scale", 3, func(int) storm.Bolt {
@@ -143,7 +144,7 @@ func TestSerializationFailureSurfacesAsError(t *testing.T) {
 	type hidden struct{ F func() } // functions cannot be encoded
 	in := []stream.Event{stream.Item(int64(1), hidden{})}
 	top := storm.NewTopology("bad")
-	top.SetSerializer(func() storm.Serializer { return NewConn() })
+	top.SetSerializer(func() storm.Serializer { return codec.NewConn() })
 	top.AddSpout("src", 1, func(int) storm.Spout { return storm.SliceSpout(in) })
 	top.AddBolt("id", 1, func(int) storm.Bolt {
 		return storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) { emit(e) })
@@ -159,7 +160,7 @@ func TestSerializationFailureSurfacesAsError(t *testing.T) {
 // each producer executor gets its own serializer, but they share the
 // counter).
 type countingSerializer struct {
-	conn *Conn
+	conn *codec.Conn
 	n    *atomic.Int64
 }
 
@@ -183,7 +184,7 @@ func TestWorkerPlacementSkipsLocalHops(t *testing.T) {
 		var count atomic.Int64
 		top := storm.NewTopology("placed")
 		top.SetSerializer(func() storm.Serializer {
-			return countingSerializer{conn: NewConn(), n: &count}
+			return countingSerializer{conn: codec.NewConn(), n: &count}
 		})
 		top.SetWorkers(workers)
 		top.AddSpout("src", 1, func(int) storm.Spout { return storm.SliceSpout(in) })

@@ -1,0 +1,297 @@
+package codec
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+
+	"datatrace/internal/stream"
+)
+
+// This file defines the length-prefixed binary framing the networked
+// storm runtime puts on every inter-worker TCP connection. One frame
+// carries one batched message vector (the pooled vectors of the
+// batched edge transport), addressed to one destination executor:
+//
+//	[4-byte big-endian payload length][gob-encoded Frame]
+//
+// The payload is produced by a persistent per-connection gob.Encoder,
+// so type descriptors are transmitted once per connection and
+// amortized over its lifetime, exactly as Conn amortizes them for the
+// in-process serialization boundary. A frame's payload is the byte
+// span of a single Encoder.Encode call (descriptors included when the
+// call introduces new types), so FrameDecoder's single Decode call
+// consumes it completely; leftover bytes mean a corrupted stream and
+// are rejected.
+
+// MaxFrameBytes bounds a frame's payload. The bound is enforced
+// *before* any allocation, so a corrupted or hostile length prefix
+// cannot make the decoder allocate unbounded memory.
+const MaxFrameBytes = 16 << 20
+
+// ErrFrameTooLarge reports a length prefix exceeding MaxFrameBytes.
+var ErrFrameTooLarge = errors.New("codec: frame exceeds MaxFrameBytes")
+
+// ErrShortFrame reports a frame truncated mid-payload (or a truncated
+// length prefix with at least one byte present).
+var ErrShortFrame = errors.New("codec: truncated frame")
+
+// ErrTrailingBytes reports payload bytes left over after the frame's
+// value was decoded — the stream is corrupted or was not produced by
+// a FrameEncoder.
+var ErrTrailingBytes = errors.New("codec: trailing bytes after frame payload")
+
+// ErrUnregisteredType reports an event whose concrete key or value
+// type was never passed to Register. The networked transport treats
+// it as a per-event serialization failure — eligible for the
+// drop-and-log degradation policy — rather than a transport fault.
+var ErrUnregisteredType = errors.New("codec: unregistered key/value type")
+
+// classify wraps gob's untyped errors into this package's typed ones
+// where callers dispatch on the cause. gob exposes no error values of
+// its own, so the unregistered-interface case is recognized by its
+// message.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), "not registered") {
+		return fmt.Errorf("%w: %v", ErrUnregisteredType, err)
+	}
+	return err
+}
+
+// WireEvent is the frame-level form of one stream event.
+type WireEvent struct {
+	IsMarker bool
+	Seq      int64
+	Ts       int64
+	Key      any
+	Value    any
+}
+
+// FromEvent converts a stream event to its wire form.
+func FromEvent(e stream.Event) WireEvent {
+	return WireEvent{IsMarker: e.IsMarker, Seq: e.Marker.Seq, Ts: e.Marker.Timestamp, Key: e.Key, Value: e.Value}
+}
+
+// Event converts the wire form back to a stream event.
+func (w WireEvent) Event() stream.Event {
+	if w.IsMarker {
+		return stream.Mark(stream.Marker{Seq: w.Seq, Timestamp: w.Ts})
+	}
+	return stream.Item(w.Key, w.Value)
+}
+
+// WireMessage is the frame-level form of one transport message: an
+// event tagged with its receiver-side channel, or an end-of-stream
+// notice for that channel. Sent carries the send stamp used by the
+// observability subsystem (0 when observability is off).
+type WireMessage struct {
+	Ch   int32
+	EOS  bool
+	Sent int64
+	Ev   WireEvent
+}
+
+// Frame is one batched message vector on the wire, addressed to the
+// destination executor's global index (declaration-order executor id,
+// see storm.Placement).
+type Frame struct {
+	Dest int32
+	Msgs []WireMessage
+}
+
+// FrameEncoder writes length-prefixed frames to w with a persistent
+// gob encoder. Not safe for concurrent use; give each connection its
+// own and serialize writers above it.
+type FrameEncoder struct {
+	w   io.Writer
+	buf []byte
+	enc *gob.Encoder
+	// proven caches key/value types that already encoded successfully
+	// on this connection. A type not yet proven is trial-encoded with a
+	// throwaway encoder first, so an unregistered type fails *before*
+	// the persistent encoder's descriptor bookkeeping diverges from the
+	// stream — the connection survives the typed error and keeps
+	// working for well-registered traffic (the drop-and-log contract).
+	proven map[reflect.Type]bool
+}
+
+// NewFrameEncoder creates an encoder writing to w.
+func NewFrameEncoder(w io.Writer) *FrameEncoder {
+	e := &FrameEncoder{w: w, proven: make(map[reflect.Type]bool)}
+	e.enc = gob.NewEncoder((*encBuf)(&e.buf))
+	return e
+}
+
+// vet proves that v can ride an interface field of this connection.
+// The trial must itself go through an interface field — gob only
+// demands registration for interface-typed transmission. Proving is
+// per concrete type: a type whose *contents* can still vary in
+// encodability (say, a registered struct holding an any field) is
+// vetted only for the first value seen; such types do not occur on
+// this repository's wires.
+func (e *FrameEncoder) vet(v any) error {
+	if v == nil {
+		return nil
+	}
+	rt := reflect.TypeOf(v)
+	if e.proven[rt] {
+		return nil
+	}
+	if err := gob.NewEncoder(io.Discard).Encode(&WireEvent{Key: v}); err != nil {
+		return classify(fmt.Errorf("codec: encode frame: %w", err))
+	}
+	e.proven[rt] = true
+	return nil
+}
+
+// encBuf adapts the encoder's scratch slice to io.Writer so the gob
+// encoder appends into it without a bytes.Buffer's bookkeeping.
+type encBuf []byte
+
+func (b *encBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// Encode writes one frame: every novel key/value type is vetted, the
+// gob payload is staged in the scratch buffer, its length prefixed,
+// and both flushed to the underlying writer in order. A vet failure
+// (typed as ErrUnregisteredType where it applies) leaves both the
+// stream and the encoder state untouched.
+func (e *FrameEncoder) Encode(f *Frame) error {
+	for i := range f.Msgs {
+		m := &f.Msgs[i]
+		if m.EOS || m.Ev.IsMarker {
+			continue
+		}
+		if err := e.vet(m.Ev.Key); err != nil {
+			return err
+		}
+		if err := e.vet(m.Ev.Value); err != nil {
+			return err
+		}
+	}
+	e.buf = e.buf[:0]
+	if err := e.enc.Encode(f); err != nil {
+		return classify(fmt.Errorf("codec: encode frame: %w", err))
+	}
+	if len(e.buf) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(e.buf))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(e.buf)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("codec: write frame header: %w", err)
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		return fmt.Errorf("codec: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// frameReader feeds exactly one frame's payload to the gob decoder.
+// It implements io.ByteReader so gob does not wrap it in a bufio
+// reader and read past the frame boundary.
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *frameReader) ReadByte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, io.EOF
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// FrameDecoder reads length-prefixed frames from r with a persistent
+// gob decoder. Not safe for concurrent use.
+type FrameDecoder struct {
+	r       io.Reader
+	fr      frameReader
+	dec     *gob.Decoder
+	payload []byte
+}
+
+// NewFrameDecoder creates a decoder reading from r.
+func NewFrameDecoder(r io.Reader) *FrameDecoder {
+	d := &FrameDecoder{r: r}
+	d.dec = gob.NewDecoder(&d.fr)
+	return d
+}
+
+// Decode reads the next frame into f. A clean end of stream (EOF at a
+// frame boundary) returns io.EOF; truncation inside a frame returns
+// ErrShortFrame; a length prefix over MaxFrameBytes returns
+// ErrFrameTooLarge before anything is allocated; payload bytes the
+// frame's value does not account for return ErrTrailingBytes.
+func (d *FrameDecoder) Decode(f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: %v", ErrShortFrame, err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrameBytes {
+		return fmt.Errorf("%w: header claims %d bytes", ErrFrameTooLarge, n)
+	}
+	if err := d.readPayload(n); err != nil {
+		return err
+	}
+	d.fr.buf, d.fr.off = d.payload, 0
+	if err := d.dec.Decode(f); err != nil {
+		return classify(fmt.Errorf("codec: decode frame: %w", err))
+	}
+	if d.fr.off != len(d.fr.buf) {
+		return fmt.Errorf("%w: %d of %d bytes unconsumed", ErrTrailingBytes, len(d.fr.buf)-d.fr.off, len(d.fr.buf))
+	}
+	return nil
+}
+
+// readPayload fills d.payload with n bytes from the stream. The
+// scratch buffer grows in bounded steps, each taken only after the
+// previous step's bytes actually arrived, so allocation tracks the
+// bytes received rather than the (possibly lying) header.
+func (d *FrameDecoder) readPayload(n int) error {
+	const step = 64 << 10
+	if cap(d.payload) >= n {
+		d.payload = d.payload[:n]
+		if _, err := io.ReadFull(d.r, d.payload); err != nil {
+			return fmt.Errorf("%w: %v", ErrShortFrame, err)
+		}
+		return nil
+	}
+	d.payload = d.payload[:0]
+	for got := 0; got < n; {
+		k := n - got
+		if k > step {
+			k = step
+		}
+		d.payload = append(d.payload, make([]byte, k)...)
+		if _, err := io.ReadFull(d.r, d.payload[got:]); err != nil {
+			return fmt.Errorf("%w: %v", ErrShortFrame, err)
+		}
+		got += k
+	}
+	return nil
+}

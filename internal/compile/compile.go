@@ -107,6 +107,13 @@ type Options struct {
 	// BatchSize 1 reproduces the unbatched one-send-per-event
 	// transport exactly.
 	Transport *storm.TransportOptions
+	// Workers places the compiled executors onto this many workers
+	// (round-robin in declaration order — the same rule the networked
+	// runtime maps to processes). In the single-process runtime the
+	// placement selects which sends pay the serialization boundary;
+	// CompileWithPlan additionally surfaces the table as
+	// Plan.Placement. 0 leaves placement off.
+	Workers int
 }
 
 // validate rejects malformed option values with descriptive errors
@@ -120,6 +127,9 @@ func (o *Options) validate() error {
 		if err := o.Transport.Validate(); err != nil {
 			return err
 		}
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("compile: Options.Workers must be ≥ 0 (0 disables placement), got %d", o.Workers)
 	}
 	return nil
 }
@@ -343,6 +353,10 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 	}
 	if opts.Observability != nil {
 		top.SetObservability(*opts.Observability)
+	}
+	if opts.Workers > 0 {
+		top.SetWorkers(opts.Workers)
+		plan.Placement = top.Placement(opts.Workers)
 	}
 	return top, plan, nil
 }

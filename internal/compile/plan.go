@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"datatrace/internal/storm"
 )
 
 // Plan is the optimization pipeline's debugging output: which
@@ -23,6 +25,10 @@ type Plan struct {
 	// CombinedEdges lists the edges carrying sender-side combining
 	// buffers (the Combiners pass).
 	CombinedEdges []PlanEdge
+	// Placement maps each emitted executor to its worker when
+	// Options.Workers is set (the same table every worker process of
+	// a networked run computes); nil when placement is off.
+	Placement []storm.Placed
 }
 
 // PlanBolt describes one emitted bolt.
@@ -95,6 +101,9 @@ func (p *Plan) String() string {
 	}
 	for _, e := range p.CombinedEdges {
 		fmt.Fprintf(&b, "  edge %s → %s combined (cap %d)\n", e.From, e.To, e.Cap)
+	}
+	for _, pl := range p.Placement {
+		fmt.Fprintf(&b, "  %s[%d] → worker %d (gid %d)\n", pl.Component, pl.Instance, pl.Worker, pl.GID)
 	}
 	return b.String()
 }

@@ -1,0 +1,151 @@
+package queries
+
+import (
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+// TestMain makes the test binary dual-use: re-exec'd with the
+// DTT_NET_* spawn contract it becomes a worker process of a networked
+// run (RunWorkerIfSpawned never returns in that case); run normally
+// it executes the package's tests. This is how the cross-process
+// tests below get worker binaries without building anything extra —
+// and it runs the workers with the same instrumentation (-race) as
+// the test itself.
+func TestMain(m *testing.M) {
+	RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}
+
+// requireNet skips tests that need localhost TCP when the environment
+// forbids it (sandboxes without socket permissions).
+func requireNet(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("skipping networked test: environment forbids localhost TCP sockets (%v)", err)
+	}
+	ln.Close()
+}
+
+func netTestCfg() workload.YahooConfig {
+	cfg := workload.DefaultYahooConfig()
+	cfg.EventsPerSecond = 120
+	cfg.Seconds = 12
+	cfg.Users = 60
+	cfg.Campaigns = 10
+	cfg.AdsPerCampaign = 5
+	return cfg
+}
+
+// TestNetworkedEquivalenceDifferential is the cross-process
+// differential proof: every query, at several parallelism settings,
+// run as a 2-worker cluster of real OS processes exchanging frames
+// over localhost TCP, must produce a sink stream trace-equivalent to
+// the single-process runtime's. Workers are re-execs of this test
+// binary (see TestMain), so under -race the whole cluster is
+// race-checked and a detector hit in any worker fails the run via its
+// nonzero exit.
+func TestNetworkedEquivalenceDifferential(t *testing.T) {
+	requireNet(t)
+	cfg := netTestCfg()
+	for _, def := range All() {
+		def := def
+		t.Run("Query"+def.Name, func(t *testing.T) {
+			env, err := NewEnv(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sinkType := def.SinkType(env)
+			for _, par := range []int{1, 2, 4} {
+				spec := Spec{Query: def.Name, Variant: Generated, Par: par, SourcePar: 2}
+				// Fresh env per run: Query II mutates the DB.
+				oracleEnv, err := NewEnv(cfg, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle, err := Run(oracleEnv, spec)
+				if err != nil {
+					t.Fatalf("par=%d in-process oracle: %v", par, err)
+				}
+				res, err := RunNetworked(NetSpec{Spec: spec, Workers: 2, Cfg: cfg}, nil)
+				if err != nil {
+					t.Fatalf("par=%d networked: %v", par, err)
+				}
+				if res.WorkerRestarts != 0 {
+					t.Fatalf("par=%d: fault-free run restarted %d times", par, res.WorkerRestarts)
+				}
+				got, want := res.Sinks["sink"], oracle.Sinks["sink"]
+				if !stream.Equivalent(sinkType, got, want) {
+					t.Fatalf("par=%d: networked trace differs from in-process run\n got %d events\n want %d events",
+						par, len(got), len(want))
+				}
+				gotExec, _ := res.Stats.Component("yahoo")
+				wantExec, _ := oracle.Stats.Component("yahoo")
+				if gotExec != wantExec {
+					t.Fatalf("par=%d: workers report %d source events, in-process run %d", par, gotExec, wantExec)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosWorkerKillRecovery SIGKILLs a worker process mid-epoch and
+// checks the coordinator's recovery: the cluster restarts, the
+// replayed stream is spliced onto the committed prefix at the marker
+// cut, and the final trace is still equivalent to an undisturbed run.
+func TestChaosWorkerKillRecovery(t *testing.T) {
+	requireNet(t)
+	cfg := netTestCfg()
+	spec := Spec{Query: "IV", Variant: Generated, Par: 2, SourcePar: 2}
+	// The DB delay stretches the run so the kill (after 3 of the 12
+	// marker cuts commit) lands mid-flight rather than after the
+	// stream has drained.
+	const opDelay = 500 * time.Microsecond
+
+	env, err := NewEnv(cfg, opDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunNetworked(NetSpec{Spec: spec, Workers: 3, Cfg: cfg, OpDelay: opDelay},
+		func(o *storm.NetOptions) {
+			o.Kill = &storm.KillPlan{Worker: 1, AfterCuts: 3}
+			o.Logf = t.Logf
+		})
+	if err != nil {
+		t.Fatalf("networked run did not recover: %v", err)
+	}
+	if res.WorkerRestarts < 1 {
+		t.Fatalf("kill plan fired but the cluster reports %d restarts", res.WorkerRestarts)
+	}
+	if res.ReplayedCuts < 3 {
+		t.Fatalf("restart replayed only %d committed cuts, want ≥ 3", res.ReplayedCuts)
+	}
+	sinkType, err := ByName("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.Sinks["sink"], oracle.Sinks["sink"]
+	if !stream.Equivalent(sinkType.SinkType(env), got, want) {
+		t.Fatalf("post-recovery trace differs from undisturbed run\n got %d events\n want %d events",
+			len(got), len(want))
+	}
+	// The successful attempt's workers report a full run's counters.
+	gotExec, _ := res.Stats.Component("yahoo")
+	wantExec, _ := oracle.Stats.Component("yahoo")
+	if gotExec != wantExec {
+		t.Fatalf("recovered run reports %d source events, want %d", gotExec, wantExec)
+	}
+	t.Logf("recovered: %d restarts, %d replayed cuts, wall %v", res.WorkerRestarts, res.ReplayedCuts, res.Wall)
+}

@@ -1,0 +1,140 @@
+package queries
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"datatrace/internal/codec"
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+	"datatrace/internal/workload"
+)
+
+// This file bridges the query registry to the networked multi-process
+// runtime. A networked run is described by a NetSpec, which is
+// JSON-marshalled into the DTT_NET_SPEC environment variable of every
+// worker process; each worker rebuilds the identical environment and
+// topology from it (the workload generator and reference database are
+// deterministic functions of the config), then serves its placement
+// share. RunWorkerIfSpawned is the process entry point workers share:
+// cmd/dttworker, cmd/dttbench and the test binaries all call it
+// first, becoming a worker when the spawn contract is present.
+
+// NetSpec selects one networked run: a query Spec plus the worker
+// count and the workload configuration every worker process must
+// reproduce.
+type NetSpec struct {
+	Spec
+	// Workers is the number of worker processes.
+	Workers int
+	// Cfg is the workload configuration (workers regenerate the exact
+	// workload and reference tables from it).
+	Cfg workload.YahooConfig
+	// OpDelay is the per-database-operation delay (see NewEnv).
+	OpDelay time.Duration
+}
+
+// RegisterWireTypes registers every key and value type the six
+// queries put on the wire with the gob-based codec. Worker and
+// coordinator processes must call it before exchanging frames.
+func RegisterWireTypes() {
+	codec.Register(stream.Unit{})
+	codec.Register(int(0))
+	codec.Register(int64(0))
+	codec.Register(float64(0))
+	codec.Register("")
+	codec.Register(workload.YahooEvent{})
+	codec.Register(Enriched{})
+	codec.Register(Located{})
+	codec.Register(Features{})
+	codec.Register(UserFeatures{})
+	codec.Register(ClusterSummary{})
+	codec.Register(map[int64]Features{}) // Cluster partial aggregates
+}
+
+// normalize applies the same defaulting in the coordinator (before
+// marshalling) and in workers, so every process builds the identical
+// topology.
+func (ns NetSpec) normalize() NetSpec {
+	if ns.Par < 1 {
+		ns.Par = 1
+	}
+	if ns.SourcePar < 1 {
+		ns.SourcePar = 1
+	}
+	if ns.Workers < 1 {
+		ns.Workers = 1
+	}
+	return ns
+}
+
+// build reconstructs the run's topology with executor placement over
+// the cluster's workers.
+func (ns NetSpec) build() (*storm.Topology, error) {
+	ns = ns.normalize()
+	def, err := ByName(ns.Query)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(ns.Cfg, ns.OpDelay)
+	if err != nil {
+		return nil, err
+	}
+	return buildWith(env, ns.Spec, def, def.Sources(env, ns.SourcePar), ns.Workers)
+}
+
+// RunWorkerIfSpawned turns this process into a networked worker when
+// the spawn contract (DTT_NET_* environment) is present, and returns
+// without effect otherwise. When it serves, it never returns: the
+// process exits 0 after a clean run, 1 on failure.
+func RunWorkerIfSpawned() {
+	cfg, payload, ok := storm.WorkerEnvConfig()
+	if !ok {
+		return
+	}
+	RegisterWireTypes()
+	var ns NetSpec
+	if err := json.Unmarshal([]byte(payload), &ns); err != nil {
+		fmt.Fprintf(os.Stderr, "dttworker %d: bad %s payload: %v\n", cfg.Worker, storm.EnvSpec, err)
+		os.Exit(1)
+	}
+	top, err := ns.build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dttworker %d: building topology: %v\n", cfg.Worker, err)
+		os.Exit(1)
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if err := top.ServeWorker(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dttworker %d: %v\n", cfg.Worker, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunNetworked executes the selected query on a localhost TCP cluster
+// of ns.Workers processes and returns the coordinator's result. tune,
+// when non-nil, adjusts the launch options (worker command, fault
+// injection, timeouts) before the cluster starts.
+func RunNetworked(ns NetSpec, tune func(*storm.NetOptions)) (*storm.NetResult, error) {
+	ns = ns.normalize()
+	if _, err := ByName(ns.Query); err != nil {
+		return nil, err
+	}
+	RegisterWireTypes()
+	payload, err := json.Marshal(ns)
+	if err != nil {
+		return nil, fmt.Errorf("queries: marshalling net spec: %w", err)
+	}
+	opts := storm.NetOptions{
+		Workers: ns.Workers,
+		Spec:    string(payload),
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	return storm.RunNetworked(opts)
+}

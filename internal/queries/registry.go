@@ -167,6 +167,17 @@ func RunOn(env *Env, spec Spec, parts [][]stream.Event) (*storm.Result, error) {
 }
 
 func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.Result, error) {
+	top, err := buildWith(env, spec, def, sources, 0)
+	if err != nil {
+		return nil, err
+	}
+	return top.Run()
+}
+
+// buildWith constructs the selected variant's topology without
+// running it. workers > 0 places the executors (the networked runtime
+// builds with its worker count and serves its share; see netrun.go).
+func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, workers int) (*storm.Topology, error) {
 	if spec.Par < 1 {
 		spec.Par = 1
 	}
@@ -177,6 +188,7 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 			FuseSort:   true,
 			FuseChains: !spec.NoFuseChains,
 			Combiners:  !spec.NoCombiners,
+			Workers:    workers,
 		}
 		if spec.Recovery {
 			opts.Recovery = &storm.RecoveryPolicy{Enabled: true}
@@ -186,15 +198,11 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 			opts.Observability = &cfg
 		}
 		opts.Transport = spec.Transport
-		top, err := compile.Compile(dag, map[string]compile.SourceSpec{
+		return compile.Compile(dag, map[string]compile.SourceSpec{
 			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
 				return storm.SpoutFunc(sources[i])
 			}},
 		}, opts)
-		if err != nil {
-			return nil, err
-		}
-		return top.Run()
 	case Handcrafted:
 		top := def.Handcrafted(env, spec.Par, sources)
 		if spec.Obs {
@@ -203,7 +211,10 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 		if spec.Transport != nil {
 			top.SetTransport(*spec.Transport)
 		}
-		return top.Run()
+		if workers > 0 {
+			top.SetWorkers(workers)
+		}
+		return top, nil
 	default:
 		return nil, fmt.Errorf("queries: unknown variant %q", spec.Variant)
 	}

@@ -65,6 +65,10 @@ type subscription struct {
 // runtimeComponent is a component with resolved wiring.
 type runtimeComponent struct {
 	*component
+	// inboxes[i] is instance i's input channel; nil when the instance
+	// is placed on another worker process (its traffic travels the
+	// networked transport instead). The slice always has parallelism
+	// entries so routing arithmetic is placement-blind.
 	inboxes []chan *[]message
 	// depths[i] is inbox i's depth in *events* (a channel slot holds a
 	// whole vector, so len(inbox) alone under-counts): senders add a
@@ -80,14 +84,89 @@ type runtimeComponent struct {
 	// workerOf[i] is the worker hosting instance i (-1: no placement,
 	// every serialized send pays the wire format).
 	workerOf []int
-	sinkMu   sync.Mutex
-	sinkOut  []stream.Event
+	// gids[i] is instance i's global executor index (declaration
+	// order) — the frame destination id of the networked transport.
+	gids []int
+	// net is the hosting worker's networked-transport state; nil in
+	// the single-process runtime.
+	net *workerNet
+	// sinkTap, when set on a sink component, observes every recorded
+	// event in arrival order (under sinkMu); the networked worker uses
+	// it to stream sink output to the coordinator.
+	sinkTap func(e stream.Event)
+	sinkMu  sync.Mutex
+	sinkOut []stream.Event
+}
+
+// localInst reports whether instance i runs in this process.
+func (rc *runtimeComponent) localInst(i int) bool {
+	return rc.net == nil || rc.workerOf[i] == rc.net.self
+}
+
+// appendSink records events a sink instance received, feeding the
+// worker's sink tap when one is installed.
+func (rc *runtimeComponent) appendSink(events ...stream.Event) {
+	rc.sinkMu.Lock()
+	rc.sinkOut = append(rc.sinkOut, events...)
+	if rc.sinkTap != nil {
+		for _, e := range events {
+			rc.sinkTap(e)
+		}
+	}
+	rc.sinkMu.Unlock()
+}
+
+// Placed is one executor's process placement.
+type Placed struct {
+	Component string
+	Instance  int
+	// Worker is the hosting worker (round-robin over executors in
+	// declaration order, the placement SetWorkers and the networked
+	// runtime share).
+	Worker int
+	// GID is the executor's global index in declaration order — the
+	// destination id carried by networked transport frames.
+	GID int
+}
+
+// Placement returns the executor placement for the given worker
+// count: executors enumerated in declaration order, instance-major,
+// each assigned to worker GID mod workers. Every process computes the
+// identical table, which is what lets workers resolve frame
+// destinations without a placement exchange.
+func (t *Topology) Placement(workers int) []Placed {
+	if workers < 1 {
+		workers = 1
+	}
+	var out []Placed
+	gi := 0
+	for _, name := range t.order {
+		c := t.components[name]
+		for i := 0; i < c.parallelism; i++ {
+			out = append(out, Placed{Component: name, Instance: i, Worker: gi % workers, GID: gi})
+			gi++
+		}
+	}
+	return out
 }
 
 // Run executes the topology to completion: every spout is drained,
 // end-of-stream propagates through the DAG, and all executors exit.
 // It returns the sinks' collected streams and execution statistics.
 func (t *Topology) Run() (*Result, error) {
+	rts, err := t.resolve(nil)
+	if err != nil {
+		return nil, err
+	}
+	return t.execute(rts)
+}
+
+// resolve validates the topology and builds the runtime wiring. w is
+// the networked worker context, nil in the single-process runtime:
+// with w set, only instances placed on worker w.self get inboxes (and
+// are registered with w's frame dispatcher); remote instances appear
+// in the wiring as frame destinations.
+func (t *Topology) resolve(w *workerNet) (map[string]*runtimeComponent, error) {
 	if err := t.validate(); err != nil {
 		return nil, err
 	}
@@ -103,22 +182,39 @@ func (t *Topology) Run() (*Result, error) {
 	if cap <= 0 {
 		cap = defaultChannelCap
 	}
-	hash := t.hash
-	if hash == nil {
-		hash = stream.DefaultHash
-	}
 	tr := t.transport.normalized()
+	workers := t.workers
+	if w != nil {
+		workers = w.workers
+	}
 
 	// Resolve components and receiver channel layouts.
 	rts := make(map[string]*runtimeComponent, len(t.order))
+	gi := 0
 	for _, name := range t.order {
 		c := t.components[name]
-		rc := &runtimeComponent{component: c, transport: tr}
+		rc := &runtimeComponent{component: c, transport: tr, net: w}
 		rc.inboxes = make([]chan *[]message, c.parallelism)
-		for i := range rc.inboxes {
-			rc.inboxes[i] = make(chan *[]message, cap)
-		}
 		rc.depths = make([]atomic.Int64, c.parallelism)
+		rc.workerOf = make([]int, c.parallelism)
+		rc.gids = make([]int, c.parallelism)
+		for i := range rc.workerOf {
+			rc.workerOf[i] = -1
+			if workers > 0 {
+				rc.workerOf[i] = gi % workers
+			}
+			rc.gids[i] = gi
+			gi++
+		}
+		for i := range rc.inboxes {
+			if !rc.localInst(i) {
+				continue
+			}
+			rc.inboxes[i] = make(chan *[]message, cap)
+			if w != nil {
+				w.register(rc.gids[i], rc.inboxes[i], &rc.depths[i])
+			}
+		}
 		offset := 0
 		for _, in := range c.inputs {
 			offset += t.components[in.from].parallelism
@@ -128,22 +224,7 @@ func (t *Topology) Run() (*Result, error) {
 		}
 		rc.nChannels = offset
 		rc.serializerFactory = t.serializer
-		rc.workerOf = make([]int, c.parallelism)
-		for i := range rc.workerOf {
-			rc.workerOf[i] = -1
-		}
 		rts[name] = rc
-	}
-	if t.workers > 0 {
-		// Round-robin executor placement in declaration order.
-		gi := 0
-		for _, name := range t.order {
-			rc := rts[name]
-			for i := range rc.workerOf {
-				rc.workerOf[i] = gi % t.workers
-				gi++
-			}
-		}
 	}
 	// Resolve senders' subscription tables.
 	for _, name := range t.order {
@@ -155,7 +236,16 @@ func (t *Topology) Run() (*Result, error) {
 			offset += src.parallelism
 		}
 	}
+	return rts, nil
+}
 
+// execute starts one executor goroutine per locally placed instance
+// and waits for the DAG to drain.
+func (t *Topology) execute(rts map[string]*runtimeComponent) (*Result, error) {
+	hash := t.hash
+	if hash == nil {
+		hash = stream.DefaultHash
+	}
 	stats := metrics.NewStats()
 	stats.SetObservability(t.obs)
 	t.live.Store(stats)
@@ -166,6 +256,9 @@ func (t *Topology) Run() (*Result, error) {
 	for _, name := range t.order {
 		rc := rts[name]
 		for i := 0; i < rc.parallelism; i++ {
+			if !rc.localInst(i) {
+				continue
+			}
 			wg.Add(1)
 			is := stats.Instance(rc.name, i)
 			ef := t.faultPlan.faultsFor(rc.name, i)
@@ -204,7 +297,7 @@ func (t *Topology) Run() (*Result, error) {
 	res := &Result{Sinks: map[string][]stream.Event{}, Stats: stats, Wall: wall}
 	for _, name := range t.order {
 		rc := rts[name]
-		if rc.isSink {
+		if rc.isSink && rc.localInst(0) {
 			res.Sinks[rc.name] = rc.sinkOut
 		}
 	}
@@ -284,7 +377,12 @@ func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, h
 	for si := range rc.subs {
 		sub := &rc.subs[si]
 		for k := range sub.to.inboxes {
-			b := outBuf{inbox: sub.to.inboxes[k], depth: &sub.to.depths[k]}
+			var b outBuf
+			if sub.to.localInst(k) {
+				b = outBuf{sink: chanSink{ch: sub.to.inboxes[k]}, depth: &sub.to.depths[k]}
+			} else {
+				b = outBuf{sink: rc.net.sinkTo(sub.to, k)}
+			}
 			if sub.combiner != nil {
 				b.comb = &combBuf{spec: sub.combiner, ch: sub.chBase + instance, idx: map[any]int{}}
 			}
@@ -507,9 +605,7 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 	var bolt Bolt
 	if rc.isSink {
 		bolt = BoltFunc(func(e stream.Event, emit func(stream.Event)) {
-			rc.sinkMu.Lock()
-			rc.sinkOut = append(rc.sinkOut, e)
-			rc.sinkMu.Unlock()
+			rc.appendSink(e)
 		})
 	} else {
 		bolt = rc.bolt(instance)

@@ -1,0 +1,570 @@
+package storm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+// This file is the coordinator of the networked runtime. RunNetworked
+// launches one worker process per placement slot, rendezvouses them
+// (hello → start with the peer address table), collects the sink
+// streams they report, and recovers from worker-process failure by
+// restarting the whole cluster and splicing the new run's sink output
+// onto the committed prefix at the last marker cut.
+//
+// The splice is sound for the topologies this runtime compiles:
+// sources are deterministic replayable generators, markers punctuate
+// every stream at fixed source positions, and a sink fed through an
+// aligned merge sees exactly one marker per cut, so the multiset of
+// sink events between consecutive markers is invariant across runs
+// (stateless operators act item-wise, keyed state lives behind Fields
+// grouping, and shuffle round-robin variance only redistributes work
+// within a block). Committing a prefix at a marker boundary and
+// replacing everything after it with the replay's output therefore
+// yields a stream trace-equivalent to an uninterrupted run — the same
+// argument the marker-cut recovery of the in-process runtime rests
+// on, lifted to process granularity.
+
+// KillPlan schedules one SIGKILL against a worker process: after the
+// coordinator has committed AfterCuts marker cuts (summed over sinks)
+// in the first attempt, Worker is killed. Used by the chaos tests to
+// exercise process-level recovery deterministically.
+type KillPlan struct {
+	Worker    int
+	AfterCuts int
+}
+
+// NetOptions configures a networked run.
+type NetOptions struct {
+	// Workers is the number of worker processes (≥ 1).
+	Workers int
+	// Command launches one worker: Command[0] is the binary, the rest
+	// its arguments. Empty means re-exec this binary (os.Executable) —
+	// the test-suite idiom, where TestMain detects the worker
+	// environment and serves instead of running tests.
+	Command []string
+	// Env is the base environment of worker processes; nil means
+	// inherit os.Environ(). The DTT_NET_* contract variables are
+	// appended on top.
+	Env []string
+	// Spec is the opaque application payload passed to workers via
+	// DTT_NET_SPEC; the worker main rebuilds its topology from it.
+	Spec string
+	// MaxRestarts bounds cluster restarts after worker-process failure
+	// (0 means the default of 3; negative disables recovery).
+	MaxRestarts int
+	// AttemptTimeout bounds one attempt from spawn to all-done (0
+	// means 2 minutes).
+	AttemptTimeout time.Duration
+	// Kill, when set, injects one worker kill (see KillPlan).
+	Kill *KillPlan
+	// Logf receives coordinator lifecycle logging; nil discards.
+	Logf func(format string, args ...any)
+
+	// spawn overrides process launching — the unit-test seam that runs
+	// "workers" as goroutines in this process. nil launches Command.
+	spawn func(worker int, env map[string]string) (netProc, error)
+}
+
+// NetResult is the outcome of a networked run.
+type NetResult struct {
+	// Sinks maps each sink component to its spliced output stream:
+	// committed prefixes of failed attempts joined with the final
+	// attempt's tail.
+	Sinks map[string][]stream.Event
+	// Stats holds the per-executor counters reported by the workers of
+	// the successful attempt.
+	Stats *metrics.Stats
+	// Wall is the real elapsed time including restarts.
+	Wall time.Duration
+	// WorkerRestarts counts cluster restarts performed after worker
+	// failures.
+	WorkerRestarts int
+	// ReplayedCuts counts marker cuts that were re-received from
+	// replaying attempts and skipped because they were already
+	// committed.
+	ReplayedCuts int
+}
+
+// netProc is a launched worker process as the coordinator sees it.
+type netProc interface {
+	Kill() error
+	Wait() error
+}
+
+// osProc is the real-process implementation of netProc.
+type osProc struct{ cmd *exec.Cmd }
+
+func (p *osProc) Kill() error { return p.cmd.Process.Kill() }
+func (p *osProc) Wait() error { return p.cmd.Wait() }
+
+func spawnOS(command, env []string) func(worker int, extra map[string]string) (netProc, error) {
+	return func(worker int, extra map[string]string) (netProc, error) {
+		cmd := exec.Command(command[0], command[1:]...)
+		base := env
+		if base == nil {
+			base = os.Environ()
+		}
+		cmd.Env = append(append([]string(nil), base...), flattenEnv(extra)...)
+		// Worker diagnostics interleave on the coordinator's stderr.
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &osProc{cmd: cmd}, nil
+	}
+}
+
+func flattenEnv(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, k+"="+v)
+	}
+	return out
+}
+
+// sinkState is the coordinator's committed/pending split of one
+// sink's stream.
+type sinkState struct {
+	committed []stream.Event
+	pending   []stream.Event
+	cuts      int // markers committed
+	skip      int // replay markers still to skip after a restart
+}
+
+// helloConn is an inbound control connection that has identified
+// itself.
+type helloConn struct {
+	conn  net.Conn
+	dec   *gob.Decoder
+	hello netHello
+}
+
+// coordEvent is one occurrence the attempt loop reacts to.
+type coordEvent struct {
+	worker int
+	sink   *netSinkData
+	done   *netDone
+	err    error
+	exit   bool
+}
+
+// coordinator is the state of one RunNetworked call.
+type coordinator struct {
+	opts   NetOptions
+	logf   func(string, ...any)
+	ln     net.Listener
+	helloc chan helloConn
+
+	sinks        map[string]*sinkState
+	sinkOrder    []string
+	totalCuts    int // cuts committed during attempt 0 (kill trigger)
+	killed       bool
+	restarts     int
+	replayedCuts int
+}
+
+const (
+	defaultNetMaxRestarts   = 3
+	defaultAttemptTimeout   = 2 * time.Minute
+	workerExitGracePeriod   = 10 * time.Second
+	coordHelloBacklogEvents = 16
+)
+
+// RunNetworked executes a networked run to completion and returns the
+// spliced sink streams and worker-reported statistics. It fails after
+// MaxRestarts cluster restarts, on a worker that reports an executor
+// failure, or on an attempt timeout.
+func RunNetworked(opts NetOptions) (*NetResult, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("storm: RunNetworked needs Workers ≥ 1, got %d", opts.Workers)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.spawn == nil {
+		command := opts.Command
+		if len(command) == 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("storm: RunNetworked: resolving own binary for worker re-exec: %w", err)
+			}
+			command = []string{exe}
+		}
+		opts.spawn = spawnOS(command, opts.Env)
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = defaultNetMaxRestarts
+	}
+	if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+	if opts.AttemptTimeout == 0 {
+		opts.AttemptTimeout = defaultAttemptTimeout
+	}
+	if opts.Kill != nil && (opts.Kill.Worker < 0 || opts.Kill.Worker >= opts.Workers) {
+		return nil, fmt.Errorf("storm: KillPlan.Worker %d out of range for %d workers", opts.Kill.Worker, opts.Workers)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("storm: coordinator listen: %w", err)
+	}
+	defer ln.Close()
+	r := &coordinator{
+		opts:   opts,
+		logf:   logf,
+		ln:     ln,
+		helloc: make(chan helloConn, coordHelloBacklogEvents),
+		sinks:  map[string]*sinkState{},
+	}
+	// One persistent accept loop across attempts: workers of any
+	// attempt dial the same address; the attempt cookie in the hello
+	// sorts stragglers out.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				dec := gob.NewDecoder(conn)
+				var env netEnvelope
+				if err := dec.Decode(&env); err != nil || env.Hello == nil {
+					conn.Close()
+					return
+				}
+				r.helloc <- helloConn{conn: conn, dec: dec, hello: *env.Hello}
+			}(conn)
+		}
+	}()
+
+	start := time.Now()
+	var stats *metrics.Stats
+	for attempt := 0; ; attempt++ {
+		summaries, err := r.runAttempt(attempt)
+		if err == nil {
+			stats = rebuildStats(summaries)
+			break
+		}
+		// A failed attempt's uncommitted tail is discarded; the next
+		// attempt replays from the source and its stream is skipped up
+		// to the committed cut of each sink.
+		for _, ss := range r.sinks {
+			ss.pending = nil
+			ss.skip = ss.cuts
+		}
+		r.restarts++
+		if r.restarts > maxRestarts {
+			return nil, fmt.Errorf("storm: networked run failed after %d restarts: %w", r.restarts-1, err)
+		}
+		logf("storm: attempt %d failed (%v); restarting cluster (restart %d/%d)", attempt, err, r.restarts, maxRestarts)
+	}
+	wall := time.Since(start)
+	stats.Normalize(wall)
+
+	res := &NetResult{
+		Sinks:          map[string][]stream.Event{},
+		Stats:          stats,
+		Wall:           wall,
+		WorkerRestarts: r.restarts,
+		ReplayedCuts:   r.replayedCuts,
+	}
+	for _, name := range r.sinkOrder {
+		ss := r.sinks[name]
+		out := make([]stream.Event, 0, len(ss.committed)+len(ss.pending))
+		out = append(out, ss.committed...)
+		out = append(out, ss.pending...)
+		res.Sinks[name] = out
+	}
+	return res, nil
+}
+
+// runAttempt runs one full cluster attempt: spawn, rendezvous, stream
+// sink data, collect dones, shut down. It returns the workers' final
+// executor summaries on success.
+func (r *coordinator) runAttempt(attempt int) ([]netSummary, error) {
+	W := r.opts.Workers
+	evc := make(chan coordEvent, 4*W)
+	stop := make(chan struct{})
+	defer close(stop)
+
+	procs := make([]netProc, W)
+	conns := make([]net.Conn, W)
+	encs := make([]*gob.Encoder, W)
+	exited := make([]bool, W)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	killAll := func() {
+		for i, p := range procs {
+			if p != nil && !exited[i] {
+				_ = p.Kill()
+			}
+		}
+	}
+	// drainExits collects process-exit events until every spawned
+	// worker is accounted for or the grace period lapses. It returns
+	// the first nonzero-exit error (which, on the success path, is how
+	// a worker-side -race detector failure or panic surfaces even
+	// after a clean Done).
+	drainExits := func(grace time.Duration, wantClean bool) error {
+		deadline := time.NewTimer(grace)
+		defer deadline.Stop()
+		var firstErr error
+		for {
+			remaining := 0
+			for i, p := range procs {
+				if p != nil && !exited[i] {
+					remaining++
+				}
+			}
+			if remaining == 0 {
+				return firstErr
+			}
+			select {
+			case ev := <-evc:
+				if !ev.exit {
+					continue // late sink/done traffic after the verdict
+				}
+				exited[ev.worker] = true
+				if ev.err != nil && wantClean && firstErr == nil {
+					firstErr = fmt.Errorf("worker %d exited uncleanly: %w", ev.worker, ev.err)
+				}
+			case <-deadline.C:
+				killAll()
+				if wantClean && firstErr == nil {
+					firstErr = fmt.Errorf("workers still running %v after shutdown", grace)
+				}
+				// One more bounded pass so the monitors observe the kills.
+				if firstErr != nil {
+					return firstErr
+				}
+				return nil
+			}
+		}
+	}
+	fail := func(cause error) ([]netSummary, error) {
+		killAll()
+		_ = drainExits(workerExitGracePeriod, false)
+		return nil, cause
+	}
+
+	env := map[string]string{
+		EnvCoordAddr: r.ln.Addr().String(),
+		EnvWorkers:   strconv.Itoa(W),
+		EnvAttempt:   strconv.Itoa(attempt),
+		EnvSpec:      r.opts.Spec,
+	}
+	for i := 0; i < W; i++ {
+		env[EnvWorkerID] = strconv.Itoa(i)
+		p, err := r.opts.spawn(i, copyEnv(env))
+		if err != nil {
+			return fail(fmt.Errorf("spawning worker %d: %w", i, err))
+		}
+		procs[i] = p
+		go func(i int, p netProc) {
+			err := p.Wait()
+			select {
+			case evc <- coordEvent{worker: i, exit: true, err: err}:
+			case <-stop:
+			}
+		}(i, p)
+	}
+	r.logf("storm: attempt %d: %d workers spawned, coordinator %s", attempt, W, r.ln.Addr())
+
+	timeout := time.NewTimer(r.opts.AttemptTimeout)
+	defer timeout.Stop()
+
+	// Rendezvous: wait for every worker of this attempt to check in.
+	peers := make([]string, W)
+	helloed := 0
+	for helloed < W {
+		select {
+		case hc := <-r.helloc:
+			if hc.hello.Attempt != attempt || hc.hello.Worker < 0 || hc.hello.Worker >= W || conns[hc.hello.Worker] != nil {
+				hc.conn.Close() // straggler from a killed attempt, or nonsense
+				continue
+			}
+			conns[hc.hello.Worker] = hc.conn
+			encs[hc.hello.Worker] = gob.NewEncoder(hc.conn)
+			peers[hc.hello.Worker] = hc.hello.DataAddr
+			helloed++
+			go readCtrl(hc.hello.Worker, hc.dec, evc, stop)
+		case ev := <-evc:
+			if ev.exit {
+				exited[ev.worker] = true
+				return fail(fmt.Errorf("worker %d exited before rendezvous: %v", ev.worker, ev.err))
+			}
+		case <-timeout.C:
+			return fail(fmt.Errorf("rendezvous timeout: %d/%d workers checked in after %v", helloed, W, r.opts.AttemptTimeout))
+		}
+	}
+	for i := 0; i < W; i++ {
+		if err := encs[i].Encode(netEnvelope{Start: &netStart{Peers: peers}}); err != nil {
+			return fail(fmt.Errorf("starting worker %d: %w", i, err))
+		}
+	}
+
+	// Main loop: sink traffic and completion reports.
+	var summaries []netSummary
+	doneCount := 0
+	for doneCount < W {
+		select {
+		case ev := <-evc:
+			switch {
+			case ev.sink != nil:
+				r.onSink(attempt, ev.sink, procs, exited)
+			case ev.done != nil:
+				if ev.done.Failure != "" {
+					return fail(fmt.Errorf("worker %d reported failure: %s", ev.worker, ev.done.Failure))
+				}
+				summaries = append(summaries, ev.done.Summaries...)
+				doneCount++
+			case ev.exit:
+				exited[ev.worker] = true
+				return fail(fmt.Errorf("worker %d died mid-run: %v", ev.worker, ev.err))
+			case ev.err != nil:
+				return fail(fmt.Errorf("control connection of worker %d: %w", ev.worker, ev.err))
+			}
+		case <-timeout.C:
+			return fail(fmt.Errorf("attempt timeout: %d/%d workers done after %v", doneCount, W, r.opts.AttemptTimeout))
+		}
+	}
+
+	// All done: release the workers and insist on clean exits (a
+	// worker that panics after Done, or whose race detector trips at
+	// exit, fails the run here).
+	for i := 0; i < W; i++ {
+		_ = encs[i].Encode(netEnvelope{Shutdown: true})
+	}
+	if err := drainExits(workerExitGracePeriod, true); err != nil {
+		return nil, err
+	}
+	r.logf("storm: attempt %d complete: %d cuts committed", attempt, r.totalCommitted())
+	return summaries, nil
+}
+
+// readCtrl relays one worker's control messages to the attempt loop.
+func readCtrl(worker int, dec *gob.Decoder, evc chan<- coordEvent, stop <-chan struct{}) {
+	for {
+		var env netEnvelope
+		if err := dec.Decode(&env); err != nil {
+			// EOF after Done is the normal hang-up; the attempt loop
+			// ignores late errors once the verdict is in.
+			select {
+			case evc <- coordEvent{worker: worker, err: err}:
+			case <-stop:
+			}
+			return
+		}
+		var ev coordEvent
+		switch {
+		case env.Sink != nil:
+			ev = coordEvent{worker: worker, sink: env.Sink}
+		case env.Done != nil:
+			ev = coordEvent{worker: worker, done: env.Done}
+		default:
+			continue
+		}
+		select {
+		case evc <- ev:
+		case <-stop:
+			return
+		}
+		if env.Done != nil {
+			return
+		}
+	}
+}
+
+// onSink folds one streamed slice of sink output into the committed/
+// pending split, committing at each marker and firing the kill plan
+// when its cut threshold is reached.
+func (r *coordinator) onSink(attempt int, data *netSinkData, procs []netProc, exited []bool) {
+	ss := r.sinks[data.Sink]
+	if ss == nil {
+		ss = &sinkState{}
+		r.sinks[data.Sink] = ss
+		r.sinkOrder = append(r.sinkOrder, data.Sink)
+	}
+	for _, we := range data.Events {
+		e := we.Event()
+		if ss.skip > 0 {
+			// Replay of an already-committed block: drop it, counting
+			// cut boundaries so the splice point lines up.
+			if e.IsMarker {
+				ss.skip--
+				r.replayedCuts++
+			}
+			continue
+		}
+		ss.pending = append(ss.pending, e)
+		if !e.IsMarker {
+			continue
+		}
+		ss.committed = append(ss.committed, ss.pending...)
+		ss.pending = ss.pending[:0]
+		ss.cuts++
+		if attempt == 0 {
+			r.totalCuts++
+			if k := r.opts.Kill; k != nil && !r.killed && r.totalCuts >= k.AfterCuts {
+				r.killed = true
+				r.logf("storm: kill plan firing: killing worker %d after %d committed cuts", k.Worker, r.totalCuts)
+				if procs[k.Worker] != nil && !exited[k.Worker] {
+					_ = procs[k.Worker].Kill()
+				}
+			}
+		}
+	}
+}
+
+func (r *coordinator) totalCommitted() int {
+	n := 0
+	for _, ss := range r.sinks {
+		n += ss.cuts
+	}
+	return n
+}
+
+// rebuildStats reconstructs a metrics.Stats from the workers' final
+// summaries.
+func rebuildStats(summaries []netSummary) *metrics.Stats {
+	stats := metrics.NewStats()
+	for _, s := range summaries {
+		is := stats.Instance(s.Component, s.Instance)
+		is.AddExecuted(s.Executed)
+		is.AddEmitted(s.Emitted)
+		is.AddBusy(time.Duration(s.BusyNs))
+		is.AddRestarts(s.Restarts)
+		is.AddReplayed(s.Replayed)
+		is.AddDropped(s.Dropped)
+		is.AddCombinedIn(s.CombIn)
+		is.AddCombinedOut(s.CombOut)
+	}
+	return stats
+}
+
+func copyEnv(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -282,9 +282,7 @@ func (x *recExec) flushOut() {
 		return
 	}
 	if x.rc.isSink {
-		x.rc.sinkMu.Lock()
-		x.rc.sinkOut = append(x.rc.sinkOut, x.outBuf...)
-		x.rc.sinkMu.Unlock()
+		x.rc.appendSink(x.outBuf...)
 		return
 	}
 	x.em.sendBlock(x.outBuf)

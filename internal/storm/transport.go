@@ -123,15 +123,40 @@ func putBatch(b *[]message) {
 	batchPool.Put(b)
 }
 
+// vectorSink abstracts the delivery of one flushed message vector to
+// one destination executor — the seam between the batching layer and
+// the physical transport. chanSink hands the boxed vector to a local
+// inbox channel; netSink (net.go) serializes it into a length-prefixed
+// frame on the destination worker's TCP link. Everything above this
+// interface (batching, combining, flush triggers, routing) is
+// transport-agnostic.
+type vectorSink interface {
+	// deliver takes ownership of the boxed vector: the receiver (or
+	// the sink itself, for transports that serialize) returns it to
+	// the batch pool once consumed.
+	deliver(b *[]message)
+}
+
+// chanSink is the in-process transport: a blocking channel send, so a
+// full inbox applies backpressure exactly where the unbatched runtime
+// blocked.
+type chanSink struct {
+	ch chan<- *[]message
+}
+
+func (s chanSink) deliver(b *[]message) { s.ch <- b }
+
 // outBuf is one emitter's send buffer for one destination instance of
 // one subscription. msgs is the working slice of box's backing array
 // (kept unboxed so the append hot path skips a pointer chase); the
 // two are reconciled at flush.
 type outBuf struct {
-	inbox chan<- *[]message
+	sink vectorSink
 	// depth is the destination inbox's event-depth counter (see
 	// runtimeComponent.depths); senders add at flush, receivers
-	// subtract at dequeue, both only when observability is on.
+	// subtract at dequeue, both only when observability is on. nil for
+	// remote destinations: the receiving worker's dispatcher accounts
+	// arrivals instead.
 	depth *atomic.Int64
 	box   *[]message
 	msgs  []message
@@ -182,20 +207,20 @@ func (em *emitter) pushEOS(b *outBuf, ch int) {
 	em.pending++
 }
 
-// flushBuf sends one buffer's accumulated vector (a blocking channel
-// send: a full inbox applies backpressure here, exactly where the
-// unbatched transport blocked).
+// flushBuf sends one buffer's accumulated vector through its sink (a
+// blocking delivery: a full inbox — or a TCP link's backpressure —
+// applies here, exactly where the unbatched transport blocked).
 func (em *emitter) flushBuf(b *outBuf) {
 	n := len(b.msgs)
 	if n == 0 {
 		return
 	}
-	if em.stamp {
+	if em.stamp && b.depth != nil {
 		b.depth.Add(int64(n))
 	}
 	em.pending -= n
 	*b.box = b.msgs
-	b.inbox <- b.box
+	b.sink.deliver(b.box)
 	b.box, b.msgs = nil, nil
 }
 

@@ -46,6 +46,13 @@ go test -race -run 'TestTransportEquivalenceDifferential' -count 1 ./internal/qu
 echo "== optimization-pass equivalence (queries I-VI, passes on/off, -race) =="
 go test -race -run 'TestOptimizationEquivalenceDifferential' -count 1 ./internal/queries/
 
+echo "== networked equivalence + chaos (multi-process localhost TCP, -race) =="
+# Real worker processes (re-execs of the race-instrumented test
+# binary) exchanging frames over localhost TCP: queries I-VI against
+# the in-process oracle, plus a SIGKILL-mid-epoch recovery check.
+# Skips itself with a clear reason where sandboxing forbids sockets.
+go test -race -run 'TestNetworkedEquivalenceDifferential|TestChaosWorkerKillRecovery' -count 1 ./internal/queries/
+
 echo "== transport benchmark gate (batched must beat batch-1) =="
 # Interleaved paired runs of generated Query IV with the default batched
 # transport vs BatchSize 1 (the seed's one-send-per-event transport);
@@ -112,5 +119,6 @@ go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/co
 go test -run xxx -fuzz 'FuzzHistogramRecord$' -fuzztime "$FUZZTIME" ./internal/metrics/
 go test -run xxx -fuzz 'FuzzBatchFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
 go test -run xxx -fuzz 'FuzzCombinerFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
+go test -run xxx -fuzz 'FuzzWireFrame$' -fuzztime "$FUZZTIME" ./internal/codec/
 
 echo "== ok =="
