@@ -210,6 +210,32 @@ const (
 	DropAndLog = storm.DropAndLog
 )
 
+// --- elastic rescaling -------------------------------------------------------
+
+// RescalePlan schedules live parallelism changes at marker cuts:
+// each step names a component, its new parallelism, and the completed
+// cut to reconfigure at. Attach with Topology.SetRescalePlan or
+// CompileOptions.Rescale; requires marker-cut recovery.
+type RescalePlan = storm.RescalePlan
+
+// NewRescalePlan creates an empty rescale plan.
+func NewRescalePlan() *RescalePlan { return storm.NewRescalePlan() }
+
+// RescaleStep is one scheduled parallelism change of a RescalePlan.
+type RescaleStep = storm.RescaleStep
+
+// Resharder is the optional Recoverable extension that redistributes
+// a component's keyed snapshots across a new parallelism; compiled
+// template instances implement it automatically, hand-written bolts
+// opt in to become rescalable.
+type Resharder = storm.Resharder
+
+// AutoscalePolicy is the feedback controller that rescales one
+// component from its queue-depth gauges and queue-latency histograms
+// during the run. Attach with Topology.SetAutoscale or
+// CompileOptions.Autoscale; requires recovery and observability.
+type AutoscalePolicy = storm.AutoscalePolicy
+
 // --- networked runtime -------------------------------------------------------
 
 // Placed is one executor's process placement: component, instance,
@@ -235,6 +261,13 @@ type NetOptions = storm.NetOptions
 // KillPlan schedules one SIGKILL against a worker process after a
 // number of committed marker cuts (chaos testing).
 type KillPlan = storm.KillPlan
+
+// NetRescalePlan schedules one cluster-wide rescale of a networked
+// run: at the named committed cut the attempt is aborted and every
+// subsequent attempt spawns with the revised spec — a revised
+// placement table spliced onto the committed prefix, not charged
+// against MaxRestarts.
+type NetRescalePlan = storm.NetRescalePlan
 
 // NetResult is a networked run's outcome: spliced sink streams,
 // worker-reported stats, and recovery counters.

@@ -10,6 +10,7 @@
 //	dttbench -section2          # only the motivation experiment
 //	dttbench -obs               # Query IV observability report on both runtimes
 //	dttbench -net               # Query IV over localhost TCP vs in-process
+//	dttbench -rescale           # bursty workload: static provisioning vs autoscaler
 //	dttbench -figure 4 -csv     # machine-readable output
 //
 // Workload knobs: -eps (events/second), -seconds (event-time length),
@@ -51,6 +52,7 @@ func main() {
 		shSecs   = flag.Int("sh-seconds", 300, "Smart Homes event-time length")
 		opDelay  = flag.Duration("opdelay", 2*time.Microsecond, "simulated DB per-call latency")
 		sources  = flag.Int("sources", 2, "source partitions")
+		rescale  = flag.Bool("rescale", false, "benchmark a bursty keyed workload at static parallelism 1/2/4 against the queue-depth autoscaler with live rescaling")
 		netBench = flag.Bool("net", false, "benchmark Query IV on a localhost-TCP multi-process cluster against the in-process runtime, at transport batch sizes 1 and 64")
 		netProcs = flag.Int("net-workers", 2, "worker processes of the -net benchmark")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this file")
@@ -103,6 +105,10 @@ func main() {
 	}
 	if *obs {
 		runObs(cfg, *csv)
+		return
+	}
+	if *rescale {
+		runRescale(cfg, *csv)
 		return
 	}
 	if *netBench {
@@ -178,6 +184,19 @@ func runTransport(cfg bench.Config, csv bool) {
 
 func runFusion(cfg bench.Config, csv bool) {
 	res, err := bench.FusionSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dttbench:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Println(res.Table())
+}
+
+func runRescale(cfg bench.Config, csv bool) {
+	res, err := bench.RescaleSweep(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dttbench:", err)
 		os.Exit(1)

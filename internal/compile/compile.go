@@ -98,6 +98,14 @@ type Options struct {
 	// FaultPlan injects deterministic failures into the compiled
 	// topology (see storm.FaultPlan); used by chaos tests.
 	FaultPlan *storm.FaultPlan
+	// Rescale, when non-nil, installs a scripted schedule of live
+	// parallelism changes at marker cuts (see storm.RescalePlan).
+	// Requires Recovery.
+	Rescale *storm.RescalePlan
+	// Autoscale, when non-nil, installs a feedback controller that
+	// rescales one bolt component from backpressure signals (see
+	// storm.AutoscalePolicy). Requires Recovery and Observability.
+	Autoscale *storm.AutoscalePolicy
 	// Observability, when non-nil, configures the runtime's
 	// observability subsystem (latency histograms, queue gauges,
 	// marker-lag tracking, span sampling; see metrics.ObsConfig).
@@ -348,6 +356,12 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 	if opts.FaultPlan != nil {
 		top.SetFaultPlan(opts.FaultPlan)
 	}
+	if opts.Rescale != nil {
+		top.SetRescalePlan(opts.Rescale)
+	}
+	if opts.Autoscale != nil {
+		top.SetAutoscale(opts.Autoscale)
+	}
 	if opts.Transport != nil {
 		top.SetTransport(*opts.Transport)
 	}
@@ -429,14 +443,29 @@ func (b snapshotBolt) Snapshot() ([]byte, error) { return core.SnapshotInstance(
 // Restore implements storm.Recoverable.
 func (b snapshotBolt) Restore(data []byte) error { return core.RestoreInstance(b.inst, data) }
 
+// reshardBolt is a snapshotBolt whose instance additionally supports
+// keyed-state re-sharding; it implements storm.Resharder, so the
+// runtime can rescale the component live at a marker cut.
+type reshardBolt struct{ snapshotBolt }
+
+// Reshard implements storm.Resharder via core.ReshardInstanceSnapshots.
+func (b reshardBolt) Reshard(old [][]byte, newPar int, owner func(key any) int) ([][]byte, error) {
+	return core.ReshardInstanceSnapshots(b.inst, old, newPar, owner)
+}
+
 // adapt wraps a core.Instance as a storm.Bolt, exposing
 // storm.Recoverable exactly when the instance supports checkpointing
-// — the method set advertises the capability to the runtime.
+// and storm.Resharder when it also supports re-sharding — the method
+// set advertises the capability to the runtime.
 func adapt(inst core.Instance) storm.Bolt {
-	if core.CanSnapshot(inst) {
+	switch {
+	case core.CanReshard(inst):
+		return reshardBolt{snapshotBolt{instanceBolt{inst}}}
+	case core.CanSnapshot(inst):
 		return snapshotBolt{instanceBolt{inst}}
+	default:
+		return instanceBolt{inst}
 	}
-	return instanceBolt{inst}
 }
 
 // plainBolt hides a fused bolt's Recoverable methods when one of the

@@ -98,3 +98,57 @@ func (f *fusedBolt) Restore(data []byte) error {
 	}
 	return nil
 }
+
+// Reshard implements storm.Resharder stage-wise: each old composite
+// snapshot is split into its per-stage parts, every stage's instance
+// set re-shards independently through the stage's core.Resharder, and
+// the results recompose into newPar composite snapshots. A stage that
+// cannot re-shard fails the whole call, so the runtime aborts the
+// rescale with the topology untouched.
+func (f *fusedBolt) Reshard(old [][]byte, newPar int, owner func(key any) int) ([][]byte, error) {
+	stages := len(f.insts)
+	// perStage[s][i] is stage s's snapshot on old instance i.
+	perStage := make([][][]byte, stages)
+	for s := range perStage {
+		perStage[s] = make([][]byte, len(old))
+	}
+	for i, blob := range old {
+		if len(blob) == 0 {
+			continue // an instance that held no state contributes none to any stage
+		}
+		var parts [][]byte
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&parts); err != nil {
+			return nil, err
+		}
+		if len(parts) != stages {
+			return nil, fmt.Errorf("compile: fused-bolt snapshot has %d stages, bolt has %d", len(parts), stages)
+		}
+		for s := range parts {
+			perStage[s][i] = parts[s]
+		}
+	}
+	newStage := make([][][]byte, stages)
+	for s, in := range f.insts {
+		out, err := core.ReshardInstanceSnapshots(in, perStage[s], newPar, owner)
+		if err != nil {
+			return nil, fmt.Errorf("compile: re-sharding fused stage %d: %w", s, err)
+		}
+		if len(out) != newPar {
+			return nil, fmt.Errorf("compile: fused stage %d re-sharded to %d snapshots, want %d", s, len(out), newPar)
+		}
+		newStage[s] = out
+	}
+	blobs := make([][]byte, newPar)
+	for j := 0; j < newPar; j++ {
+		parts := make([][]byte, stages)
+		for s := range parts {
+			parts[s] = newStage[s][j]
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(parts); err != nil {
+			return nil, err
+		}
+		blobs[j] = buf.Bytes()
+	}
+	return blobs, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file implements keyed-state re-sharding for elastic rescaling.
+// The paper's parallelizability theorems (§4) make an operator's
+// output trace invariant under the degree of parallelism, so the
+// degree is safe to change at runtime — provided the change happens at
+// a consistent marker cut and the per-key state moves to the key's new
+// HASH owner. Reshard is the state-movement half of that contract: it
+// takes the old instance set's snapshots (as produced by Snapshotter
+// at a cut), merges them, and re-partitions every key onto the new
+// instance set per the owner function the runtime derives from its
+// partitioning hash.
+//
+// The merge is deterministic: old instances are visited in instance
+// order and each instance's keys in its recorded key order, so the new
+// snapshots — key order included — are a pure function of the old
+// ones. Per-instance scalars that are functions of the marker count
+// alone (KeyedUnordered's startS, SlidingAggregate's blockIdx) are
+// identical across instances at a cut and are taken from the first old
+// snapshot.
+
+// Resharder is the optional Instance extension for elastic rescaling:
+// given the snapshots of a component's old instances (taken at one
+// consistent marker cut), Reshard produces newPar snapshots with every
+// key's state placed on the instance owner(key) selects. The receiver
+// only supplies the operator's concrete types; it is not read or
+// mutated. All built-in templates implement Resharder.
+type Resharder interface {
+	Snapshotter
+	Reshard(old [][]byte, newPar int, owner func(key any) int) ([][]byte, error)
+}
+
+// CanReshard reports whether an instance supports keyed-state
+// re-sharding.
+func CanReshard(inst Instance) bool {
+	_, ok := inst.(Resharder)
+	return ok
+}
+
+// ReshardInstanceSnapshots re-partitions a component's instance
+// snapshots via the probe instance's Resharder implementation.
+func ReshardInstanceSnapshots(inst Instance, old [][]byte, newPar int, owner func(key any) int) ([][]byte, error) {
+	r, ok := inst.(Resharder)
+	if !ok {
+		return nil, fmt.Errorf("core: instance %T does not support re-sharding", inst)
+	}
+	if newPar < 1 {
+		return nil, fmt.Errorf("core: re-sharding to parallelism %d", newPar)
+	}
+	return r.Reshard(old, newPar, owner)
+}
+
+// checkOwner validates one owner assignment.
+func checkOwner(j, newPar int, key any) error {
+	if j < 0 || j >= newPar {
+		return fmt.Errorf("core: owner(%v) = %d out of range [0,%d)", key, j, newPar)
+	}
+	return nil
+}
+
+// encodeSnaps gob-encodes one value per new instance.
+func encodeSnaps[T any](outs []T) ([][]byte, error) {
+	blobs := make([][]byte, len(outs))
+	for j := range outs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(outs[j]); err != nil {
+			return nil, err
+		}
+		blobs[j] = buf.Bytes()
+	}
+	return blobs, nil
+}
+
+// decodeSnap decodes one old-instance blob; empty blobs (an instance
+// that held no state) yield ok=false.
+func decodeSnap[T any](blob []byte, into *T) (bool, error) {
+	if len(blob) == 0 {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(into); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// --- Stateless ---------------------------------------------------------------
+
+// Reshard implements Resharder: stateless instances carry no state, so
+// the new instances start empty.
+func (in *statelessInstance[K, V, L, W]) Reshard(old [][]byte, newPar int, owner func(any) int) ([][]byte, error) {
+	return make([][]byte, newPar), nil
+}
+
+// --- KeyedOrdered ------------------------------------------------------------
+
+// Reshard implements Resharder.
+func (in *keyedOrderedInstance[K, V, W, S]) Reshard(old [][]byte, newPar int, owner func(any) int) ([][]byte, error) {
+	outs := make([]koSnap[K, S], newPar)
+	for j := range outs {
+		outs[j].States = map[K]S{}
+	}
+	for _, blob := range old {
+		var s koSnap[K, S]
+		ok, err := decodeSnap(blob, &s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for _, k := range s.Keys {
+			j := owner(k)
+			if err := checkOwner(j, newPar, k); err != nil {
+				return nil, err
+			}
+			outs[j].Keys = append(outs[j].Keys, k)
+			outs[j].States[k] = s.States[k]
+		}
+	}
+	return encodeSnaps(outs)
+}
+
+// --- KeyedUnordered ----------------------------------------------------------
+
+// Reshard implements Resharder. startS is a function of the marker
+// count alone (it advances once per marker on every instance), so at a
+// consistent cut it is identical across instances and every new
+// instance inherits it from the first old snapshot.
+func (in *keyedUnorderedInstance[K, V, L, W, S, A]) Reshard(old [][]byte, newPar int, owner func(any) int) ([][]byte, error) {
+	outs := make([]kuSnap[K, S, A], newPar)
+	for j := range outs {
+		outs[j].Aggs = map[K]A{}
+		outs[j].States = map[K]S{}
+	}
+	seeded := false
+	for _, blob := range old {
+		var s kuSnap[K, S, A]
+		ok, err := decodeSnap(blob, &s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if !seeded {
+			seeded = true
+			for j := range outs {
+				outs[j].StartS = s.StartS
+			}
+		}
+		for _, k := range s.Keys {
+			j := owner(k)
+			if err := checkOwner(j, newPar, k); err != nil {
+				return nil, err
+			}
+			outs[j].Keys = append(outs[j].Keys, k)
+			outs[j].Aggs[k] = s.Aggs[k]
+			outs[j].States[k] = s.States[k]
+		}
+	}
+	return encodeSnaps(outs)
+}
+
+// --- Sort --------------------------------------------------------------------
+
+// Reshard implements Resharder. At a marker cut the sort buffers are
+// empty (SORT drains at every marker), but mid-block buffers move with
+// their keys for completeness, matching Snapshot.
+func (in *sortInstance[K, V]) Reshard(old [][]byte, newPar int, owner func(any) int) ([][]byte, error) {
+	outs := make([]sortSnap[K, V], newPar)
+	for j := range outs {
+		outs[j].Buf = map[K][]V{}
+	}
+	for _, blob := range old {
+		var s sortSnap[K, V]
+		ok, err := decodeSnap(blob, &s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for _, k := range s.Keys {
+			j := owner(k)
+			if err := checkOwner(j, newPar, k); err != nil {
+				return nil, err
+			}
+			outs[j].Keys = append(outs[j].Keys, k)
+			outs[j].Buf[k] = s.Buf[k]
+		}
+	}
+	return encodeSnaps(outs)
+}
+
+// --- SlidingAggregate --------------------------------------------------------
+
+// Reshard implements Resharder. blockIdx counts markers, so like
+// KeyedUnordered's startS it is identical across instances at a cut
+// and comes from the first old snapshot.
+func (in *slidingInstance[K, V, A]) Reshard(old [][]byte, newPar int, owner func(any) int) ([][]byte, error) {
+	outs := make([]slidingSnap[K, A], newPar)
+	for j := range outs {
+		outs[j].Wins = map[K]slidingKeySnap[A]{}
+	}
+	seeded := false
+	for _, blob := range old {
+		var s slidingSnap[K, A]
+		ok, err := decodeSnap(blob, &s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if !seeded {
+			seeded = true
+			for j := range outs {
+				outs[j].BlockIdx = s.BlockIdx
+			}
+		}
+		for _, k := range s.Keys {
+			j := owner(k)
+			if err := checkOwner(j, newPar, k); err != nil {
+				return nil, err
+			}
+			outs[j].Keys = append(outs[j].Keys, k)
+			outs[j].Wins[k] = s.Wins[k]
+		}
+	}
+	return encodeSnaps(outs)
+}

@@ -73,6 +73,13 @@ type InstanceStats struct {
 	replayed atomic.Int64 // events re-delivered during recoveries
 	dropped  atomic.Int64 // events discarded after degradation
 
+	// cuts counts marker cuts this executor completed (aligned
+	// recoverable executors only). Executed counts markers too — once
+	// per cut per instance — so Executed − Cuts is the instance's item
+	// deliveries, a quantity invariant under the component's
+	// parallelism (and therefore comparable across rescaled runs).
+	cuts atomic.Int64
+
 	// combinedIn/combinedOut measure the sender-side combining buffers
 	// of this executor's combined edges: events absorbed into partial
 	// aggregates, and partial aggregates shipped. Their ratio is the
@@ -84,6 +91,11 @@ type InstanceStats struct {
 	// maxQueue is the high-water inbox depth observed at receives —
 	// the backpressure gauge (0 when observability is disabled).
 	maxQueue atomic.Int64
+	// curQueue is the most recently observed inbox depth — the live
+	// backpressure gauge a feedback controller reacts to (the
+	// high-water gauge is monotonic and goes blind to sustained
+	// backlog once its peak is set).
+	curQueue atomic.Int64
 
 	// exec/queue/markerLag are nil when observability is disabled;
 	// every Observe method is nil-safe, which keeps the disabled hot
@@ -133,6 +145,12 @@ func (is *InstanceStats) AddDropped(n int64) { is.dropped.Add(n) }
 // Dropped returns the events discarded after degradation.
 func (is *InstanceStats) Dropped() int64 { return is.dropped.Load() }
 
+// AddCuts counts n completed marker cuts.
+func (is *InstanceStats) AddCuts(n int64) { is.cuts.Add(n) }
+
+// Cuts returns the marker cuts this executor completed.
+func (is *InstanceStats) Cuts() int64 { return is.cuts.Load() }
+
 // AddCombinedIn counts n events absorbed into sender-side partial
 // aggregates.
 func (is *InstanceStats) AddCombinedIn(n int64) { is.combinedIn.Add(n) }
@@ -172,10 +190,14 @@ func (is *InstanceStats) ObserveQueueDepth(depth int) {
 		return
 	}
 	atomicMax(&is.maxQueue, int64(depth))
+	is.curQueue.Store(int64(depth))
 }
 
 // MaxQueueDepth returns the high-water inbox depth.
 func (is *InstanceStats) MaxQueueDepth() int64 { return is.maxQueue.Load() }
+
+// QueueDepth returns the most recently observed inbox depth.
+func (is *InstanceStats) QueueDepth() int64 { return is.curQueue.Load() }
 
 // ObserveMarkerLag records one marker-cut lag sample: the time from a
 // cut's first marker arrival to its snapshot flush.
@@ -299,6 +321,21 @@ func (s *Stats) Component(name string) (executed, emitted int64) {
 	return executed, emitted
 }
 
+// ComponentItems sums one component's item deliveries: executed events
+// minus completed marker cuts. Markers are broadcast and counted once
+// per cut per instance, so raw Executed grows with the instance count;
+// the items quantity is invariant under the component's parallelism,
+// which makes it the right counter to compare across rescaled runs.
+func (s *Stats) ComponentItems(name string) int64 {
+	var items int64
+	for _, is := range s.Instances() {
+		if is.Component == name {
+			items += is.Executed() - is.Cuts()
+		}
+	}
+	return items
+}
+
 // Combined sums the combining-buffer counters over all executors:
 // events absorbed into sender-side partial aggregates and partial
 // aggregates shipped. A run without combined edges returns (0, 0).
@@ -416,9 +453,11 @@ func (s *Stats) Filtered(keep func(component string) bool) *Stats {
 		c.restarts.Store(is.Restarts())
 		c.replayed.Store(is.Replayed())
 		c.dropped.Store(is.Dropped())
+		c.cuts.Store(is.Cuts())
 		c.combinedIn.Store(is.CombinedIn())
 		c.combinedOut.Store(is.CombinedOut())
 		c.maxQueue.Store(is.MaxQueueDepth())
+		c.curQueue.Store(is.QueueDepth())
 		if is.ObsEnabled() {
 			c.exec = histogramFrom(is.ExecHist())
 			c.queue = histogramFrom(is.QueueHist())

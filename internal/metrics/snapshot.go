@@ -24,9 +24,15 @@ type InstanceSnapshot struct {
 	Restarts int64
 	Replayed int64
 	Dropped  int64
+	// Cuts counts committed marker cuts (markers executed); Executed −
+	// Cuts is the parallelism-invariant item count.
+	Cuts int64
 
 	// MaxQueueDepth is the high-water inbox depth (backpressure gauge).
 	MaxQueueDepth int64
+	// QueueDepth is the most recently observed inbox depth (the live
+	// gauge; MaxQueueDepth is its monotonic high-water).
+	QueueDepth int64
 
 	// Exec, Queue and MarkerLag are latency histograms: per-event
 	// execute latency, emit-to-receive inbox latency, and marker-cut
@@ -64,7 +70,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 			Restarts:      is.Restarts(),
 			Replayed:      is.Replayed(),
 			Dropped:       is.Dropped(),
+			Cuts:          is.Cuts(),
 			MaxQueueDepth: is.MaxQueueDepth(),
+			QueueDepth:    is.QueueDepth(),
 			Exec:          is.ExecHist(),
 			Queue:         is.QueueHist(),
 			MarkerLag:     is.MarkerLagHist(),
@@ -88,8 +96,10 @@ type ComponentSnapshot struct {
 	Restarts int64
 	Replayed int64
 	Dropped  int64
+	Cuts     int64
 
 	MaxQueueDepth int64
+	QueueDepth    int64
 	Exec          Hist
 	Queue         Hist
 	MarkerLag     Hist
@@ -112,8 +122,12 @@ func (s StatsSnapshot) ByComponent() []ComponentSnapshot {
 		c.Restarts += is.Restarts
 		c.Replayed += is.Replayed
 		c.Dropped += is.Dropped
+		c.Cuts += is.Cuts
 		if is.MaxQueueDepth > c.MaxQueueDepth {
 			c.MaxQueueDepth = is.MaxQueueDepth
+		}
+		if is.QueueDepth > c.QueueDepth {
+			c.QueueDepth = is.QueueDepth
 		}
 		c.Exec = c.Exec.Merge(is.Exec)
 		c.Queue = c.Queue.Merge(is.Queue)

@@ -149,3 +149,131 @@ func TestChaosWorkerKillRecovery(t *testing.T) {
 	}
 	t.Logf("recovered: %d restarts, %d replayed cuts, wall %v", res.WorkerRestarts, res.ReplayedCuts, res.Wall)
 }
+
+// TestNetworkedRescaleAtCommittedCut exercises the networked form of
+// elastic rescaling: a NetRescalePlan aborts the attempt once the
+// named cut commits, and the cluster re-spawns with a revised spec —
+// here the same query at doubled parallelism, hence a revised
+// placement table — whose replay splices onto the committed prefix.
+// The reconfiguration must leave the sink trace equivalent to an
+// undisturbed fixed-parallelism run, and must not be charged against
+// the restart budget.
+func TestNetworkedRescaleAtCommittedCut(t *testing.T) {
+	requireNet(t)
+	cfg := netTestCfg()
+	spec := Spec{Query: "IV", Variant: Generated, Par: 2, SourcePar: 2}
+	// The DB delay stretches the run so the cut the plan names commits
+	// mid-flight rather than after the stream has drained.
+	const opDelay = 500 * time.Microsecond
+
+	env, err := NewEnv(cfg, opDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	revised := Spec{Query: "IV", Variant: Generated, Par: 4, SourcePar: 2}
+	payload, err := NetSpec{Spec: revised, Workers: 2, Cfg: cfg, OpDelay: opDelay}.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNetworked(NetSpec{Spec: spec, Workers: 2, Cfg: cfg, OpDelay: opDelay},
+		func(o *storm.NetOptions) {
+			o.Rescale = &storm.NetRescalePlan{AfterCuts: 4, Spec: payload}
+			o.Logf = t.Logf
+		})
+	if err != nil {
+		t.Fatalf("networked rescale run failed: %v", err)
+	}
+	if !res.Rescaled {
+		t.Fatal("rescale plan never fired")
+	}
+	if res.WorkerRestarts != 0 {
+		t.Fatalf("planned rescale was charged as %d restarts", res.WorkerRestarts)
+	}
+	if res.ReplayedCuts < 4 {
+		t.Fatalf("revised cluster replayed only %d committed cuts, want ≥ 4", res.ReplayedCuts)
+	}
+	def, err := ByName("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.Sinks["sink"], oracle.Sinks["sink"]
+	if !stream.Equivalent(def.SinkType(env), got, want) {
+		t.Fatalf("rescaled trace differs from undisturbed run\n got %d events\n want %d events",
+			len(got), len(want))
+	}
+	gotExec, _ := res.Stats.Component("yahoo")
+	wantExec, _ := oracle.Stats.Component("yahoo")
+	if gotExec != wantExec {
+		t.Fatalf("rescaled run reports %d source events, want %d", gotExec, wantExec)
+	}
+	t.Logf("rescaled: %d replayed cuts, wall %v", res.ReplayedCuts, res.Wall)
+}
+
+// TestChaosWorkerKillDuringRescale composes the two reconfiguration
+// paths: a worker is SIGKILLed after 3 committed cuts (a failure,
+// charged to the restart budget), and the rescale plan fires at the
+// 6th committed cut — which, given the kill, commits during the
+// replaying attempt. The cluster must come out of the combined
+// failure-then-reconfigure sequence in a consistent configuration:
+// the final attempt runs the revised spec and the spliced trace is
+// still equivalent to an undisturbed run.
+func TestChaosWorkerKillDuringRescale(t *testing.T) {
+	requireNet(t)
+	cfg := netTestCfg()
+	spec := Spec{Query: "IV", Variant: Generated, Par: 2, SourcePar: 2}
+	const opDelay = 500 * time.Microsecond
+
+	env, err := NewEnv(cfg, opDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	revised := Spec{Query: "IV", Variant: Generated, Par: 4, SourcePar: 2}
+	payload, err := NetSpec{Spec: revised, Workers: 3, Cfg: cfg, OpDelay: opDelay}.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNetworked(NetSpec{Spec: spec, Workers: 3, Cfg: cfg, OpDelay: opDelay},
+		func(o *storm.NetOptions) {
+			o.Kill = &storm.KillPlan{Worker: 1, AfterCuts: 3}
+			o.Rescale = &storm.NetRescalePlan{AfterCuts: 6, Spec: payload}
+			o.Logf = t.Logf
+		})
+	if err != nil {
+		t.Fatalf("kill+rescale run did not recover: %v", err)
+	}
+	if res.WorkerRestarts < 1 {
+		t.Fatalf("kill plan fired but the cluster reports %d restarts", res.WorkerRestarts)
+	}
+	if !res.Rescaled {
+		t.Fatal("rescale plan never fired")
+	}
+	if res.ReplayedCuts < 6 {
+		t.Fatalf("recovery+rescale replayed only %d committed cuts, want ≥ 6", res.ReplayedCuts)
+	}
+	def, err := ByName("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.Sinks["sink"], oracle.Sinks["sink"]
+	if !stream.Equivalent(def.SinkType(env), got, want) {
+		t.Fatalf("post-chaos trace differs from undisturbed run\n got %d events\n want %d events",
+			len(got), len(want))
+	}
+	gotExec, _ := res.Stats.Component("yahoo")
+	wantExec, _ := oracle.Stats.Component("yahoo")
+	if gotExec != wantExec {
+		t.Fatalf("post-chaos run reports %d source events, want %d", gotExec, wantExec)
+	}
+	t.Logf("chaos survived: %d restarts, rescaled=%v, %d replayed cuts, wall %v",
+		res.WorkerRestarts, res.Rescaled, res.ReplayedCuts, res.Wall)
+}

@@ -70,6 +70,19 @@ func (ns NetSpec) normalize() NetSpec {
 	return ns
 }
 
+// Payload marshals the normalized spec into the opaque DTT_NET_SPEC
+// worker payload. Callers building a storm.NetRescalePlan use it to
+// describe the revised topology (typically the same spec at a new
+// Par) the cluster reconfigures to at the committed cut.
+func (ns NetSpec) Payload() (string, error) {
+	ns = ns.normalize()
+	b, err := json.Marshal(ns)
+	if err != nil {
+		return "", fmt.Errorf("queries: marshalling net spec: %w", err)
+	}
+	return string(b), nil
+}
+
 // build reconstructs the run's topology with executor placement over
 // the cluster's workers.
 func (ns NetSpec) build() (*storm.Topology, error) {
@@ -125,13 +138,13 @@ func RunNetworked(ns NetSpec, tune func(*storm.NetOptions)) (*storm.NetResult, e
 		return nil, err
 	}
 	RegisterWireTypes()
-	payload, err := json.Marshal(ns)
+	payload, err := ns.Payload()
 	if err != nil {
-		return nil, fmt.Errorf("queries: marshalling net spec: %w", err)
+		return nil, err
 	}
 	opts := storm.NetOptions{
 		Workers: ns.Workers,
-		Spec:    string(payload),
+		Spec:    payload,
 	}
 	if tune != nil {
 		tune(&opts)

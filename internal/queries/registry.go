@@ -134,6 +134,15 @@ type Spec struct {
 	// NoCombiners disables the compiler's shuffle-side combiner pass
 	// (Generated variant only; the pass is on by default).
 	NoCombiners bool
+	// Rescale, when set, schedules live rescaling steps at marker cuts
+	// (requires Recovery; in-process runs only — networked runs rescale
+	// through storm.NetOptions.Rescale). Excluded from the networked
+	// payload: plans are coordinator-side state, not worker config.
+	Rescale *storm.RescalePlan `json:"-"`
+	// Autoscale, when set, attaches the feedback controller that issues
+	// rescales from queue-depth and latency telemetry (requires
+	// Recovery and Obs; in-process runs only).
+	Autoscale *storm.AutoscalePolicy `json:"-"`
 }
 
 // Run executes the selected query variant to completion on the
@@ -198,6 +207,8 @@ func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, worker
 			opts.Observability = &cfg
 		}
 		opts.Transport = spec.Transport
+		opts.Rescale = spec.Rescale
+		opts.Autoscale = spec.Autoscale
 		return compile.Compile(dag, map[string]compile.SourceSpec{
 			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
 				return storm.SpoutFunc(sources[i])
@@ -210,6 +221,16 @@ func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, worker
 		}
 		if spec.Transport != nil {
 			top.SetTransport(*spec.Transport)
+		}
+		// Handcrafted topologies use raw edges without marker-cut
+		// recovery, so an attached plan fails the run's upfront
+		// validation with the reason — set it anyway and let the runtime
+		// report it rather than silently dropping the request.
+		if spec.Rescale != nil {
+			top.SetRescalePlan(spec.Rescale)
+		}
+		if spec.Autoscale != nil {
+			top.SetAutoscale(spec.Autoscale)
 		}
 		if workers > 0 {
 			top.SetWorkers(workers)

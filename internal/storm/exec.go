@@ -178,6 +178,22 @@ func (t *Topology) resolve(w *workerNet) (map[string]*runtimeComponent, error) {
 			return nil, err
 		}
 	}
+	if t.rescalePlan != nil {
+		if w != nil {
+			return nil, fmt.Errorf("storm: rescale plans run in the coordinator process (use NetOptions.Rescale for networked runs)")
+		}
+		if err := t.rescalePlan.validate(t); err != nil {
+			return nil, err
+		}
+	}
+	if t.autoscale != nil {
+		if w != nil {
+			return nil, fmt.Errorf("storm: autoscaling runs in the coordinator process, not inside a networked worker")
+		}
+		if err := t.autoscale.validate(t); err != nil {
+			return nil, err
+		}
+	}
 	cap := t.ChannelCap
 	if cap <= 0 {
 		cap = defaultChannelCap
@@ -252,46 +268,96 @@ func (t *Topology) execute(rts map[string]*runtimeComponent) (*Result, error) {
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
 	var failures []error
-	start := time.Now()
+
+	cg := newCutGate(t, rts, hash)
+	t.gate.Store(cg)
+	if t.rescalePlan != nil && !cg.supported {
+		return nil, fmt.Errorf("storm: rescale plan: %s", cg.reason)
+	}
+	if t.autoscale != nil && !cg.supported {
+		return nil, fmt.Errorf("storm: autoscale: %s", cg.reason)
+	}
+
+	// launch starts one executor goroutine. Rescales reuse it to spawn
+	// the target's new instance set mid-run (g carries the seed).
+	launch := func(rc *runtimeComponent, i int, g *execGate) {
+		wg.Add(1)
+		is := stats.Instance(rc.name, i)
+		ef := t.faultPlan.faultsFor(rc.name, i)
+		go func() {
+			defer wg.Done()
+			run := func() error {
+				switch {
+				case rc.spout != nil:
+					return runSpout(rc, i, is, hash, ef, t.recovery, cg, g)
+				case t.recovery.Enabled && rc.aligned:
+					return runRecoverableBolt(rc, i, is, hash, ef, t.recovery, cg, g)
+				default:
+					return runBolt(rc, i, is, hash, ef, t.recovery)
+				}
+			}
+			var err error
+			if t.obs.Enabled {
+				// Tag the executor goroutine so CPU profiles break
+				// down by component/instance.
+				labels := pprof.Labels("storm_component", rc.name, "storm_instance", strconv.Itoa(i))
+				pprof.Do(context.Background(), labels, func(context.Context) { err = run() })
+			} else {
+				err = run()
+			}
+			if err != nil {
+				failMu.Lock()
+				failures = append(failures, err)
+				failMu.Unlock()
+			}
+		}()
+	}
+	cg.spawn = func(rc *runtimeComponent, i int, g *execGate) { launch(rc, i, g) }
+	cg.enqueuePlan(t.rescalePlan)
+
+	// Two phases: every executor's barrier entry is registered before
+	// any goroutine starts, so an early barrier cannot fire while the
+	// membership is still growing.
+	type pending struct {
+		rc *runtimeComponent
+		i  int
+		g  *execGate
+	}
+	var toStart []pending
 	for _, name := range t.order {
 		rc := rts[name]
 		for i := 0; i < rc.parallelism; i++ {
 			if !rc.localInst(i) {
 				continue
 			}
-			wg.Add(1)
-			is := stats.Instance(rc.name, i)
-			ef := t.faultPlan.faultsFor(rc.name, i)
-			go func(rc *runtimeComponent, i int, ef *executorFaults) {
-				defer wg.Done()
-				run := func() error {
-					switch {
-					case rc.spout != nil:
-						return runSpout(rc, i, is, hash, ef, t.recovery)
-					case t.recovery.Enabled && rc.aligned:
-						return runRecoverableBolt(rc, i, is, hash, ef, t.recovery)
-					default:
-						return runBolt(rc, i, is, hash, ef, t.recovery)
-					}
-				}
-				var err error
-				if t.obs.Enabled {
-					// Tag the executor goroutine so CPU profiles break
-					// down by component/instance.
-					labels := pprof.Labels("storm_component", rc.name, "storm_instance", strconv.Itoa(i))
-					pprof.Do(context.Background(), labels, func(context.Context) { err = run() })
-				} else {
-					err = run()
-				}
-				if err != nil {
-					failMu.Lock()
-					failures = append(failures, err)
-					failMu.Unlock()
-				}
-			}(rc, i, ef)
+			var g *execGate
+			if cg.supported {
+				g = cg.register(rc, i)
+			}
+			toStart = append(toStart, pending{rc, i, g})
 		}
 	}
+	start := time.Now()
+	for _, p := range toStart {
+		launch(p.rc, p.i, p.g)
+	}
+
+	var autoDone chan struct{}
+	var autoStop chan struct{}
+	if t.autoscale != nil {
+		autoStop, autoDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(autoDone)
+			autoscaleLoop(t, cg, t.autoscale, autoStop)
+		}()
+	}
 	wg.Wait()
+	cg.shutdown()
+	if autoDone != nil {
+		close(autoStop)
+		<-autoDone
+	}
+	failures = append(failures, cg.takePlanErrs()...)
 	wall := time.Since(start)
 	stats.Normalize(wall)
 	res := &Result{Sinks: map[string][]stream.Event{}, Stats: stats, Wall: wall}
@@ -367,6 +433,17 @@ func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, h
 	if rc.serializerFactory != nil && len(rc.subs) > 0 {
 		em.ser = rc.serializerFactory()
 	}
+	em.rebuildBufs()
+	return em
+}
+
+// rebuildBufs derives the send-buffer table from the current wiring.
+// Called at construction, and again by the executor after a rescale
+// barrier: destination inbox sets and edge channel bases may have
+// changed, and every buffer is empty at a barrier (markers flush),
+// so rebuilding drops nothing.
+func (em *emitter) rebuildBufs() {
+	rc := em.rc
 	em.bufBase = make([]int, len(rc.subs))
 	n := 0
 	for si := range rc.subs {
@@ -384,12 +461,11 @@ func newEmitter(rc *runtimeComponent, instance int, is *metrics.InstanceStats, h
 				b = outBuf{sink: rc.net.sinkTo(sub.to, k)}
 			}
 			if sub.combiner != nil {
-				b.comb = &combBuf{spec: sub.combiner, ch: sub.chBase + instance, idx: map[any]int{}}
+				b.comb = &combBuf{spec: sub.combiner, ch: sub.chBase + em.instance, idx: map[any]int{}}
 			}
 			em.bufs[em.bufBase[si]+k] = b
 		}
 	}
-	return em
 }
 
 // routedMsg is one event resolved to a concrete destination.
@@ -516,9 +592,22 @@ func guard(component string, instance int, fn func()) (err error) {
 	return nil
 }
 
-func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy) error {
+func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy, cg *cutGate, g *execGate) error {
 	em := newEmitter(rc, instance, is, hash)
 	em.faults = ef
+	if g != nil {
+		g.em = em
+		defer cg.leave(g)
+	}
+	// mark records one emitted (and flushed) marker: a completed cut
+	// from the source's point of view, and the spout's barrier entry
+	// point — after the marker every buffer of this emitter is empty.
+	mark := func() {
+		is.AddCuts(1)
+		if g != nil {
+			cg.cutDone(g)
+		}
+	}
 	err := guard(rc.name, instance, func() {
 		spout := rc.spout(instance)
 		if em.stamp {
@@ -541,6 +630,9 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 				is.AddExecuted(1)
 				ef.onEvent(rc.name, instance)
 				em.emit(e)
+				if e.IsMarker {
+					mark()
+				}
 				t1 := time.Now()
 				d := t1.Sub(t0)
 				is.AddBusy(d)
@@ -573,6 +665,9 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 			}
 			ef.onEvent(rc.name, instance)
 			em.emit(e)
+			if e.IsMarker {
+				mark()
+			}
 			if n++; n >= stride {
 				t1 := time.Now()
 				d := t1.Sub(t0)

@@ -183,6 +183,7 @@ type netSummary struct {
 	Dropped   int64
 	CombIn    int64
 	CombOut   int64
+	Cuts      int64
 }
 
 // netDone reports a worker's run completion; Failure carries the

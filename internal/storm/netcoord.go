@@ -2,6 +2,7 @@ package storm
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -42,6 +43,27 @@ type KillPlan struct {
 	AfterCuts int
 }
 
+// NetRescalePlan schedules one cluster-wide rescale: once the
+// coordinator has committed AfterCuts marker cuts (summed over sinks,
+// across attempts), the running attempt is aborted at that committed
+// cut and every subsequent attempt is spawned with Spec as its
+// DTT_NET_SPEC payload — the application-level description of the
+// revised topology (new parallelism, hence a revised placement
+// table). The committed prefix is kept and the replay-skip machinery
+// splices the revised cluster's output onto it, exactly as for
+// failure recovery: the cut boundary is a consistent configuration,
+// so the same trace-equivalence argument applies. The abort is a
+// planned reconfiguration, not a failure, and is not charged against
+// MaxRestarts.
+type NetRescalePlan struct {
+	AfterCuts int
+	Spec      string
+}
+
+// errRescale marks an attempt aborted for a planned reconfiguration
+// rather than a worker failure.
+var errRescale = errors.New("storm: attempt aborted for planned rescale")
+
 // NetOptions configures a networked run.
 type NetOptions struct {
 	// Workers is the number of worker processes (≥ 1).
@@ -66,6 +88,9 @@ type NetOptions struct {
 	AttemptTimeout time.Duration
 	// Kill, when set, injects one worker kill (see KillPlan).
 	Kill *KillPlan
+	// Rescale, when set, schedules one cluster-wide rescale at a
+	// committed cut (see NetRescalePlan).
+	Rescale *NetRescalePlan
 	// Logf receives coordinator lifecycle logging; nil discards.
 	Logf func(format string, args ...any)
 
@@ -92,6 +117,9 @@ type NetResult struct {
 	// replaying attempts and skipped because they were already
 	// committed.
 	ReplayedCuts int
+	// Rescaled reports whether the NetRescalePlan fired: the final
+	// attempt ran with the revised spec.
+	Rescaled bool
 }
 
 // netProc is a launched worker process as the coordinator sees it.
@@ -171,6 +199,9 @@ type coordinator struct {
 	killed       bool
 	restarts     int
 	replayedCuts int
+	spec         string // current worker payload; replaced when the rescale fires
+	rescaled     bool   // the NetRescalePlan has fired
+	rescaleNow   bool   // abort the running attempt at this committed cut
 }
 
 const (
@@ -216,6 +247,14 @@ func RunNetworked(opts NetOptions) (*NetResult, error) {
 	if opts.Kill != nil && (opts.Kill.Worker < 0 || opts.Kill.Worker >= opts.Workers) {
 		return nil, fmt.Errorf("storm: KillPlan.Worker %d out of range for %d workers", opts.Kill.Worker, opts.Workers)
 	}
+	if opts.Rescale != nil {
+		if opts.Rescale.AfterCuts < 1 {
+			return nil, fmt.Errorf("storm: NetRescalePlan.AfterCuts must be ≥ 1, got %d", opts.Rescale.AfterCuts)
+		}
+		if opts.Rescale.Spec == "" {
+			return nil, fmt.Errorf("storm: NetRescalePlan.Spec is empty: a rescale needs the revised topology payload")
+		}
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -228,6 +267,7 @@ func RunNetworked(opts NetOptions) (*NetResult, error) {
 		ln:     ln,
 		helloc: make(chan helloConn, coordHelloBacklogEvents),
 		sinks:  map[string]*sinkState{},
+		spec:   opts.Spec,
 	}
 	// One persistent accept loop across attempts: workers of any
 	// attempt dial the same address; the attempt cookie in the hello
@@ -265,6 +305,14 @@ func RunNetworked(opts NetOptions) (*NetResult, error) {
 			ss.pending = nil
 			ss.skip = ss.cuts
 		}
+		if errors.Is(err, errRescale) {
+			// Planned reconfiguration: the next attempt runs the revised
+			// spec, splicing onto the committed prefix like a recovery
+			// replay — but the abort is not charged against MaxRestarts.
+			r.spec = r.opts.Rescale.Spec
+			logf("storm: rescale plan firing at %d committed cuts; restarting cluster with revised spec", r.totalCommitted())
+			continue
+		}
 		r.restarts++
 		if r.restarts > maxRestarts {
 			return nil, fmt.Errorf("storm: networked run failed after %d restarts: %w", r.restarts-1, err)
@@ -280,6 +328,7 @@ func RunNetworked(opts NetOptions) (*NetResult, error) {
 		Wall:           wall,
 		WorkerRestarts: r.restarts,
 		ReplayedCuts:   r.replayedCuts,
+		Rescaled:       r.rescaled,
 	}
 	for _, name := range r.sinkOrder {
 		ss := r.sinks[name]
@@ -370,7 +419,7 @@ func (r *coordinator) runAttempt(attempt int) ([]netSummary, error) {
 		EnvCoordAddr: r.ln.Addr().String(),
 		EnvWorkers:   strconv.Itoa(W),
 		EnvAttempt:   strconv.Itoa(attempt),
-		EnvSpec:      r.opts.Spec,
+		EnvSpec:      r.spec,
 	}
 	for i := 0; i < W; i++ {
 		env[EnvWorkerID] = strconv.Itoa(i)
@@ -431,6 +480,13 @@ func (r *coordinator) runAttempt(attempt int) ([]netSummary, error) {
 			switch {
 			case ev.sink != nil:
 				r.onSink(attempt, ev.sink, procs, exited)
+				if r.rescaleNow {
+					// The cut the plan names is committed; tear the
+					// attempt down here so the next one — with the revised
+					// spec — replays and splices onto that prefix.
+					r.rescaleNow = false
+					return fail(errRescale)
+				}
 			case ev.done != nil:
 				if ev.done.Failure != "" {
 					return fail(fmt.Errorf("worker %d reported failure: %s", ev.worker, ev.done.Failure))
@@ -522,6 +578,13 @@ func (r *coordinator) onSink(attempt int, data *netSinkData, procs []netProc, ex
 		ss.committed = append(ss.committed, ss.pending...)
 		ss.pending = ss.pending[:0]
 		ss.cuts++
+		if rp := r.opts.Rescale; rp != nil && !r.rescaled && r.totalCommitted() >= rp.AfterCuts {
+			// Fires on whichever attempt commits the named cut, once:
+			// a kill-induced restart may delay it past attempt 0.
+			r.rescaled = true
+			r.rescaleNow = true
+			return
+		}
 		if attempt == 0 {
 			r.totalCuts++
 			if k := r.opts.Kill; k != nil && !r.killed && r.totalCuts >= k.AfterCuts {
@@ -557,6 +620,7 @@ func rebuildStats(summaries []netSummary) *metrics.Stats {
 		is.AddDropped(s.Dropped)
 		is.AddCombinedIn(s.CombIn)
 		is.AddCombinedOut(s.CombOut)
+		is.AddCuts(s.Cuts)
 	}
 	return stats
 }

@@ -315,6 +315,7 @@ func (t *Topology) ServeWorker(cfg WorkerConfig) error {
 				Dropped:   is.Dropped(),
 				CombIn:    is.CombinedIn(),
 				CombOut:   is.CombinedOut(),
+				Cuts:      is.Cuts(),
 			})
 		}
 	}

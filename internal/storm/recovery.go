@@ -61,6 +61,17 @@ type recExec struct {
 	ef       *executorFaults
 	pol      RecoveryPolicy
 
+	// cg/g are the run's reconfiguration barrier and this executor's
+	// entry (rescale.go); g is nil when the run cannot host rescales.
+	cg *cutGate
+	g  *execGate
+	// eosLeft counts input channels still open; a rescale barrier that
+	// widens the input resets it (no channel has closed at a barrier).
+	eosLeft int
+	// retired is set when a rescale replaced this executor's component
+	// instance set: exit without finishing or propagating EOS.
+	retired bool
+
 	bolt  Bolt
 	merge *stream.MergeState
 	// outBuf holds the current block's pending output: bolt emissions
@@ -91,7 +102,7 @@ type recExec struct {
 // runRecoverableBolt is the executor loop for aligned bolts when
 // recovery is enabled. Non-aligned bolts have no marker cuts to
 // recover to and keep the plain runBolt path.
-func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy) error {
+func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash func(any) int, ef *executorFaults, pol RecoveryPolicy, cg *cutGate, g *execGate) error {
 	x := &recExec{
 		rc:       rc,
 		instance: instance,
@@ -99,6 +110,8 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 		em:       newEmitter(rc, instance, is, hash),
 		ef:       ef,
 		pol:      pol,
+		cg:       cg,
+		g:        g,
 		merge:    stream.NewMergeState(rc.nChannels),
 		rrSnap:   make([]int, len(rc.subs)),
 	}
@@ -109,17 +122,29 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 		x.markerSeen = map[int64]int64{}
 		x.qskip = 1
 	}
-	if !rc.isSink {
+	if g != nil {
+		g.em = x.em
+		g.x = x
+		defer cg.leave(g)
+	}
+	switch {
+	case g != nil && g.seed != nil:
+		// Spawned by a rescale: start from the re-sharded shard instead
+		// of the factory (the seed bolt was restored under the barrier).
+		x.bolt = g.seed.bolt
+		x.snap = g.seed.snap
+		x.hasSnap = len(g.seed.snap) > 0
+	case !rc.isSink:
 		x.bolt = rc.bolt(instance)
 	}
 
 	var fatal error
 	var degraded *degradeState
 	obs := is.ObsEnabled()
-	eosLeft := rc.nChannels
+	x.eosLeft = rc.nChannels
 	inbox := rc.inboxes[instance]
 	depth := &rc.depths[instance]
-	for eosLeft > 0 {
+	for x.eosLeft > 0 && !x.retired {
 		bp := recvBatch(inbox, x.em)
 		if bp == nil {
 			continue // idle flush fired; retry the receive
@@ -131,8 +156,11 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 		for bi := range batch {
 			m := batch[bi]
 			if m.eos {
-				eosLeft--
+				x.eosLeft--
 				continue
+			}
+			if x.retired {
+				break // replaced by a rescale; nothing beyond the barrier exists
 			}
 			if fatal != nil {
 				continue // failed executor keeps draining to its EOS
@@ -157,10 +185,19 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 					} else {
 						fatal = rerr
 					}
+					// The executor stopped completing cuts: a rescale
+					// barrier can no longer form, and parked peers must
+					// not wait for one.
+					if g != nil {
+						cg.leave(g)
+					}
 				}
 			}
 		}
 		putBatch(bp)
+		if x.retired {
+			return nil
+		}
 		// Bound buffered-output residency under a steady input trickle
 		// (recvBatch's idle timer resets at every received vector).
 		x.em.tick()
@@ -173,6 +210,9 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 				fatal = err
 			}
 		}
+	}
+	if g != nil {
+		cg.leave(g)
 	}
 	x.em.eos()
 	return fatal
@@ -272,6 +312,14 @@ func (x *recExec) completeCut(seq int64) {
 			x.is.ObserveMarkerLag(time.Duration(time.Now().UnixNano() - first))
 			delete(x.markerSeen, seq)
 		}
+	}
+	x.is.AddCuts(1)
+	// The cut is committed: enter the reconfiguration barrier last, so
+	// a rescale at this cut sees the snapshot and an empty transport
+	// (nothing runs between here and the next input). A true return
+	// means a rescale replaced this executor's instance set.
+	if x.g != nil && x.cg.cutDone(x.g) {
+		x.retired = true
 	}
 }
 

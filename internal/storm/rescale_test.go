@@ -1,0 +1,428 @@
+package storm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+	"time"
+
+	"datatrace/internal/metrics"
+	"datatrace/internal/stream"
+)
+
+// rsSumBolt is sumBolt plus the Resharder contract: its keyed state
+// (per-key running sums) re-partitions by moving each key's sum to the
+// key's new owner.
+type rsSumBolt struct{ sumBolt }
+
+func newRSSumBolt(int) Bolt { return &rsSumBolt{sumBolt{sums: map[int]int{}}} }
+
+func (s *rsSumBolt) Reshard(old [][]byte, newPar int, owner func(key any) int) ([][]byte, error) {
+	outs := make([]map[int]int, newPar)
+	for j := range outs {
+		outs[j] = map[int]int{}
+	}
+	for _, blob := range old {
+		if len(blob) == 0 {
+			continue
+		}
+		var sums map[int]int
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&sums); err != nil {
+			return nil, err
+		}
+		for k, v := range sums {
+			outs[owner(k)][k] = v
+		}
+	}
+	blobs := make([][]byte, newPar)
+	for j := range outs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(outs[j]); err != nil {
+			return nil, err
+		}
+		blobs[j] = buf.Bytes()
+	}
+	return blobs, nil
+}
+
+// rsTopology wires src → sum ×par → sink with a reshardable sum bolt
+// and recovery enabled (the rescale barrier requires marker cuts).
+func rsTopology(in []stream.Event, par int) *Topology {
+	top := NewTopology("rescale-sums")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("sum", par, newRSSumBolt).FieldsGrouping("src", true)
+	top.AddSink("sink", "sum")
+	top.SetRecovery(RecoveryPolicy{Enabled: true})
+	return top
+}
+
+// rsChainTopology adds a second keyed stage, so rescaling the first
+// one exercises downstream channel-base and merger-width rewiring.
+func rsChainTopology(in []stream.Event, parA, parB int) *Topology {
+	top := NewTopology("rescale-chain")
+	top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+	top.AddBolt("a", parA, newRSSumBolt).FieldsGrouping("src", true)
+	top.AddBolt("b", parB, newRSSumBolt).FieldsGrouping("a", true)
+	top.AddSink("sink", "b")
+	top.SetRecovery(RecoveryPolicy{Enabled: true})
+	return top
+}
+
+// checkRescaledRun compares a rescaled run against its fixed-par
+// oracle: the sink trace must be equivalent and the per-component
+// item counts (Executed − Cuts, invariant under parallelism) equal.
+func checkRescaledRun(t *testing.T, res *Result, ref *Result, components ...string) {
+	t.Helper()
+	if !stream.Equivalent(stream.U("Int", "Int"), res.Sinks["sink"], ref.Sinks["sink"]) {
+		t.Fatalf("rescaled output not trace-equivalent:\n ref %s\n got %s",
+			stream.Render(ref.Sinks["sink"]), stream.Render(res.Sinks["sink"]))
+	}
+	for _, c := range components {
+		if got, want := res.Stats.ComponentItems(c), ref.Stats.ComponentItems(c); got != want {
+			t.Fatalf("component %q executed %d items, oracle executed %d", c, got, want)
+		}
+	}
+}
+
+func finalParallelism(t *testing.T, top *Topology, component string) int {
+	t.Helper()
+	for _, c := range top.Components() {
+		if c.Name == component {
+			return c.Parallelism
+		}
+	}
+	t.Fatalf("component %q not found", component)
+	return 0
+}
+
+func TestRescaleUpMatchesFixedRun(t *testing.T) {
+	in := testStream(8, 10, 6)
+	ref, err := rsTopology(in, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsTopology(in, 2)
+	top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 4, 3))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("rescaled run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if top.Rescales() != 1 {
+		t.Fatalf("Rescales() = %d, want 1", top.Rescales())
+	}
+	if par := finalParallelism(t, top, "sum"); par != 4 {
+		t.Fatalf("final parallelism = %d, want 4", par)
+	}
+}
+
+func TestRescaleDownMatchesFixedRun(t *testing.T) {
+	in := testStream(8, 10, 6)
+	ref, err := rsTopology(in, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsTopology(in, 4)
+	top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 1, 2))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("rescaled run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if par := finalParallelism(t, top, "sum"); par != 1 {
+		t.Fatalf("final parallelism = %d, want 1", par)
+	}
+}
+
+func TestRescaleUpThenDownMatchesFixedRun(t *testing.T) {
+	in := testStream(10, 8, 7)
+	ref, err := rsTopology(in, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsTopology(in, 2)
+	top.SetRescalePlan(NewRescalePlan().
+		RescaleAt("sum", 5, 2).
+		RescaleAt("sum", 1, 6))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("rescaled run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if top.Rescales() != 2 {
+		t.Fatalf("Rescales() = %d, want 2", top.Rescales())
+	}
+	if par := finalParallelism(t, top, "sum"); par != 1 {
+		t.Fatalf("final parallelism = %d, want 1", par)
+	}
+}
+
+func TestRescaleMidChainRewiresDownstream(t *testing.T) {
+	in := testStream(8, 12, 9)
+	ref, err := rsChainTopology(in, 2, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsChainTopology(in, 2, 2)
+	top.SetRescalePlan(NewRescalePlan().RescaleAt("a", 5, 3))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("rescaled run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "a", "b", "sink")
+	if par := finalParallelism(t, top, "a"); par != 5 {
+		t.Fatalf("final parallelism of a = %d, want 5", par)
+	}
+}
+
+func TestDynamicRescaleMidRun(t *testing.T) {
+	in := testStream(8, 10, 6)
+	ref, err := rsTopology(in, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsTopology(in, 2)
+	// Throttle the source so the run comfortably outlasts the request.
+	top.SetFaultPlan(NewFaultPlan().SlowExecutor("src", 0, 500*time.Microsecond))
+	runDone := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		defer close(runDone)
+		res, runErr = top.Run()
+	}()
+	var rescaleErr error
+	for {
+		rescaleErr = top.Rescale("sum", 3)
+		if rescaleErr == nil || !strings.Contains(rescaleErr.Error(), "not running") {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-runDone
+	if runErr != nil {
+		t.Fatalf("run failed: %v", runErr)
+	}
+	if rescaleErr != nil {
+		t.Fatalf("dynamic rescale failed: %v", rescaleErr)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if par := finalParallelism(t, top, "sum"); par != 3 {
+		t.Fatalf("final parallelism = %d, want 3", par)
+	}
+	// The run is over: further requests must be refused, not hang.
+	if err := top.Rescale("sum", 2); err == nil {
+		t.Fatal("rescale after the run ended must fail")
+	}
+}
+
+func TestRescaleDuringCrashRecovery(t *testing.T) {
+	in := testStream(8, 10, 6)
+	ref, err := rsTopology(in, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash an executor of the component being rescaled at several
+	// points up to the barrier cut (instance 0 of 2 sees ~6 events per
+	// block, so the barrier at cut 3 lands near event 18): recovery
+	// must replay to a consistent cut and the rescale must still land
+	// exactly once.
+	for _, atEvent := range []int64{5, 10, 15} {
+		top := rsTopology(in, 2)
+		top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 4, 3))
+		top.SetFaultPlan(NewFaultPlan().CrashAt("sum", 0, atEvent))
+		res, err := top.Run()
+		if err != nil {
+			t.Fatalf("crash at %d: %v", atEvent, err)
+		}
+		checkRescaledRun(t, res, ref, "src", "sum", "sink")
+		if top.Rescales() != 1 {
+			t.Fatalf("crash at %d: Rescales() = %d, want 1", atEvent, top.Rescales())
+		}
+		if par := finalParallelism(t, top, "sum"); par != 4 {
+			t.Fatalf("crash at %d: final parallelism = %d, want 4", atEvent, par)
+		}
+		restarts, _, _ := res.Stats.Recovery()
+		if restarts < 1 {
+			t.Fatalf("crash at %d: no restart recorded", atEvent)
+		}
+	}
+}
+
+func TestRescaleCrashOnSpawnedInstance(t *testing.T) {
+	in := testStream(10, 8, 7)
+	ref, err := rsTopology(in, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scale 4 → 2 at cut 2. The old instance 1 retires near event 6
+	// (two ~3-event blocks), so a crash scheduled at event 20 can only
+	// fire on the spawned post-rescale instance 1 (whose fault counter
+	// starts fresh): the crash exercises recovery of a migrated shard
+	// on a spawned executor.
+	top := rsTopology(in, 4)
+	top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 2, 2))
+	top.SetFaultPlan(NewFaultPlan().CrashAt("sum", 1, 20))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("crash on spawned instance: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	restarts, _, _ := res.Stats.Recovery()
+	if restarts < 1 {
+		t.Fatal("no restart recorded on the spawned instance")
+	}
+}
+
+func TestRescaleValidationRejections(t *testing.T) {
+	in := testStream(2, 4, 2)
+	cases := []struct {
+		name string
+		prep func(top *Topology)
+		want string
+	}{
+		{"unknown component", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("ghost", 2, 1))
+		}, "unknown component"},
+		{"invalid parallelism", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 0, 1))
+		}, "parallelism 0"},
+		{"spout target", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("src", 2, 1))
+		}, "is a spout"},
+		{"sink target", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("sink", 2, 1))
+		}, "is a sink"},
+		{"recovery disabled", func(top *Topology) {
+			top.SetRecovery(RecoveryPolicy{})
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 2, 1))
+		}, "requires marker-cut recovery"},
+		{"invalid cut", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 2, 0))
+		}, "AtCut"},
+		{"non-increasing cuts", func(top *Topology) {
+			top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 2, 3).RescaleAt("sum", 4, 3))
+		}, "not after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			top := rsTopology(in, 2)
+			tc.prep(top)
+			_, err := top.Run()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("not running", func(t *testing.T) {
+		top := rsTopology(in, 2)
+		if err := top.Rescale("sum", 3); err == nil || !strings.Contains(err.Error(), "not running") {
+			t.Fatalf("got %v, want not-running error", err)
+		}
+	})
+
+	t.Run("non-reshardable bolt", func(t *testing.T) {
+		// sumBolt is Recoverable but not a Resharder: the plan step must
+		// fail the run at the barrier, with the message naming the gap.
+		top := NewTopology("plain-sums")
+		top.AddSpout("src", 1, func(int) Spout { return SliceSpout(in) })
+		top.AddBolt("sum", 2, newSumBolt).FieldsGrouping("src", true)
+		top.AddSink("sink", "sum")
+		top.SetRecovery(RecoveryPolicy{Enabled: true})
+		top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 4, 1))
+		_, err := top.Run()
+		if err == nil || !strings.Contains(err.Error(), "Resharder") {
+			t.Fatalf("got %v, want Resharder error", err)
+		}
+	})
+
+	t.Run("plan cut beyond the stream", func(t *testing.T) {
+		top := rsTopology(in, 2)
+		top.SetRescalePlan(NewRescalePlan().RescaleAt("sum", 4, 100))
+		_, err := top.Run()
+		if err == nil || !strings.Contains(err.Error(), "did not run") {
+			t.Fatalf("got %v, want unreached-step error", err)
+		}
+	})
+}
+
+func TestRescaleNoOpAndRepeatIsStable(t *testing.T) {
+	in := testStream(6, 10, 5)
+	ref, err := rsTopology(in, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rescaling to the current parallelism at a barrier is a no-op,
+	// and a later real step must still work.
+	top := rsTopology(in, 2)
+	top.SetRescalePlan(NewRescalePlan().
+		RescaleAt("sum", 2, 2).
+		RescaleAt("sum", 3, 4))
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if par := finalParallelism(t, top, "sum"); par != 3 {
+		t.Fatalf("final parallelism = %d, want 3", par)
+	}
+}
+
+func TestAutoscaleScaleOutUnderBackpressure(t *testing.T) {
+	// A deliberately slow bolt against a fast source builds queue
+	// depth; the controller must scale out within its bounds, and the
+	// output must stay trace-equivalent to the unscaled oracle.
+	in := testStream(30, 60, 16)
+	ref, err := rsTopology(in, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := rsTopology(in, 1)
+	top.SetObservability(metrics.ObsConfig{Enabled: true})
+	// Throttle the source mildly so the stream outlasts the controller's
+	// first polls (an unthrottled finite source drains into the inboxes
+	// and ends the run's rescale window in milliseconds), and the bolt
+	// 10× harder so its inbox visibly backs up.
+	top.SetFaultPlan(NewFaultPlan().
+		SlowExecutor("src", 0, 50*time.Microsecond).
+		SlowExecutor("sum", 0, 500*time.Microsecond))
+	top.SetAutoscale(&AutoscalePolicy{
+		Component: "sum",
+		Min:       1,
+		Max:       4,
+		Interval:  2 * time.Millisecond,
+		HighDepth: 16,
+		Sustain:   1,
+	})
+	res, err := top.Run()
+	if err != nil {
+		t.Fatalf("autoscaled run failed: %v", err)
+	}
+	checkRescaledRun(t, res, ref, "src", "sum", "sink")
+	if top.Rescales() < 1 {
+		t.Fatal("autoscaler never scaled out under sustained backpressure")
+	}
+	if par := finalParallelism(t, top, "sum"); par < 2 || par > 4 {
+		t.Fatalf("final parallelism = %d, want within (1, 4]", par)
+	}
+}
+
+func TestAutoscaleRequiresObservability(t *testing.T) {
+	in := testStream(2, 4, 2)
+	top := rsTopology(in, 2)
+	top.SetAutoscale(&AutoscalePolicy{Component: "sum", Min: 1, Max: 4})
+	_, err := top.Run()
+	if err == nil || !strings.Contains(err.Error(), "observability") {
+		t.Fatalf("got %v, want observability requirement", err)
+	}
+}

@@ -165,17 +165,22 @@ type Topology struct {
 	// default of 1024. Each inbox slot holds one transport vector (up
 	// to TransportOptions.BatchSize events), so the in-flight event
 	// bound per edge is ChannelCap × BatchSize.
-	ChannelCap int
-	hash       func(any) int
-	serializer func() Serializer
-	workers    int
-	faultPlan  *FaultPlan
-	recovery   RecoveryPolicy
-	obs        metrics.ObsConfig
-	transport  TransportOptions
+	ChannelCap  int
+	hash        func(any) int
+	serializer  func() Serializer
+	workers     int
+	faultPlan   *FaultPlan
+	rescalePlan *RescalePlan
+	autoscale   *AutoscalePolicy
+	recovery    RecoveryPolicy
+	obs         metrics.ObsConfig
+	transport   TransportOptions
 	// live is the stats collector of the current (or last) Run,
 	// published at Run start so monitors can poll mid-run.
 	live atomic.Pointer[metrics.Stats]
+	// gate is the reconfiguration barrier of the current (or last) Run
+	// (rescale.go), published at Run start so Rescale can reach it.
+	gate atomic.Pointer[cutGate]
 }
 
 // NewTopology creates an empty topology.
@@ -205,6 +210,15 @@ func (t *Topology) SetWorkers(n int) { t.workers = n }
 // SetFaultPlan installs a deterministic failure schedule for the next
 // Run (see FaultPlan). nil removes it.
 func (t *Topology) SetFaultPlan(p *FaultPlan) { t.faultPlan = p }
+
+// SetRescalePlan installs a scripted schedule of parallelism changes
+// for the next Run (see RescalePlan). nil removes it.
+func (t *Topology) SetRescalePlan(p *RescalePlan) { t.rescalePlan = p }
+
+// SetAutoscale installs a feedback controller that rescales one bolt
+// component from the run's backpressure signals (see AutoscalePolicy).
+// nil removes it.
+func (t *Topology) SetAutoscale(p *AutoscalePolicy) { t.autoscale = p }
 
 // SetRecovery configures marker-cut checkpointing and executor
 // restart (see RecoveryPolicy). The zero policy disables recovery.

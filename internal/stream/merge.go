@@ -92,6 +92,9 @@ func NewMergeState(n int) *MergeState {
 	return &MergeState{n: n, queued: make([][]mergeBlock, n), open: make([][]Event, n)}
 }
 
+// Channels returns the merger's input channel count.
+func (m *MergeState) Channels() int { return m.n }
+
 // Next consumes one event from channel ch and emits any output events
 // that become ready.
 func (m *MergeState) Next(ch int, e Event, emit func(Event)) {

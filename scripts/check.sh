@@ -46,12 +46,22 @@ go test -race -run 'TestTransportEquivalenceDifferential' -count 1 ./internal/qu
 echo "== optimization-pass equivalence (queries I-VI, passes on/off, -race) =="
 go test -race -run 'TestOptimizationEquivalenceDifferential' -count 1 ./internal/queries/
 
+echo "== rescale equivalence (queries I-VI, live rescales at marker cuts, -race) =="
+# Queries I-VI with mid-stream parallelism changes (scale-out,
+# scale-in, out-then-in) at scripted marker cuts, batch sizes 1 and
+# 64: sink traces and per-component executed counts must match a
+# fixed-parallelism oracle exactly.
+go test -race -run 'TestRescaleEquivalenceDifferential' -count 1 ./internal/queries/
+
 echo "== networked equivalence + chaos (multi-process localhost TCP, -race) =="
 # Real worker processes (re-execs of the race-instrumented test
 # binary) exchanging frames over localhost TCP: queries I-VI against
-# the in-process oracle, plus a SIGKILL-mid-epoch recovery check.
-# Skips itself with a clear reason where sandboxing forbids sockets.
-go test -race -run 'TestNetworkedEquivalenceDifferential|TestChaosWorkerKillRecovery' -count 1 ./internal/queries/
+# the in-process oracle, a SIGKILL-mid-epoch recovery check, a
+# rescale-at-committed-cut check (revised placement table spliced onto
+# the committed prefix), and the composed kill-during-rescale chaos
+# run. Skips itself with a clear reason where sandboxing forbids
+# sockets.
+go test -race -run 'TestNetworkedEquivalenceDifferential|TestChaosWorkerKillRecovery|TestNetworkedRescaleAtCommittedCut|TestChaosWorkerKillDuringRescale' -count 1 ./internal/queries/
 
 echo "== transport benchmark gate (batched must beat batch-1) =="
 # Interleaved paired runs of generated Query IV with the default batched
@@ -106,7 +116,7 @@ case "$fgate" in
     *) echo "fusion benchmark gate failed: optimization passes are not faster than passes-off" >&2; exit 1 ;;
 esac
 
-echo "== benchmark snapshot (scripts/bench.sh -> BENCH_PR5.json) =="
+echo "== benchmark snapshot (scripts/bench.sh -> BENCH_PR7.json) =="
 scripts/bench.sh
 
 echo "== fuzz smokes (${FUZZTIME} each) =="
@@ -116,6 +126,7 @@ go test -run xxx -fuzz 'FuzzFoataAgreesWithNormalForm$' -fuzztime "$FUZZTIME" ./
 go test -run xxx -fuzz 'FuzzSplitMergeIdentity$' -fuzztime "$FUZZTIME" ./internal/stream/
 go test -run xxx -fuzz 'FuzzMergePreservesMarkers$' -fuzztime "$FUZZTIME" ./internal/stream/
 go test -run xxx -fuzz 'FuzzSplitMergeLaws$' -fuzztime "$FUZZTIME" ./internal/core/
+go test -run xxx -fuzz 'FuzzReshardKeyedState$' -fuzztime "$FUZZTIME" ./internal/core/
 go test -run xxx -fuzz 'FuzzHistogramRecord$' -fuzztime "$FUZZTIME" ./internal/metrics/
 go test -run xxx -fuzz 'FuzzBatchFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
 go test -run xxx -fuzz 'FuzzCombinerFlush$' -fuzztime "$FUZZTIME" ./internal/storm/
