@@ -131,6 +131,35 @@ type BoltFunc = storm.BoltFunc
 // SliceSpout replays a fixed event sequence.
 func SliceSpout(events []Event) Spout { return storm.SliceSpout(events) }
 
+// --- columnar batches (DESIGN.md §9) ---------------------------------------
+
+// Columns is a typed struct-of-arrays batch of item rows, recycled
+// through per-kind arenas. The compiler selects the columnar
+// transport for an edge when both endpoints agree on a column kind;
+// markers never enter batches, so recovery and rescaling are
+// unaffected.
+type Columns = stream.Columns
+
+// Cols is the concrete columnar batch: parallel Keys/Vals columns.
+type Cols[K, V any] = stream.Cols[K, V]
+
+// ColKind is the canonical descriptor of one columnar layout — a
+// (key type, value type) pair. Kinds are canonicalized, so kind
+// equality is pointer equality.
+type ColKind = stream.ColKind
+
+// ColKindFor returns the canonical kind for the (K, V) type pair.
+// Declare it in SourceSpec.Cols to let edges out of a source go
+// columnar; spouts that additionally implement ColSpout fill typed
+// batches directly.
+func ColKindFor[K, V any]() *ColKind { return stream.ColKindFor[K, V]() }
+
+// ColSpout is an optional Spout extension: a source that fills typed
+// column batches directly, skipping per-event boxing. A source whose
+// SourceSpec declares Cols but whose spout only implements Spout
+// degrades to boxed emission, not to wrong results.
+type ColSpout = storm.ColSpout
+
 // Compile translates a type-checked DAG into a topology, inserting
 // the groupings, marker propagation and merge/sort fusion of the
 // paper's section 5. A nil options selects the defaults, which enable

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datatrace/internal/queries"
+	"datatrace/internal/storm"
+)
+
+// This file measures the columnar hot path: the boxed-vs-columnar
+// batch-size sweep behind EXPERIMENTS.md's columnar section. Query IV
+// runs end-to-end at a range of transport batch sizes twice per size
+// — once with the typed struct-of-arrays edges the compiler selects
+// by default, once with Spec.NoColumnar forcing the boxed []Event
+// transport — so each row reads directly as "what do typed columns
+// buy over boxed events at this batch size". Batch size 1 is the
+// degenerate point where a column batch holds one row and the
+// columnar machinery is pure overhead; the gap is expected to open
+// with the batch size as per-row boxing amortizes away.
+
+// ColumnarRow is one batch-size measurement pair.
+type ColumnarRow struct {
+	// BatchSize is the transport batch size of both runs.
+	BatchSize int
+	// BoxedWall and ColWall are the minimum end-to-end wall times over
+	// the repetitions for the boxed and columnar transports.
+	BoxedWall, ColWall time.Duration
+	// BoxedThroughput and ColThroughput are input tuples divided by
+	// the respective walls.
+	BoxedThroughput, ColThroughput float64
+	// Speedup is BoxedWall over ColWall (columnar's win at this size).
+	Speedup float64
+}
+
+// ColumnarSweepResult is the full sweep.
+type ColumnarSweepResult struct {
+	Rows []ColumnarRow
+	// Par is the per-stage parallelism every run used.
+	Par int
+	// Reps is the number of interleaved repetitions per configuration.
+	Reps int
+}
+
+// ColumnarSweep runs generated Query IV once per (batch size,
+// transport) pair per repetition, interleaving all configurations
+// across repetitions (so machine-load drift hits them equally) and
+// keeping each configuration's minimum wall — the least-perturbed run
+// of a fixed workload.
+func ColumnarSweep(cfg Config) (*ColumnarSweepResult, error) {
+	batches := []int{1, 16, 64, 256, 1024}
+	par := cfg.MaxWorkers
+	if par > 4 {
+		par = 4
+	}
+	const reps = 5
+	res := &ColumnarSweepResult{Par: par, Reps: reps}
+
+	boxed := make([]time.Duration, len(batches))
+	col := make([]time.Duration, len(batches))
+	var items int64
+	for i := 0; i < reps; i++ {
+		for bi, batch := range batches {
+			for _, noCol := range []bool{false, true} {
+				env, err := queries.NewEnv(cfg.Yahoo, cfg.OpDelay)
+				if err != nil {
+					return nil, err
+				}
+				r, err := queries.Run(env, queries.Spec{
+					Query:      "IV",
+					Variant:    queries.Generated,
+					Par:        par,
+					SourcePar:  cfg.SourcePar,
+					NoColumnar: noCol,
+					Transport:  &storm.TransportOptions{BatchSize: batch},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: columnar sweep (batch %d, noColumnar=%v): %w", batch, noCol, err)
+				}
+				walls := col
+				if noCol {
+					walls = boxed
+				}
+				if walls[bi] == 0 || r.Wall < walls[bi] {
+					walls[bi] = r.Wall
+				}
+				items = countItems(r.Stats, "yahoo")
+			}
+		}
+	}
+
+	for bi, batch := range batches {
+		res.Rows = append(res.Rows, ColumnarRow{
+			BatchSize:       batch,
+			BoxedWall:       boxed[bi],
+			ColWall:         col[bi],
+			BoxedThroughput: float64(items) / boxed[bi].Seconds(),
+			ColThroughput:   float64(items) / col[bi].Seconds(),
+			Speedup:         boxed[bi].Seconds() / col[bi].Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep as aligned text.
+func (r *ColumnarSweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== columnar: boxed vs typed-column batches (Query IV generated, par=%d, min of %d interleaved reps) ==\n", r.Par, r.Reps)
+	fmt.Fprintf(&b, "%8s %12s %12s %14s %14s %8s\n", "batch", "boxed", "columnar", "boxed t/s", "col t/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12s %12s %14.0f %14.0f %7.2fx\n",
+			row.BatchSize,
+			row.BoxedWall.Round(time.Microsecond), row.ColWall.Round(time.Microsecond),
+			row.BoxedThroughput, row.ColThroughput, row.Speedup)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated records.
+func (r *ColumnarSweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,batch_size,boxed_wall_s,columnar_wall_s,boxed_tuples_per_s,columnar_tuples_per_s,speedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "columnar,%d,%f,%f,%f,%f,%f\n",
+			row.BatchSize, row.BoxedWall.Seconds(), row.ColWall.Seconds(),
+			row.BoxedThroughput, row.ColThroughput, row.Speedup)
+	}
+	return b.String()
+}

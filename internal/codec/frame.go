@@ -87,15 +87,31 @@ func (w WireEvent) Event() stream.Event {
 	return stream.Item(w.Key, w.Value)
 }
 
+// WireCols is the frame-level form of one typed column batch: the
+// batch's kind name plus its two typed column slices riding gob
+// interface fields (the slice types are gob-registered when the kind
+// is created, on both ends, by building the same topology). Shipping
+// the columns as two slice values — instead of one WireEvent per row
+// — is what lets networked edges stay columnar: gob encodes a typed
+// slice with one type descriptor and no per-row interface header.
+type WireCols struct {
+	Kind string
+	Keys any
+	Vals any
+}
+
 // WireMessage is the frame-level form of one transport message: an
-// event tagged with its receiver-side channel, or an end-of-stream
-// notice for that channel. Sent carries the send stamp used by the
-// observability subsystem (0 when observability is off).
+// event tagged with its receiver-side channel, a typed column batch
+// for that channel, or an end-of-stream notice for it. Sent carries
+// the send stamp used by the observability subsystem (0 when
+// observability is off).
 type WireMessage struct {
 	Ch   int32
 	EOS  bool
 	Sent int64
 	Ev   WireEvent
+	// Cols, when set, makes this message a column batch; Ev is unused.
+	Cols *WireCols
 }
 
 // Frame is one batched message vector on the wire, addressed to the

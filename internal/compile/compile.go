@@ -54,6 +54,12 @@ type SourceSpec struct {
 	Parallelism int
 	// Factory builds the spout for one instance.
 	Factory func(instance int) storm.Spout
+	// Cols, when non-nil, declares the column kind the factory's spouts
+	// emit batches of (the spouts should implement storm.ColSpout with
+	// this kind). The compiler uses it to select the columnar transport
+	// for edges out of this source; a spout that never actually emits
+	// batches degrades to boxed delivery, not to wrong results.
+	Cols *stream.ColKind
 }
 
 // Options tune the compilation.
@@ -86,7 +92,16 @@ type Options struct {
 	// negative is a compile error.
 	CombinerCap int
 	// Hash overrides the fields-grouping key hash (nil = stream.DefaultHash).
+	// A custom hash disables columnar edge selection: typed batch
+	// routing uses the kind's per-row key hashes (stream.DefaultHash
+	// specialized per type), which must agree with the boxed hash for a
+	// key to land on one consumer instance.
 	Hash func(any) int
+	// NoColumnar disables the columnar (struct-of-arrays) edge
+	// selection, keeping every edge on the boxed transport. The
+	// differential tests use it to run the boxed oracle; it is off (i.e.
+	// columnar selection is on) by default.
+	NoColumnar bool
 	// ChannelCap bounds executor inboxes (0 = runtime default).
 	ChannelCap int
 	// Recovery, when non-nil, enables marker-cut checkpointing and
@@ -255,6 +270,17 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 	}
 	plan := &Plan{Name: "compiled"}
 
+	// Columnar edge selection requires the default key hash: typed
+	// batches route by the kind's precomputed per-row hashes
+	// (stream.DefaultHash specialized per type), and mixing them with a
+	// custom boxed hash would split one key across consumer instances.
+	columnar := !opts.NoColumnar && opts.Hash == nil
+	// outKind[name] is the column kind the emitted component produces
+	// batches of, nil when it emits boxed events only. Node order is
+	// topological, so a producer's kind is recorded before any consumer
+	// wires an edge from it.
+	outKind := map[string]*stream.ColKind{}
+
 	for _, n := range d.Nodes() {
 		switch n.Kind {
 		case core.SourceNode:
@@ -264,6 +290,9 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 				par = 1
 			}
 			top.AddSpout(n.Name, par, spec.Factory)
+			if columnar {
+				outKind[n.Name] = spec.Cols
+			}
 		case core.OpNode:
 			if _, fusedAway := fusedInto[n.ID]; fusedAway {
 				continue
@@ -309,15 +338,28 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 			// sort excludes combining — its consumer needs the items
 			// themselves, in order.
 			var comb *storm.CombinerSpec
+			var colComb *storm.ColCombinerSpec
 			if opts.Combiners && len(stageOps) == 1 && n.Op.Mode() == core.ParKeyed {
-				if c, ok := n.Op.(core.Combinable); ok {
-					if inFn, combineFn, can := c.CombinerMonoid(); can {
-						capKeys := opts.CombinerCap
-						if capKeys == 0 {
-							capKeys = storm.DefaultCombinerCap
+				capKeys := opts.CombinerCap
+				if capKeys == 0 {
+					capKeys = storm.DefaultCombinerCap
+				}
+				// Prefer the typed combiner when the columnar transport is
+				// available: the fold runs over typed rows and the edge
+				// carries (key, partial aggregate) batches. Either way the
+				// consumer is rewritten to merge partials.
+				if cc, ok := n.Op.(core.ColCombinable); ok && columnar {
+					if inK, outK, mk, can := cc.ColCombiner(); can {
+						colComb = &storm.ColCombinerSpec{InKind: inK, OutKind: outK, New: mk, Cap: capKeys}
+						stageOps[0] = cc.PreCombined()
+					}
+				}
+				if colComb == nil {
+					if c, ok := n.Op.(core.Combinable); ok {
+						if inFn, combineFn, can := c.CombinerMonoid(); can {
+							comb = &storm.CombinerSpec{In: inFn, Combine: combineFn, Cap: capKeys}
+							stageOps[0] = c.PreCombined()
 						}
-						comb = &storm.CombinerSpec{In: inFn, Combine: combineFn, Cap: capKeys}
-						stageOps[0] = c.PreCombined()
 					}
 				}
 			}
@@ -333,13 +375,29 @@ func CompileWithPlan(d *core.DAG, sources map[string]SourceSpec, opts *Options) 
 				}
 				return newFusedBolt(insts, counts)
 			})
+			// The bolt's columnar endpoint kinds, computed from the stage
+			// pipeline after any PreCombined rewrite (which shifts the
+			// consumed kind from raw items to partial aggregates).
+			inK, outK := opsColKinds(ops)
+			if columnar {
+				outKind[n.Name] = outK
+			}
 			decl := boltDecl(top, n.Name)
 			grouping := groupingFor(head, fusedSort != nil)
 			for _, in := range inputs {
 				connect(decl, in.Name, grouping)
-				if comb != nil {
+				switch {
+				case colComb != nil:
+					decl.ColCombineWith(*colComb)
+					plan.CombinedEdges = append(plan.CombinedEdges, PlanEdge{From: in.Name, To: n.Name, Cap: colComb.Cap, Columnar: true})
+				case comb != nil:
 					decl.CombineWith(*comb)
 					plan.CombinedEdges = append(plan.CombinedEdges, PlanEdge{From: in.Name, To: n.Name, Cap: comb.Cap})
+				case columnar && inK != nil && outKind[in.Name] == inK:
+					// Both endpoints expose the same canonical kind: the
+					// edge moves typed batches end to end.
+					decl.ColumnarWith(inK)
+					plan.ColumnarEdges = append(plan.ColumnarEdges, PlanEdge{From: in.Name, To: n.Name, Columnar: true})
 				}
 			}
 		case core.SinkNode:
@@ -387,6 +445,33 @@ func isSortOp(op core.Operator) bool {
 		in.Key == out.Key && in.Val == out.Val && op.Mode() == core.ParKeyed
 }
 
+// opsColKinds computes the columnar endpoint kinds of a bolt's stage
+// pipeline: the kind its first stage consumes and the kind its last
+// stage produces. It returns (nil, nil) unless every stage exposes the
+// batch interface and the kinds chain stage to stage — the same
+// condition under which fusedBolt runs its batch pipeline — so the
+// compiler never declares an edge columnar that the bolt would only
+// ever drain row by row.
+func opsColKinds(ops []core.Operator) (in, out *stream.ColKind) {
+	var prev *stream.ColKind
+	for i, op := range ops {
+		co, ok := op.(core.ColOperator)
+		if !ok || co.InColKind() == nil {
+			return nil, nil
+		}
+		if i == 0 {
+			in = co.InColKind()
+		} else if prev != co.InColKind() {
+			return nil, nil
+		}
+		prev = co.OutColKind()
+		if prev == nil && i < len(ops)-1 {
+			return nil, nil
+		}
+	}
+	return in, prev
+}
+
 // groupingFor selects the semantics-preserving grouping for the
 // connection into node n (Theorem 4.3). A fused sort forces key
 // routing even if the downstream operator alone would allow shuffle.
@@ -431,6 +516,29 @@ type instanceBolt struct{ inst core.Instance }
 
 // Next implements storm.Bolt.
 func (b instanceBolt) Next(e stream.Event, emit func(stream.Event)) { b.inst.Next(e, emit) }
+
+// InColKind implements storm.ColProcessor: non-nil exactly when the
+// wrapped instance consumes typed column batches.
+func (b instanceBolt) InColKind() *stream.ColKind {
+	if bi, ok := b.inst.(core.BatchInstance); ok {
+		return bi.InColKind()
+	}
+	return nil
+}
+
+// OutColKind implements storm.ColProcessor.
+func (b instanceBolt) OutColKind() *stream.ColKind {
+	if bi, ok := b.inst.(core.BatchInstance); ok {
+		return bi.OutColKind()
+	}
+	return nil
+}
+
+// ProcessCols implements storm.ColProcessor. The runtime calls it only
+// when InColKind is non-nil, i.e. the instance is a BatchInstance.
+func (b instanceBolt) ProcessCols(in, out stream.Columns) {
+	b.inst.(core.BatchInstance).ProcessCols(in, out)
+}
 
 // snapshotBolt is an instanceBolt whose instance can checkpoint; it
 // additionally implements storm.Recoverable, so the runtime's

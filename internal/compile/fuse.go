@@ -29,10 +29,24 @@ type fusedBolt struct {
 	// chain would otherwise lose by sharing one executor's histograms.
 	// Shared atomics owned by the compilation's Plan.
 	counts []*atomic.Int64
+	// stagesB is the batch view of insts when every stage processes
+	// typed columns and the kinds chain; nil disables ProcessCols.
+	stagesB  []core.BatchInstance
+	batchIn  *stream.ColKind
+	batchOut *stream.ColKind
+	// chain is the closure-chained view of stagesB: each stage's typed
+	// output closure is bound to the next stage's per-row entry, so one
+	// ProcessCols call on the head stage runs the whole chain as a
+	// single loop over the input columns, with no intermediate batches.
+	// nil when any stage declines chaining; chainTail is the last stage,
+	// which holds the caller's output batch during the call.
+	chain     []core.ColChain
+	chainTail core.ColChain
 }
 
 func newFusedBolt(insts []core.Instance, counts []*atomic.Int64) storm.Bolt {
 	f := &fusedBolt{insts: insts, counts: counts}
+	f.initCols()
 	f.feeds = make([]func(stream.Event), len(insts))
 	last := len(insts) - 1
 	f.feeds[last] = func(e stream.Event) { f.outer(e) }
@@ -62,6 +76,108 @@ func (f *fusedBolt) Next(e stream.Event, emit func(stream.Event)) {
 		f.counts[0].Add(1)
 	}
 	f.insts[0].Next(e, f.feeds[0])
+}
+
+// initCols decides whether the chain can run batch-at-a-time: every
+// stage must be a core.BatchInstance and each stage's output kind must
+// be exactly (canonically) the next stage's input kind. Chains the
+// compiler fuses are all-stateless, which satisfies both, so in
+// practice a fused chain on a columnar edge becomes a single loop over
+// typed columns per stage with no per-event calls at all.
+func (f *fusedBolt) initCols() {
+	bs := make([]core.BatchInstance, len(f.insts))
+	for i, in := range f.insts {
+		b, ok := in.(core.BatchInstance)
+		if !ok || b.InColKind() == nil {
+			return
+		}
+		if i > 0 && bs[i-1].OutColKind() != b.InColKind() {
+			return
+		}
+		bs[i] = b
+	}
+	f.stagesB = bs
+	f.batchIn = bs[0].InColKind()
+	f.batchOut = bs[len(bs)-1].OutColKind()
+	f.initChain(bs)
+}
+
+// initChain upgrades the stage-by-stage batch pipeline to a single
+// loop: when every stage supports closure chaining, stage i's output
+// is bound to stage i+1's per-row entry, so rows flow through the
+// whole chain by direct typed calls. The kinds already chain
+// (initCols checked canonical pointer equality), so the typed binds
+// cannot mismatch; a failed bind means kind canonicalization is
+// broken and nothing downstream can be trusted, hence the panic.
+func (f *fusedBolt) initChain(bs []core.BatchInstance) {
+	if len(bs) < 2 {
+		return
+	}
+	cc := make([]core.ColChain, len(bs))
+	for i, b := range bs {
+		c, ok := b.(core.ColChain)
+		if !ok {
+			return
+		}
+		cc[i] = c
+	}
+	for i := 0; i < len(cc)-1; i++ {
+		if !cc[i].BindRowOut(cc[i+1].RowEmit()) {
+			panic(fmt.Sprintf("compile: fused stage %d row type does not match stage %d input despite chained kinds", i, i+1))
+		}
+	}
+	f.chain = cc
+	f.chainTail = cc[len(cc)-1]
+}
+
+// InColKind implements storm.ColProcessor.
+func (f *fusedBolt) InColKind() *stream.ColKind { return f.batchIn }
+
+// OutColKind implements storm.ColProcessor.
+func (f *fusedBolt) OutColKind() *stream.ColKind { return f.batchOut }
+
+// ProcessCols implements storm.ColProcessor: the batch form of Next,
+// feeding whole column batches through the stage pipeline. When the
+// chain is closure-bound, the head stage's loop IS the whole chain —
+// its rows cascade through the bound closures and land in out via the
+// tail's parked batch, with no intermediate materialization. Per-stage
+// delivery tallies accumulate in plain per-instance counters and flush
+// to the shared atomics once per batch, keeping Plan.StageCounts
+// consistent with the boxed path. Otherwise stage boundaries use
+// pooled intermediate batches owned (and released) here; in and out
+// belong to the caller.
+func (f *fusedBolt) ProcessCols(in, out stream.Columns) {
+	if f.chain != nil {
+		f.chainTail.SetOutBatch(out)
+		f.stagesB[0].ProcessCols(in, nil)
+		f.chainTail.SetOutBatch(nil)
+		if f.counts != nil {
+			f.counts[0].Add(int64(in.Len()))
+		}
+		for i := 1; i < len(f.chain); i++ {
+			n := f.chain[i].TakeRows()
+			if f.counts != nil {
+				f.counts[i].Add(n)
+			}
+		}
+		return
+	}
+	last := len(f.stagesB) - 1
+	cur := in
+	for i, b := range f.stagesB {
+		if f.counts != nil {
+			f.counts[i].Add(int64(cur.Len()))
+		}
+		next := out
+		if i < last {
+			next = b.OutColKind().Get()
+		}
+		b.ProcessCols(cur, next)
+		if i > 0 {
+			cur.Release()
+		}
+		cur = next
+	}
 }
 
 // Snapshot implements storm.Recoverable: the fused bolt's checkpoint

@@ -23,8 +23,12 @@ type Plan struct {
 	// happened (a fused SORT appears as its own stage).
 	Bolts []PlanBolt
 	// CombinedEdges lists the edges carrying sender-side combining
-	// buffers (the Combiners pass).
+	// buffers (the Combiners pass); Columnar marks the typed variant.
 	CombinedEdges []PlanEdge
+	// ColumnarEdges lists the (non-combined) edges selected for the
+	// typed struct-of-arrays transport: both endpoints exposed the same
+	// canonical column kind.
+	ColumnarEdges []PlanEdge
 	// Placement maps each emitted executor to its worker when
 	// Options.Workers is set (the same table every worker process of
 	// a networked run computes); nil when placement is off.
@@ -42,11 +46,14 @@ type PlanBolt struct {
 	counts []*atomic.Int64
 }
 
-// PlanEdge is one combined connection.
+// PlanEdge is one combined or columnar connection.
 type PlanEdge struct {
 	From, To string
-	// Cap is the combining buffer's distinct-key capacity.
+	// Cap is the combining buffer's distinct-key capacity (combined
+	// edges only).
 	Cap int
+	// Columnar reports that the edge moves typed column batches.
+	Columnar bool
 }
 
 // StageCount is one fused stage's delivery count.
@@ -100,7 +107,14 @@ func (p *Plan) String() string {
 		}
 	}
 	for _, e := range p.CombinedEdges {
-		fmt.Fprintf(&b, "  edge %s → %s combined (cap %d)\n", e.From, e.To, e.Cap)
+		kind := "combined"
+		if e.Columnar {
+			kind = "combined typed"
+		}
+		fmt.Fprintf(&b, "  edge %s → %s %s (cap %d)\n", e.From, e.To, kind, e.Cap)
+	}
+	for _, e := range p.ColumnarEdges {
+		fmt.Fprintf(&b, "  edge %s → %s columnar\n", e.From, e.To)
 	}
 	for _, pl := range p.Placement {
 		fmt.Fprintf(&b, "  %s[%d] → worker %d (gid %d)\n", pl.Component, pl.Instance, pl.Worker, pl.GID)

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"datatrace/internal/stream"
+)
+
+// This file is the batch-at-a-time (columnar) surface of the operator
+// templates. An operator that declares concrete column kinds lets the
+// compiler select the typed struct-of-arrays transport for its edges,
+// and its instances process whole column batches in one call —
+// turning per-event virtual dispatch and interface boxing into tight
+// loops over typed slices.
+//
+// Markers never appear in column batches: they always travel boxed
+// through Instance.Next, so every template's marker logic (state
+// rollover, window emission, forwarding) is shared verbatim between
+// the boxed and columnar paths. A batch therefore denotes a fragment
+// of one block's items, and processing it row-by-row is exactly the
+// per-event semantics — the equivalence the differential tests check.
+
+// ColOperator is implemented by operators whose instances can consume
+// (and possibly produce) typed column batches. A nil kind means "no
+// columnar interface on that side": the compiler then keeps the boxed
+// transport for the corresponding edges.
+type ColOperator interface {
+	Operator
+	// InColKind is the kind of batch instances accept, nil when the
+	// operator (in its current configuration) cannot consume batches.
+	InColKind() *stream.ColKind
+	// OutColKind is the kind of batch instances produce between
+	// markers, nil when the operator emits only boxed events (e.g. a
+	// keyed aggregation that outputs at markers only).
+	OutColKind() *stream.ColKind
+}
+
+// BatchInstance is the instance-side counterpart of ColOperator.
+type BatchInstance interface {
+	Instance
+	InColKind() *stream.ColKind
+	OutColKind() *stream.ColKind
+	// ProcessCols consumes every row of in, appending any output rows
+	// to out. out is non-nil exactly when OutColKind is non-nil; in is
+	// never nil. The implementation must not retain in, out or their
+	// column slices past the call — both batches belong to recycled
+	// arenas (dttlint rule DTT007 enforces this).
+	ProcessCols(in, out stream.Columns)
+}
+
+// ColChain is implemented by batch instances whose per-row work can be
+// composed by typed closure chaining: the fusion pass binds each
+// stage's output closure to the next stage's per-row entry point, so a
+// fused stateless chain processes a column batch in ONE loop — no
+// intermediate batches, no per-stage passes, no per-row dispatch. The
+// any-typed closures are asserted back to their concrete func(K, V)
+// form once at bind time (per topology), never per row.
+type ColChain interface {
+	// RowEmit returns the instance's typed per-row entry point as a
+	// func(K, V) boxed in any. The closure tallies every row delivered
+	// to it; TakeRows drains the tally.
+	RowEmit() any
+	// BindRowOut redirects the instance's columnar output to out, a
+	// func(L, W) boxed in any — normally the next stage's RowEmit.
+	// Reports whether out has the instance's output row type; a false
+	// return leaves the instance unchanged.
+	BindRowOut(out any) bool
+	// SetOutBatch points the instance's output at a concrete batch for
+	// the duration of one fused call (used on the chain's tail); nil
+	// drops the reference, since the batch belongs to a recycled arena.
+	SetOutBatch(oc stream.Columns)
+	// TakeRows returns and resets the number of rows RowEmit received
+	// since the last call — the chained form of per-stage delivery
+	// counts.
+	TakeRows() int64
+}
+
+// ---------------------------------------------------------------------------
+// Stateless: full columnar in and out.
+// ---------------------------------------------------------------------------
+
+// InColKind implements ColOperator.
+func (s *Stateless[K, V, L, W]) InColKind() *stream.ColKind { return stream.ColKindFor[K, V]() }
+
+// OutColKind implements ColOperator.
+func (s *Stateless[K, V, L, W]) OutColKind() *stream.ColKind { return stream.ColKindFor[L, W]() }
+
+// InColKind implements BatchInstance.
+func (in *statelessInstance[K, V, L, W]) InColKind() *stream.ColKind {
+	return stream.ColKindFor[K, V]()
+}
+
+// OutColKind implements BatchInstance.
+func (in *statelessInstance[K, V, L, W]) OutColKind() *stream.ColKind {
+	return stream.ColKindFor[L, W]()
+}
+
+// ProcessCols implements BatchInstance: OnItem over typed columns,
+// with a single per-instance emit closure appending to the current
+// output batch. A nil oc means the instance heads a closure-chained
+// fusion (see ColChain): its colOut was bound to the next stage's
+// per-row entry, so the loop below IS the whole chain's loop.
+func (in *statelessInstance[K, V, L, W]) ProcessCols(ic, oc stream.Columns) {
+	tin := ic.(*stream.Cols[K, V])
+	if oc != nil {
+		in.curOut = oc.(*stream.Cols[L, W])
+	}
+	in.ensureColOut()
+	onItem := in.op.OnItem
+	out := in.colOut
+	keys, vals := tin.Keys, tin.Vals
+	for i := range keys {
+		onItem(out, keys[i], vals[i])
+	}
+	in.curOut = nil
+}
+
+// ensureColOut installs the default columnar output closure — append
+// to the instance's current output batch — unless BindRowOut already
+// redirected the output into the next fused stage.
+func (in *statelessInstance[K, V, L, W]) ensureColOut() {
+	if in.colOut == nil {
+		in.colOut = func(key L, value W) { in.curOut.Append(key, value) }
+	}
+}
+
+// RowEmit implements ColChain. The closure reads in.colOut through
+// the receiver on every row, so binding THIS instance's output later
+// keeps the chain composing transitively.
+func (in *statelessInstance[K, V, L, W]) RowEmit() any {
+	in.ensureColOut()
+	return func(key K, value V) {
+		in.rows++
+		in.op.OnItem(in.colOut, key, value)
+	}
+}
+
+// BindRowOut implements ColChain.
+func (in *statelessInstance[K, V, L, W]) BindRowOut(out any) bool {
+	f, ok := out.(func(key L, value W))
+	if ok {
+		in.colOut = f
+	}
+	return ok
+}
+
+// SetOutBatch implements ColChain.
+func (in *statelessInstance[K, V, L, W]) SetOutBatch(oc stream.Columns) {
+	if oc == nil {
+		in.curOut = nil
+		return
+	}
+	in.curOut = oc.(*stream.Cols[L, W])
+	in.ensureColOut()
+}
+
+// TakeRows implements ColChain.
+func (in *statelessInstance[K, V, L, W]) TakeRows() int64 {
+	r := in.rows
+	in.rows = 0
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// KeyedUnordered: columnar in (items only fold into per-key
+// aggregates), boxed out (output happens at markers, which stay on
+// the boxed path).
+// ---------------------------------------------------------------------------
+
+// InColKind implements ColOperator. A non-nil OnItem observes (and may
+// emit on) individual arrivals, which needs the boxed per-event path;
+// the operator then declines batches, exactly as it declines the
+// combiner pass.
+func (o *KeyedUnordered[K, V, L, W, S, A]) InColKind() *stream.ColKind {
+	if o.OnItem != nil {
+		return nil
+	}
+	return stream.ColKindFor[K, V]()
+}
+
+// OutColKind implements ColOperator: output is marker-driven and
+// boxed.
+func (o *KeyedUnordered[K, V, L, W, S, A]) OutColKind() *stream.ColKind { return nil }
+
+// InColKind implements BatchInstance.
+func (in *keyedUnorderedInstance[K, V, L, W, S, A]) InColKind() *stream.ColKind {
+	return in.op.InColKind()
+}
+
+// OutColKind implements BatchInstance.
+func (in *keyedUnorderedInstance[K, V, L, W, S, A]) OutColKind() *stream.ColKind { return nil }
+
+// ProcessCols implements BatchInstance: the Table 3 item step —
+// fold into the per-key aggregate — over typed columns.
+func (in *keyedUnorderedInstance[K, V, L, W, S, A]) ProcessCols(ic, _ stream.Columns) {
+	op := in.op
+	if op.OnItem != nil {
+		panic(fmt.Sprintf("%s: ProcessCols on a keyed-unordered operator with OnItem", op.OpName))
+	}
+	tin := ic.(*stream.Cols[K, V])
+	for i, key := range tin.Keys {
+		r, ok := in.stateMap[key]
+		if !ok {
+			r = &kuRecord[S, A]{agg: op.ID(), state: in.startS}
+			in.stateMap[key] = r
+			in.keys = append(in.keys, key)
+		}
+		r.agg = op.Combine(r.agg, op.In(key, tin.Vals[i]))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SlidingAggregate: columnar in, boxed (marker-driven) out.
+// ---------------------------------------------------------------------------
+
+// InColKind implements ColOperator.
+func (o *SlidingAggregate[K, V, A]) InColKind() *stream.ColKind { return stream.ColKindFor[K, V]() }
+
+// OutColKind implements ColOperator.
+func (o *SlidingAggregate[K, V, A]) OutColKind() *stream.ColKind { return nil }
+
+// InColKind implements BatchInstance.
+func (in *slidingInstance[K, V, A]) InColKind() *stream.ColKind { return stream.ColKindFor[K, V]() }
+
+// OutColKind implements BatchInstance.
+func (in *slidingInstance[K, V, A]) OutColKind() *stream.ColKind { return nil }
+
+// ProcessCols implements BatchInstance: the current-block fold over
+// typed columns.
+func (in *slidingInstance[K, V, A]) ProcessCols(ic, _ stream.Columns) {
+	op := in.op
+	tin := ic.(*stream.Cols[K, V])
+	for i, key := range tin.Keys {
+		w, ok := in.wins[key]
+		if !ok {
+			w = &keyWindow[A]{cur: op.ID(), fifo: newFifoAgg(op.ID, op.Combine)}
+			in.wins[key] = w
+			in.keys = append(in.keys, key)
+		}
+		w.cur = op.Combine(w.cur, op.In(key, tin.Vals[i]))
+		w.dirty = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed sender-side combining.
+// ---------------------------------------------------------------------------
+
+// ColCombinable is implemented by operators that admit *typed*
+// sender-side pre-aggregation: the columnar counterpart of Combinable.
+// The compiler prefers it on columnar combined edges so the fold runs
+// over typed rows with no boxing.
+type ColCombinable interface {
+	Combinable
+	// ColCombiner returns the input kind the buffer folds (the
+	// operator's raw (K,V) rows), the output kind it drains (the
+	// pre-combined (K,A) rows the PreCombined operator consumes), and
+	// a factory for per-destination buffers. ok is false under exactly
+	// the conditions CombinerMonoid declines.
+	ColCombiner() (in, out *stream.ColKind, mk func() stream.ColCombiner, ok bool)
+}
+
+// ColCombiner implements ColCombinable.
+func (o *KeyedUnordered[K, V, L, W, S, A]) ColCombiner() (*stream.ColKind, *stream.ColKind, func() stream.ColCombiner, bool) {
+	if o.OnItem != nil {
+		return nil, nil, nil, false
+	}
+	mk := func() stream.ColCombiner {
+		return &colCombiner[K, V, A]{in: o.In, combine: o.Combine, idx: map[K]int{}}
+	}
+	return stream.ColKindFor[K, V](), stream.ColKindFor[K, A](), mk, true
+}
+
+// ColCombiner implements ColCombinable.
+func (o *SlidingAggregate[K, V, A]) ColCombiner() (*stream.ColKind, *stream.ColKind, func() stream.ColCombiner, bool) {
+	mk := func() stream.ColCombiner {
+		return &colCombiner[K, V, A]{in: o.In, combine: o.Combine, idx: map[K]int{}}
+	}
+	return stream.ColKindFor[K, V](), stream.ColKindFor[K, A](), mk, true
+}
+
+// colCombiner is the typed per-destination combining buffer: per-key
+// partial aggregates with first-seen key order, so drains are
+// deterministic for a deterministic input order.
+type colCombiner[K comparable, V, A any] struct {
+	in      func(K, V) A
+	combine func(A, A) A
+	idx     map[K]int
+	keys    []K
+	aggs    []A
+	ins     int
+}
+
+func (c *colCombiner[K, V, A]) fold(k K, v V) {
+	c.ins++
+	if i, ok := c.idx[k]; ok {
+		c.aggs[i] = c.combine(c.aggs[i], c.in(k, v))
+		return
+	}
+	c.idx[k] = len(c.keys)
+	c.keys = append(c.keys, k)
+	c.aggs = append(c.aggs, c.in(k, v))
+}
+
+// Fold implements stream.ColCombiner.
+func (c *colCombiner[K, V, A]) Fold(in stream.Columns, i int) bool {
+	tc, ok := in.(*stream.Cols[K, V])
+	if !ok {
+		return false
+	}
+	c.fold(tc.Keys[i], tc.Vals[i])
+	return true
+}
+
+// FoldEvent implements stream.ColCombiner.
+func (c *colCombiner[K, V, A]) FoldEvent(e stream.Event) {
+	c.fold(e.Key.(K), e.Value.(V))
+}
+
+// Drain implements stream.ColCombiner.
+func (c *colCombiner[K, V, A]) Drain(out stream.Columns) (int, int) {
+	tc := out.(*stream.Cols[K, A])
+	tc.Keys = append(tc.Keys, c.keys...)
+	tc.Vals = append(tc.Vals, c.aggs...)
+	ins, outs := c.ins, len(c.keys)
+	for _, k := range c.keys {
+		delete(c.idx, k)
+	}
+	c.keys = c.keys[:0]
+	c.aggs = c.aggs[:0]
+	c.ins = 0
+	return ins, outs
+}
+
+// Len implements stream.ColCombiner.
+func (c *colCombiner[K, V, A]) Len() int { return len(c.keys) }

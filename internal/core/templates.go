@@ -65,6 +65,12 @@ type statelessInstance[K, V, L, W any] struct {
 	op   *Stateless[K, V, L, W]
 	emit func(stream.Event)
 	out  Emit[L, W]
+	// curOut/colOut implement the columnar emit callback (see
+	// ProcessCols in batch.go) with one closure per instance. rows
+	// tallies RowEmit deliveries for chained fusion (see ColChain).
+	curOut *stream.Cols[L, W]
+	colOut Emit[L, W]
+	rows   int64
 }
 
 func (in *statelessInstance[K, V, L, W]) Next(e stream.Event, emit func(stream.Event)) {

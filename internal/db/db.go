@@ -178,17 +178,20 @@ func (t *Table) normalize(col int, v any) (any, error) {
 		case int:
 			return int64(x), nil
 		case int64:
-			return x, nil
+			// Return the incoming interface value, not the unboxed x:
+			// re-boxing an int64 into a fresh `any` allocates, and this
+			// runs once per point lookup on the enrichment hot path.
+			return v, nil
 		}
 		return nil, fmt.Errorf("db: %s.%s: want INT, got %T", t.name, t.cols[col].Name, v)
 	case Float:
-		if x, ok := v.(float64); ok {
-			return x, nil
+		if _, ok := v.(float64); ok {
+			return v, nil
 		}
 		return nil, fmt.Errorf("db: %s.%s: want FLOAT, got %T", t.name, t.cols[col].Name, v)
 	case String:
-		if x, ok := v.(string); ok {
-			return x, nil
+		if _, ok := v.(string); ok {
+			return v, nil
 		}
 		return nil, fmt.Errorf("db: %s.%s: want STRING, got %T", t.name, t.cols[col].Name, v)
 	default:
@@ -273,7 +276,9 @@ func removePK(idx map[any][]any, val, pk any) {
 	}
 }
 
-// Get returns the row with the given primary key.
+// Get returns the row with the given primary key. The row is a
+// defensive copy; point lookups that only need one column should use
+// GetVal, which does not allocate.
 func (t *Table) Get(pk any) (Row, bool) {
 	t.simulate()
 	if nv, err := t.normalize(t.pk, pk); err == nil {
@@ -286,6 +291,39 @@ func (t *Table) Get(pk any) (Row, bool) {
 		return nil, false
 	}
 	return append(Row(nil), row...), true
+}
+
+// GetVal returns one column of the row with the given primary key,
+// without copying the row — the allocation-free point lookup of the
+// enrichment hot path (stored values are immutable once inserted, so
+// handing out the boxed cell is safe).
+func (t *Table) GetVal(pk any, col int) (any, bool) {
+	t.simulate()
+	if nv, err := t.normalize(t.pk, pk); err == nil {
+		pk = nv
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, false
+	}
+	return row[col], true
+}
+
+// GetIntVal is GetVal for tables with an INT primary key: the typed
+// argument avoids boxing the key into an interface on every call,
+// which on the per-event enrichment path is one heap allocation per
+// lookup.
+func (t *Table) GetIntVal(pk int64, col int) (any, bool) {
+	t.simulate()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, false
+	}
+	return row[col], true
 }
 
 // LookupIndexed returns all rows whose indexed column equals val. The

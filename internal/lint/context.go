@@ -23,6 +23,7 @@ type hooks struct {
 	gobEncoder      types.Type       // encoding/gob.Encoder (named)
 	gobEncoderIface *types.Interface // encoding/gob.GobEncoder
 	streamEvent     types.Type       // stream.Event (named)
+	streamColumns   types.Type       // stream.Columns (named)
 	corePkg         string           // import path of internal/core
 	stormPkg        string           // import path of internal/storm
 }
@@ -84,6 +85,11 @@ func resolveHooks(ld *loader) (*hooks, error) {
 		h.streamEvent = obj.Type()
 	} else {
 		return nil, fmt.Errorf("lint: stream.Event not found")
+	}
+	if obj := strm.Types.Scope().Lookup("Columns"); obj != nil {
+		h.streamColumns = obj.Type()
+	} else {
+		return nil, fmt.Errorf("lint: stream.Columns not found")
 	}
 	// gob.Encoder comes off core.Snapshotter's own method signature,
 	// so the analyzer and the runtime can never disagree about which
@@ -163,9 +169,13 @@ var templateTypes = map[string]bool{
 }
 
 // hotMethodNames are the method names treated as bolt hot paths.
+// ProcessCols runs once per column batch — the batched form of Next —
+// so the ambient-nondeterminism and side-channel rules apply there
+// too (batch retention has its own rule, DTT007).
 var hotMethodNames = map[string]bool{
 	"Next": true, "NextFrom": true, "Flush": true,
-	"Execute": true, "Process": true,
+	"Execute": true, "Process": true, "ProcessCols": true,
+	"ProcessBatch": true,
 }
 
 // collectContexts finds every hot context in the package. Composite

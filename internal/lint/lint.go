@@ -20,6 +20,8 @@
 //	DTT004  Snapshotter state that gob cannot encode
 //	DTT005  goroutine spawns / raw channel sends in hot paths
 //	DTT006  mutable fields written on ParAny (stateless) operators
+//	DTT007  ProcessCols/ProcessBatch retaining a column batch alias
+//	        past the call (the batch belongs to a recycled arena)
 //
 // Diagnostics are `file:line:col [DTT00N] message`; a finding can be
 // suppressed with `//lint:ignore DTT00N reason` on the same line or
@@ -34,21 +36,22 @@ import (
 )
 
 // Diagnostic codes. DTT000 is reserved for malformed suppression
-// directives; DTT001–DTT006 are the streaming determinism rules.
+// directives; DTT001–DTT007 are the streaming determinism rules.
 const (
-	CodeDirective = "DTT000"
-	CodeMapOrder  = "DTT001"
-	CodeAmbient   = "DTT002"
-	CodeCapture   = "DTT003"
-	CodeSnapshot  = "DTT004"
-	CodeSideSpawn = "DTT005"
-	CodeStateless = "DTT006"
+	CodeDirective  = "DTT000"
+	CodeMapOrder   = "DTT001"
+	CodeAmbient    = "DTT002"
+	CodeCapture    = "DTT003"
+	CodeSnapshot   = "DTT004"
+	CodeSideSpawn  = "DTT005"
+	CodeStateless  = "DTT006"
+	CodeRetainCols = "DTT007"
 )
 
 // Codes lists every diagnostic code the analyzer can emit, in order.
 var Codes = []string{
 	CodeDirective, CodeMapOrder, CodeAmbient, CodeCapture,
-	CodeSnapshot, CodeSideSpawn, CodeStateless,
+	CodeSnapshot, CodeSideSpawn, CodeStateless, CodeRetainCols,
 }
 
 // Diagnostic is one analyzer finding.
@@ -177,6 +180,7 @@ func (a *analyzer) analyze(p *Package) {
 	}
 	a.rule004(p)
 	a.rule006(p)
+	a.rule007(p)
 }
 
 // finish applies suppression, dedupes and orders the diagnostics.

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DTT007 — ProcessCols/ProcessBatch must not retain column batches.
+//
+// A Columns batch (and every slice aliasing its columns) belongs to a
+// recycled arena: the transport releases it back to its kind's pool
+// the moment the call returns, and the next batch of the same kind
+// overwrites the backing arrays in place. An implementation that
+// stores the batch, a column slice, or a sub-slice of one anywhere
+// that outlives the call — a receiver field, a package variable —
+// holds a use-after-reuse alias: the retained rows silently mutate
+// into a later block's rows, which is precisely the cross-block state
+// leak the buffers-empty-at-cut invariant forbids. Copy the rows out
+// (element reads are value copies and always safe) or process them
+// before returning.
+//
+// Stashing a batch in a receiver field *during* the call — e.g. so a
+// cached emit closure can reach the current output batch — is
+// permitted when the method provably drops the alias before
+// returning: a later `recv.field = nil` assignment in the same body
+// exempts the store.
+func (a *analyzer) rule007(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "ProcessCols" && fd.Name.Name != "ProcessBatch" {
+				continue
+			}
+			if !a.hasColumnsParam(p, fd) {
+				continue
+			}
+			a.checkColRetention(p, fd)
+		}
+	}
+}
+
+// hasColumnsParam reports whether the method takes at least one
+// stream.Columns parameter — the anchor that makes a ProcessCols/
+// ProcessBatch method the batch hot path (duck-typed, like the bolt
+// shape: the name plus the batch parameter is the contract, whether
+// or not the receiver nominally implements core.BatchInstance).
+func (a *analyzer) hasColumnsParam(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && types.Identical(t, a.hooks.streamColumns) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkColRetention runs the taint walk over one method body.
+func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
+	recvObj := receiverObject(p, fd)
+	// Taint roots: the Columns-typed parameters.
+	tainted := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil || !types.Identical(t, a.hooks.streamColumns) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// exprTainted reports whether evaluating e yields the batch or an
+	// alias of its columns. Indexing is a value copy and therefore
+	// clean; selectors (tc.Keys), sub-slices, type assertions and the
+	// Slices() accessor keep the alias.
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return tainted[p.Info.ObjectOf(e)]
+		case *ast.ParenExpr:
+			return exprTainted(e.X)
+		case *ast.TypeAssertExpr:
+			return exprTainted(e.X)
+		case *ast.SelectorExpr:
+			return exprTainted(e.X)
+		case *ast.SliceExpr:
+			return exprTainted(e.X)
+		case *ast.UnaryExpr:
+			return exprTainted(e.X)
+		case *ast.StarExpr:
+			return exprTainted(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if exprTainted(elt) {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			switch fn := e.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "append" {
+					for _, arg := range e.Args {
+						if exprTainted(arg) {
+							return true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// batch.Slices() hands out the typed column slices.
+				if fn.Sel.Name == "Slices" && exprTainted(fn.X) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	type fieldStore struct {
+		field string
+		pos   token.Pos
+	}
+	var stores []fieldStore
+	clears := map[string]token.Pos{} // field → latest nil-assignment
+
+	// Unlike the per-context rules, this walk descends into nested
+	// function literals: a closure that writes a tainted alias to a
+	// field retains it just the same.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		multi := len(as.Lhs) > 1 && len(as.Rhs) == 1
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if multi {
+				rhs = as.Rhs[0] // a, b := batch.Slices(): both taint
+			} else if i < len(as.Rhs) {
+				rhs = as.Rhs[i]
+			} else {
+				continue
+			}
+			isNil := false
+			if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+				_, isNil = p.Info.ObjectOf(id).(*types.Nil)
+			}
+			rt := exprTainted(rhs)
+
+			// Receiver-field target: recv.f, recv.f[i], chains.
+			if recvObj != nil {
+				if field := receiverFieldTarget(p, lhs, recvObj); field != "" {
+					if rt {
+						stores = append(stores, fieldStore{field, as.Pos()})
+					} else if isNil {
+						if prev, ok := clears[field]; !ok || as.Pos() > prev {
+							clears[field] = as.Pos()
+						}
+					}
+					continue
+				}
+			}
+			// Package-level variable target.
+			if rt {
+				if root := rootIdent(lhs); root != nil {
+					if obj := p.Info.ObjectOf(root); obj != nil && obj.Parent() == p.Types.Scope() {
+						a.reportf(as.Pos(), CodeRetainCols,
+							"%s stores a column batch alias in package variable %q: the batch belongs to a recycled arena and is reused after the call, so the retained slice silently becomes a later block's rows — copy the rows out instead",
+							fd.Name.Name, root.Name)
+						continue
+					}
+				}
+				// Taint propagates through plain local assignment.
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, s := range stores {
+		if pos, ok := clears[s.field]; ok && pos > s.pos {
+			continue // stash-and-clear: alias dropped before return
+		}
+		a.reportf(s.pos, CodeRetainCols,
+			"%s retains a column batch alias in receiver field %q past the call: the batch belongs to a recycled arena and its columns are overwritten by a later batch, turning the field into cross-block state the marker-cut invariant forbids — copy the rows out, or clear the field (= nil) before returning",
+			fd.Name.Name, s.field)
+	}
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

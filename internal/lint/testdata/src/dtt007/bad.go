@@ -1,0 +1,57 @@
+// Package dtt007 exercises DTT007: ProcessCols/ProcessBatch
+// implementations that retain the column batch — or a slice aliasing
+// its columns — past the call. The batch belongs to a recycled arena,
+// so every retained alias silently becomes a later block's rows.
+package dtt007
+
+import (
+	"datatrace/internal/stream"
+)
+
+// lastBatch is a package-level stash — the worst place for an arena
+// alias to land.
+var lastBatch stream.Columns
+
+// leakyInst retains batch aliases four different ways.
+type leakyInst struct {
+	lastIn  stream.Columns
+	keys    []int64
+	rawKeys any
+	rawVals any
+}
+
+// Next implements core.Instance (boxed fallback path).
+func (in *leakyInst) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessCols retains its input batch, a typed column slice, the
+// Slices() views and a package-level alias — all use-after-reuse.
+func (in *leakyInst) ProcessCols(ic, oc stream.Columns) {
+	in.lastIn = ic // want DTT007
+	tc := ic.(*stream.Cols[int64, int64])
+	in.keys = tc.Keys                    // want DTT007
+	in.rawKeys, in.rawVals = ic.Slices() // want DTT007 DTT007
+	lastBatch = oc                       // want DTT007
+	for i := range tc.Keys {
+		oc.AppendRow(ic, i)
+	}
+}
+
+// renamer launders the alias through a local before stashing it: the
+// taint follows the assignment chain.
+type renamer struct {
+	stash []int64
+}
+
+// Next implements core.Instance.
+func (r *renamer) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessBatch is the alternative method name; sub-slices keep the
+// alias too.
+func (r *renamer) ProcessBatch(in, out stream.Columns) {
+	tc := in.(*stream.Cols[int64, int64])
+	view := tc.Keys[1:]
+	r.stash = view // want DTT007
+	for i := range tc.Keys {
+		out.AppendRow(in, i)
+	}
+}

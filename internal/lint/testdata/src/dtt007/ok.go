@@ -1,0 +1,55 @@
+package dtt007
+
+import (
+	"datatrace/internal/stream"
+)
+
+// foldInst is a well-behaved batch consumer: it reads rows as value
+// copies, keeps only copied data, and its local batch aliases die
+// with the call.
+type foldInst struct {
+	sums map[int64]int64
+	seen []int64
+}
+
+// Next implements core.Instance.
+func (in *foldInst) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessCols folds rows into owned state. Indexing a column is a
+// value copy, so appending the copied key to a receiver field is
+// fine; the keys/vals locals alias the batch but never escape.
+func (in *foldInst) ProcessCols(ic, _ stream.Columns) {
+	tc := ic.(*stream.Cols[int64, int64])
+	keys, vals := tc.Keys, tc.Vals
+	for i, k := range keys {
+		if _, ok := in.sums[k]; !ok {
+			in.seen = append(in.seen, k)
+		}
+		in.sums[k] += vals[i]
+	}
+}
+
+// stashInst uses the stash-and-clear pattern: the current output
+// batch is parked in a receiver field so the cached emit closure can
+// reach it, and the alias is dropped before the method returns.
+type stashInst struct {
+	cur  *stream.Cols[int64, int64]
+	emit func(k, v int64)
+}
+
+// Next implements core.Instance.
+func (in *stashInst) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessCols parks oc in a field for the duration of the call only:
+// the trailing nil store provably drops the arena alias.
+func (in *stashInst) ProcessCols(ic, oc stream.Columns) {
+	tc := ic.(*stream.Cols[int64, int64])
+	in.cur = oc.(*stream.Cols[int64, int64])
+	if in.emit == nil {
+		in.emit = func(k, v int64) { in.cur.Append(k, v) }
+	}
+	for i, k := range tc.Keys {
+		in.emit(k, tc.Vals[i]*2)
+	}
+	in.cur = nil
+}

@@ -72,20 +72,20 @@ func NewEnv(cfg workload.YahooConfig, opDelay time.Duration) (*Env, error) {
 // CampaignOf performs the enrichment lookup all campaign-keyed
 // queries share: ad id → campaign id via the ads table.
 func (e *Env) CampaignOf(adID int64) int64 {
-	row, ok := e.Ads.Get(adID)
+	v, ok := e.Ads.GetIntVal(adID, 1)
 	if !ok {
 		panic(fmt.Sprintf("queries: ad %d missing from ads table", adID))
 	}
-	return row[1].(int64)
+	return v.(int64)
 }
 
 // LocationOf performs the user → location lookup of Queries III/VI.
 func (e *Env) LocationOf(userID int64) int64 {
-	row, ok := e.Users.Get(userID)
+	v, ok := e.Users.GetIntVal(userID, 1)
 	if !ok {
 		panic(fmt.Sprintf("queries: user %d missing from users table", userID))
 	}
-	return row[1].(int64)
+	return v.(int64)
 }
 
 // Enriched is a Yahoo event joined with its campaign (Query I).

@@ -177,9 +177,15 @@ func slidingCountOp() core.Operator {
 		Combine:      func(x, y int64) int64 { return x + y },
 		InitialState: func() SlidingState { return SlidingState{} },
 		UpdateState: func(old SlidingState, agg int64) SlidingState {
-			blocks := append(append([]int64(nil), old.Blocks...), agg)
+			// In place: the template owns each key's state exclusively
+			// (snapshots serialize it, restores decode fresh slices), so
+			// shifting within the existing backing array is safe and the
+			// steady state allocates nothing — the window length is
+			// pinned at SlidingWindowBlocks after warmup.
+			blocks := append(old.Blocks, agg)
 			if len(blocks) > SlidingWindowBlocks {
-				blocks = blocks[len(blocks)-SlidingWindowBlocks:]
+				copy(blocks, blocks[len(blocks)-SlidingWindowBlocks:])
+				blocks = blocks[:SlidingWindowBlocks]
 			}
 			return SlidingState{Blocks: blocks}
 		},

@@ -95,7 +95,7 @@ func (ns NetSpec) build() (*storm.Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildWith(env, ns.Spec, def, def.Sources(env, ns.SourcePar), ns.Workers)
+	return buildWith(env, ns.Spec, def, def.Sources(env, ns.SourcePar), def.ColSources(env, ns.SourcePar), ns.Workers)
 }
 
 // RunWorkerIfSpawned turns this process into a networked worker when

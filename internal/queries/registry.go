@@ -90,6 +90,13 @@ func (d Def) Sources(env *Env, n int) []workload.Iterator {
 	return parts
 }
 
+// ColSources builds the query's partitioned sources in columnar form:
+// the same event/marker sequence as Sources, usable as storm.ColSpout
+// so the compiled topology's source edges can move typed batches.
+func (d Def) ColSources(env *Env, n int) []*workload.YahooColSource {
+	return env.Gen.ColPartitions(n, d.KeyedSource)
+}
+
 // ReferenceInput materializes the full (merged) source stream, for
 // reference evaluations.
 func (d Def) ReferenceInput(env *Env) []stream.Event {
@@ -134,6 +141,11 @@ type Spec struct {
 	// NoCombiners disables the compiler's shuffle-side combiner pass
 	// (Generated variant only; the pass is on by default).
 	NoCombiners bool
+	// NoColumnar disables the columnar (struct-of-arrays) transport:
+	// boxed source spouts and boxed edge selection (Generated variant
+	// only; columnar selection is on by default). The differential
+	// tests use it to run the boxed oracle.
+	NoColumnar bool
 	// Rescale, when set, schedules live rescaling steps at marker cuts
 	// (requires Recovery; in-process runs only — networked runs rescale
 	// through storm.NetOptions.Rescale). Excluded from the networked
@@ -155,7 +167,7 @@ func Run(env *Env, spec Spec) (*storm.Result, error) {
 	if spec.SourcePar < 1 {
 		spec.SourcePar = 1
 	}
-	return runWith(env, spec, def, def.Sources(env, spec.SourcePar))
+	return runWith(env, spec, def, def.Sources(env, spec.SourcePar), def.ColSources(env, spec.SourcePar))
 }
 
 // RunOn executes the selected query variant on explicit per-partition
@@ -172,11 +184,13 @@ func RunOn(env *Env, spec Spec, parts [][]stream.Event) (*storm.Result, error) {
 	for i, p := range parts {
 		sources[i] = workload.Iterator(storm.SliceSpout(p))
 	}
-	return runWith(env, spec, def, sources)
+	// Explicit event slices have no columnar source form; edges between
+	// compiled bolts may still go columnar.
+	return runWith(env, spec, def, sources, nil)
 }
 
-func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.Result, error) {
-	top, err := buildWith(env, spec, def, sources, 0)
+func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator, cols []*workload.YahooColSource) (*storm.Result, error) {
+	top, err := buildWith(env, spec, def, sources, cols, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +200,10 @@ func runWith(env *Env, spec Spec, def Def, sources []workload.Iterator) (*storm.
 // buildWith constructs the selected variant's topology without
 // running it. workers > 0 places the executors (the networked runtime
 // builds with its worker count and serves its share; see netrun.go).
-func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, workers int) (*storm.Topology, error) {
+// cols, when non-nil, provides the generator-backed columnar source
+// spouts the Generated variant prefers unless spec.NoColumnar is set;
+// explicit-input runs (RunOn) pass nil and keep boxed sources.
+func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, cols []*workload.YahooColSource, workers int) (*storm.Topology, error) {
 	if spec.Par < 1 {
 		spec.Par = 1
 	}
@@ -197,6 +214,7 @@ func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, worker
 			FuseSort:   true,
 			FuseChains: !spec.NoFuseChains,
 			Combiners:  !spec.NoCombiners,
+			NoColumnar: spec.NoColumnar,
 			Workers:    workers,
 		}
 		if spec.Recovery {
@@ -209,11 +227,14 @@ func buildWith(env *Env, spec Spec, def Def, sources []workload.Iterator, worker
 		opts.Transport = spec.Transport
 		opts.Rescale = spec.Rescale
 		opts.Autoscale = spec.Autoscale
-		return compile.Compile(dag, map[string]compile.SourceSpec{
-			"yahoo": {Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
-				return storm.SpoutFunc(sources[i])
-			}},
-		}, opts)
+		srcSpec := compile.SourceSpec{Parallelism: spec.SourcePar, Factory: func(i int) storm.Spout {
+			return storm.SpoutFunc(sources[i])
+		}}
+		if len(cols) > 0 && !spec.NoColumnar {
+			srcSpec.Cols = cols[0].ColKind()
+			srcSpec.Factory = func(i int) storm.Spout { return cols[i] }
+		}
+		return compile.Compile(dag, map[string]compile.SourceSpec{"yahoo": srcSpec}, opts)
 	case Handcrafted:
 		top := def.Handcrafted(env, spec.Par, sources)
 		if spec.Obs {

@@ -15,14 +15,18 @@ import (
 )
 
 // message is one unit of executor input: an event tagged with the
-// receiver-side input channel it arrived on, or an end-of-stream
-// notice for that channel. Messages travel in vectors — the batched
-// edge transport (transport.go) groups them per destination — and
-// receivers unpack a vector one message at a time.
+// receiver-side input channel it arrived on, a typed column batch for
+// that channel, or an end-of-stream notice for it. Messages travel in
+// vectors — the batched edge transport (transport.go) groups them per
+// destination — and receivers unpack a vector one message at a time.
 type message struct {
 	ch  int
 	ev  stream.Event
 	eos bool
+	// cols, when set, makes this message a column batch of items only
+	// (markers never enter batches; see cols.go) and ev is unused. The
+	// receiver owns the batch and releases it after consumption.
+	cols stream.Columns
 	// sent is the send wall time (UnixNano) when observability is
 	// enabled, 0 otherwise; receivers derive emit-to-receive inbox
 	// latency from it.
@@ -60,6 +64,11 @@ type subscription struct {
 	// combiner, when set, pre-aggregates this edge's traffic in the
 	// sender's combining buffers (see combiner.go).
 	combiner *CombinerSpec
+	// cols, when set, declares the edge columnar: items travel as
+	// typed batches of this kind (see cols.go). colComb, when set, is
+	// the typed sender-side combining pass the rows fold through.
+	cols    *stream.ColKind
+	colComb *ColCombinerSpec
 }
 
 // runtimeComponent is a component with resolved wiring.
@@ -248,7 +257,7 @@ func (t *Topology) resolve(w *workerNet) (map[string]*runtimeComponent, error) {
 		offset := 0
 		for _, in := range rc.inputs {
 			src := rts[in.from]
-			src.subs = append(src.subs, subscription{to: rc, grouping: in.grouping, chBase: offset, combiner: in.combiner})
+			src.subs = append(src.subs, subscription{to: rc, grouping: in.grouping, chBase: offset, combiner: in.combiner, cols: in.cols, colComb: in.colComb})
 			offset += src.parallelism
 		}
 	}
@@ -410,13 +419,16 @@ type emitter struct {
 	// Batched transport state (see transport.go). bufs holds one send
 	// buffer per (subscription, destination instance), flattened;
 	// bufBase[si] indexes subscription si's instance-0 buffer. pending
-	// counts buffered events across all bufs; cpending counts partial
-	// aggregates held by combining buffers (combiner.go); oldest is
-	// the idle-flush deadline anchor (zero when nothing is pending).
+	// counts buffered messages across all bufs; cpending counts partial
+	// aggregates held by boxed combining buffers (combiner.go);
+	// colpending counts rows held by open column buffers plus keys held
+	// by columnar combining buffers (cols.go); oldest is the idle-flush
+	// deadline anchor (zero when nothing is pending).
 	bufs       []outBuf
 	bufBase    []int
 	pending    int
 	cpending   int
+	colpending int
 	oldest     time.Time
 	batchSize  int
 	flushEvery time.Duration
@@ -462,6 +474,14 @@ func (em *emitter) rebuildBufs() {
 			}
 			if sub.combiner != nil {
 				b.comb = &combBuf{spec: sub.combiner, ch: sub.chBase + em.instance, idx: map[any]int{}}
+			}
+			if sub.cols != nil {
+				b.colKind = sub.cols
+				b.colCh = sub.chBase + em.instance
+			}
+			if sub.colComb != nil {
+				b.colComb = sub.colComb.New()
+				b.colCap = sub.colComb.Cap
 			}
 			em.bufs[em.bufBase[si]+k] = b
 		}
@@ -641,6 +661,52 @@ func runSpout(rc *runtimeComponent, instance int, is *metrics.InstanceStats, has
 			}
 			return
 		}
+		// Columnar fast path (observability off): a ColSpout fills typed
+		// batches directly — no per-event boxing, one emitCols per
+		// batch, clock reads amortized per batch. Markers and EOS come
+		// through Next (NextCols returns 0 there), so punctuation and
+		// shutdown keep the boxed path's exact behavior, cut accounting
+		// included. Observability needs per-event stamps and latency, so
+		// it keeps the boxed loop.
+		if cs, isCol := spout.(ColSpout); isCol && !em.stamp {
+			if kind := cs.ColKind(); kind != nil {
+				batch := kind.Get()
+				t0 := time.Now()
+				for {
+					em.tickAt(t0)
+					if n := cs.NextCols(batch, em.batchSize); n > 0 {
+						if ef != nil {
+							for i := 0; i < n; i++ {
+								ef.onEvent(rc.name, instance)
+							}
+						}
+						is.AddExecuted(int64(n))
+						em.emitCols(batch)
+						batch = kind.Get()
+						t1 := time.Now()
+						is.AddBusy(t1.Sub(t0))
+						t0 = t1
+						continue
+					}
+					e, ok := spout.Next()
+					if !ok {
+						is.AddBusy(time.Since(t0))
+						break
+					}
+					is.AddExecuted(1)
+					ef.onEvent(rc.name, instance)
+					em.emit(e)
+					if e.IsMarker {
+						mark()
+					}
+					t1 := time.Now()
+					is.AddBusy(t1.Sub(t0))
+					t0 = t1
+				}
+				batch.Release()
+				return
+			}
+		}
 		// Fast path (observability off): clock reads and counter updates
 		// amortize over chunks of events — on a fast source the clock is
 		// a measurable share of the loop. The stride adapts: it doubles
@@ -706,16 +772,74 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 		bolt = rc.bolt(instance)
 	}
 
-	var merge *stream.MergeState
-	if rc.aligned {
-		merge = stream.NewMergeState(rc.nChannels)
-	}
 	emitFn := em.emit // one method-value closure per executor, not per event
 	deliver := func(e stream.Event) {
 		is.AddExecuted(1)
 		bolt.Next(e, emitFn)
 	}
 	chBolt, chAware := bolt.(ChannelBolt)
+	// Columnar receive state (cols.go): when the bolt consumes batches
+	// of the arriving kind, a whole batch goes through ProcessCols in
+	// one call; any other batch is delivered boxed row by row, so a
+	// bolt behind mixed or mismatched edges still sees every event.
+	cp, _ := bolt.(ColProcessor)
+	var inKind, outKind *stream.ColKind
+	if cp != nil {
+		inKind, outKind = cp.InColKind(), cp.OutColKind()
+	}
+	tryTyped := func(cols stream.Columns) bool {
+		if inKind == nil || cols.Kind() != inKind {
+			return false
+		}
+		is.AddExecuted(int64(cols.Len()))
+		var out stream.Columns
+		if outKind != nil {
+			out = outKind.Get()
+		}
+		cp.ProcessCols(cols, out)
+		if out != nil {
+			em.emitCols(out)
+		}
+		cols.Release()
+		return true
+	}
+	var merge *colMerge
+	if rc.aligned {
+		merge = newColMerge(rc.nChannels, deliver, func(c stream.Columns) {
+			if tryTyped(c) {
+				return
+			}
+			n := c.Len()
+			for i := 0; i < n; i++ {
+				deliver(c.EventAt(i))
+			}
+			c.Release()
+		})
+	}
+	// procCols consumes one arriving column batch: buffered by the
+	// aligned merger (delivered when its block completes), or processed
+	// immediately on raw inputs. ChannelBolts are never aligned-fed, so
+	// the raw fallback is the only place NextFrom sees unboxed rows.
+	procCols := func(ch int, cols stream.Columns) {
+		if merge != nil {
+			merge.NextCols(ch, cols)
+			return
+		}
+		if tryTyped(cols) {
+			return
+		}
+		n := cols.Len()
+		for i := 0; i < n; i++ {
+			e := cols.EventAt(i)
+			if chAware {
+				is.AddExecuted(1)
+				chBolt.NextFrom(ch, e, emitFn)
+			} else {
+				deliver(e)
+			}
+		}
+		cols.Release()
+	}
 	obs := is.ObsEnabled()
 	qskip := 1
 	eosLeft := rc.nChannels
@@ -741,13 +865,19 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 				continue
 			}
 			if dropping {
-				if !m.ev.IsMarker {
+				if m.cols != nil {
+					is.AddDropped(int64(m.cols.Len()))
+					m.cols.Release()
+				} else if !m.ev.IsMarker {
 					is.AddDropped(1)
 				}
 				bi++
 				continue
 			}
 			if err != nil {
+				if m.cols != nil {
+					m.cols.Release()
+				}
 				bi++
 				continue // failed executor keeps draining to its EOS
 			}
@@ -768,10 +898,19 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 							eosLeft--
 							continue
 						}
+						if m.cols != nil {
+							if ef != nil {
+								for i, n := 0, m.cols.Len(); i < n; i++ {
+									ef.onEvent(rc.name, instance)
+								}
+							}
+							procCols(m.ch, m.cols)
+							continue
+						}
 						ef.onEvent(rc.name, instance)
 						switch {
 						case merge != nil:
-							merge.Next(m.ch, m.ev, deliver)
+							merge.Next(m.ch, m.ev)
 						case chAware:
 							is.AddExecuted(1)
 							chBolt.NextFrom(m.ch, m.ev, emitFn)
@@ -783,7 +922,13 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 			} else {
 				err = guard(rc.name, instance, func() {
 					bi++
-					ef.onEvent(rc.name, instance)
+					if m.cols == nil {
+						ef.onEvent(rc.name, instance)
+					} else if ef != nil {
+						for i, n := 0, m.cols.Len(); i < n; i++ {
+							ef.onEvent(rc.name, instance)
+						}
+					}
 					t0 := time.Now()
 					now := t0.UnixNano()
 					em.now = now
@@ -798,8 +943,10 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 						}
 					}
 					switch {
+					case m.cols != nil:
+						procCols(m.ch, m.cols)
 					case merge != nil:
-						merge.Next(m.ch, m.ev, deliver)
+						merge.Next(m.ch, m.ev)
 					case chAware:
 						is.AddExecuted(1)
 						chBolt.NextFrom(m.ch, m.ev, emitFn)
@@ -834,9 +981,7 @@ func runBolt(rc *runtimeComponent, instance int, is *metrics.InstanceStats, hash
 				// Items of the final incomplete block (after the last
 				// marker on every channel) are delivered unaligned at
 				// shutdown.
-				for _, e := range merge.Trailing() {
-					deliver(e)
-				}
+				merge.Trailing()
 			}
 			if f, ok := bolt.(Flusher); ok {
 				f.Flush(emitFn)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"datatrace/internal/codec"
+	"datatrace/internal/stream"
 )
 
 // This file is the data plane of the networked runtime: the TCP form
@@ -33,28 +34,49 @@ import (
 // executor, which may then degrade per the drop-and-log policy.
 
 // toWireMsgs converts one transport vector into frame messages,
-// reusing scratch.
+// reusing scratch. A column batch ships as its two typed column
+// slices plus the kind's wire name — one type descriptor per slice
+// type per connection, no per-row boxing on the wire.
 func toWireMsgs(msgs []message, scratch []codec.WireMessage) []codec.WireMessage {
 	scratch = scratch[:0]
 	for i := range msgs {
 		m := &msgs[i]
-		scratch = append(scratch, codec.WireMessage{
-			Ch:   int32(m.ch),
-			EOS:  m.eos,
-			Sent: m.sent,
-			Ev:   codec.FromEvent(m.ev),
-		})
+		w := codec.WireMessage{Ch: int32(m.ch), EOS: m.eos, Sent: m.sent}
+		if m.cols != nil {
+			keys, vals := m.cols.Slices()
+			w.Cols = &codec.WireCols{Kind: m.cols.Kind().Name(), Keys: keys, Vals: vals}
+		} else {
+			w.Ev = codec.FromEvent(m.ev)
+		}
+		scratch = append(scratch, w)
 	}
 	return scratch
 }
 
 // frameToBatch converts a received frame's messages into a pooled
-// transport vector, ready for an inbox channel.
+// transport vector, ready for an inbox channel. Decoded column slices
+// are wrapped in a pooled batch, taking ownership — gob allocates
+// fresh slices per decode. Both sides of a link build the same
+// topology, so an unknown kind name (or mistyped slices) is a
+// deployment bug, not a recoverable event fault: it panics the
+// dispatcher, failing the worker attempt.
 func frameToBatch(ws []codec.WireMessage) *[]message {
 	bp := getBatch()
 	b := (*bp)[:0]
 	for i := range ws {
 		w := &ws[i]
+		if w.Cols != nil {
+			kind := stream.ColKindByName(w.Cols.Kind)
+			if kind == nil {
+				panic(fmt.Sprintf("net transport: received unknown column kind %q", w.Cols.Kind))
+			}
+			cols, err := kind.FromSlices(w.Cols.Keys, w.Cols.Vals)
+			if err != nil {
+				panic(fmt.Sprintf("net transport: %v", err))
+			}
+			b = append(b, message{ch: int(w.Ch), sent: w.Sent, cols: cols})
+			continue
+		}
 		b = append(b, message{ch: int(w.Ch), eos: w.EOS, sent: w.Sent, ev: w.Ev.Event()})
 	}
 	*bp = b
@@ -131,6 +153,14 @@ type netSink struct {
 
 func (s netSink) deliver(b *[]message) {
 	err := s.link.send(s.dest, *b)
+	// Column batches are released only after send returns: the frame
+	// encoder reads their slices during Encode, inside send's lock.
+	for i := range *b {
+		if c := (*b)[i].cols; c != nil {
+			(*b)[i].cols = nil
+			c.Release()
+		}
+	}
 	putBatch(b)
 	if err != nil {
 		panic(fmt.Errorf("net transport: send to executor %d: %w", s.dest, err))

@@ -144,6 +144,46 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 	x.eosLeft = rc.nChannels
 	inbox := rc.inboxes[instance]
 	depth := &rc.depths[instance]
+	// feed consumes one live event with full crash recovery. The
+	// recoverable path unboxes column batches through it row by row:
+	// the MRG merger doubles as the replay buffer here, and boxed
+	// events are what Pending captures and replayAll re-delivers, so
+	// keeping the merger boxed keeps every recovery invariant
+	// untouched (markers never ride in batches, so no cut can complete
+	// mid-batch either).
+	feed := func(ch int, ev stream.Event, sent int64, rest int) {
+		if fatal != nil {
+			return // failed executor keeps draining to its EOS
+		}
+		if degraded != nil {
+			degraded.handle(ev)
+			return
+		}
+		recorded, err := x.process(ch, ev, sent, rest)
+		if err != nil {
+			// Capture the un-flushed input before restart replaces the
+			// merger. An injected fault fires before the event reaches
+			// the merger, so re-append it to keep per-channel order.
+			pending := x.merge.Pending()
+			if !recorded {
+				pending[ch] = append(pending[ch], ev)
+			}
+			left, rerr := x.recoverFrom(err, pending)
+			if rerr != nil {
+				if pol.OnUnrecoverable == DropAndLog {
+					degraded = x.degrade(rerr, left)
+				} else {
+					fatal = rerr
+				}
+				// The executor stopped completing cuts: a rescale
+				// barrier can no longer form, and parked peers must
+				// not wait for one.
+				if g != nil {
+					cg.leave(g)
+				}
+			}
+		}
+	}
 	for x.eosLeft > 0 && !x.retired {
 		bp := recvBatch(inbox, x.em)
 		if bp == nil {
@@ -162,37 +202,15 @@ func runRecoverableBolt(rc *runtimeComponent, instance int, is *metrics.Instance
 			if x.retired {
 				break // replaced by a rescale; nothing beyond the barrier exists
 			}
-			if fatal != nil {
-				continue // failed executor keeps draining to its EOS
-			}
-			if degraded != nil {
-				degraded.handle(m.ev)
+			if m.cols != nil {
+				cols := m.cols
+				for ri, n := 0, cols.Len(); ri < n; ri++ {
+					feed(m.ch, cols.EventAt(ri), m.sent, len(batch)-bi)
+				}
+				cols.Release()
 				continue
 			}
-			recorded, err := x.process(m.ch, m.ev, m.sent, len(batch)-bi)
-			if err != nil {
-				// Capture the un-flushed input before restart replaces the
-				// merger. An injected fault fires before the event reaches
-				// the merger, so re-append it to keep per-channel order.
-				pending := x.merge.Pending()
-				if !recorded {
-					pending[m.ch] = append(pending[m.ch], m.ev)
-				}
-				left, rerr := x.recoverFrom(err, pending)
-				if rerr != nil {
-					if pol.OnUnrecoverable == DropAndLog {
-						degraded = x.degrade(rerr, left)
-					} else {
-						fatal = rerr
-					}
-					// The executor stopped completing cuts: a rescale
-					// barrier can no longer form, and parked peers must
-					// not wait for one.
-					if g != nil {
-						cg.leave(g)
-					}
-				}
-			}
+			feed(m.ch, m.ev, m.sent, len(batch)-bi)
 		}
 		putBatch(bp)
 		if x.retired {

@@ -136,6 +136,12 @@ type connection struct {
 	// combiner, when set, installs a sender-side combining buffer on
 	// this edge (see BoltDecl.CombineWith and combiner.go).
 	combiner *CombinerSpec
+	// cols, when set, declares the edge columnar: items travel as
+	// typed struct-of-arrays batches of this kind (see cols.go).
+	// colComb, when set, installs a typed sender-side combining buffer
+	// (the columnar counterpart of combiner; the two are exclusive).
+	cols    *stream.ColKind
+	colComb *ColCombinerSpec
 }
 
 // component is a spout or bolt declaration.
@@ -394,6 +400,17 @@ func (t *Topology) validate() error {
 			if in.combiner != nil {
 				if err := in.combiner.validate(name, in.from, in.grouping); err != nil {
 					return err
+				}
+				if in.cols != nil {
+					return fmt.Errorf("storm: edge %s→%s mixes a boxed combiner with the columnar transport; use ColCombineWith", in.from, name)
+				}
+			}
+			if in.colComb != nil {
+				if err := in.colComb.validate(name, in.from, in.grouping); err != nil {
+					return err
+				}
+				if in.cols != in.colComb.OutKind {
+					return fmt.Errorf("storm: edge %s→%s declares column kind %v but its combiner drains %v", in.from, name, in.cols, in.colComb.OutKind)
 				}
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datatrace/internal/stream"
 )
 
 // This file implements the batched edge transport: instead of one
@@ -163,6 +165,17 @@ type outBuf struct {
 	// comb, when set, pre-aggregates this buffer's items per key
 	// before they enter msgs (see combiner.go); nil on ordinary edges.
 	comb *combBuf
+	// colKind/colCh/colBuf are the columnar-edge state (cols.go):
+	// colBuf accumulates typed rows for this destination and is sealed
+	// into one cols message — carrying channel colCh — when full, or
+	// when any boxed message (a marker in particular) must follow it.
+	// colComb, when set, is the typed combining buffer the rows fold
+	// through first; colCap is its drain threshold.
+	colKind *stream.ColKind
+	colCh   int
+	colBuf  stream.Columns
+	colComb stream.ColCombiner
+	colCap  int
 }
 
 // push appends one routed message to its destination buffer, flushing
@@ -171,6 +184,13 @@ type outBuf struct {
 // it first so the partial aggregates stay inside their block.
 func (em *emitter) push(r *routedMsg) {
 	b := &em.bufs[em.bufBase[r.si]+r.target]
+	if b.colComb != nil {
+		if !r.e.IsMarker {
+			em.colCombine(b, r.e)
+			return
+		}
+		em.drainColComb(b)
+	}
 	if b.comb != nil {
 		if !r.e.IsMarker {
 			em.combine(b, r.e)
@@ -181,9 +201,20 @@ func (em *emitter) push(r *routedMsg) {
 	em.append(b, message{ch: r.ch, ev: r.e, sent: em.now})
 }
 
-// append places one message in a transport buffer, flushing at the
-// batch size.
+// append places one boxed message in a transport buffer, flushing at
+// the batch size. Any open column buffer is sealed first, so the boxed
+// message — a marker in particular — follows every row emitted before
+// it on the channel.
 func (em *emitter) append(b *outBuf, m message) {
+	if b.colBuf != nil {
+		em.sealCols(b)
+	}
+	em.appendRaw(b, m)
+}
+
+// appendRaw is append without the column-buffer seal — the shared tail
+// of append and sealCols itself.
+func (em *emitter) appendRaw(b *outBuf, m message) {
 	if b.box == nil {
 		b.box = getBatch()
 		b.msgs = (*b.box)[:0]
@@ -196,8 +227,11 @@ func (em *emitter) append(b *outBuf, m message) {
 }
 
 // pushEOS appends an end-of-stream notice for channel ch to buffer b,
-// after any events still held by its combining or transport buffer.
+// after any events still held by its combining, columnar or transport
+// buffers.
 func (em *emitter) pushEOS(b *outBuf, ch int) {
+	em.drainColComb(b)
+	em.sealCols(b)
 	em.drainComb(b)
 	if b.box == nil {
 		b.box = getBatch()
@@ -224,14 +258,22 @@ func (em *emitter) flushBuf(b *outBuf) {
 	b.box, b.msgs = nil, nil
 }
 
-// flushAll drains every combining buffer, flushes every non-empty
-// transport buffer and clears the idle-flush deadline. This is the
-// trigger behind blocks, EOS and the idle flush — after it returns,
-// nothing the emitter sent is held back anywhere.
+// flushAll drains every combining buffer (boxed and columnar), seals
+// every open column buffer, flushes every non-empty transport buffer
+// and clears the idle-flush deadline. This is the trigger behind
+// blocks, EOS and the idle flush — after it returns, nothing the
+// emitter sent is held back anywhere.
 func (em *emitter) flushAll() {
 	if em.cpending > 0 {
 		for i := range em.bufs {
 			em.drainComb(&em.bufs[i])
+		}
+	}
+	if em.colpending > 0 {
+		for i := range em.bufs {
+			b := &em.bufs[i]
+			em.drainColComb(b)
+			em.sealCols(b)
 		}
 	}
 	if em.pending > 0 {
@@ -248,7 +290,7 @@ func (em *emitter) flushAll() {
 // 1 and no combined edges nothing is ever pending and tick never
 // reads the clock.
 func (em *emitter) tick() {
-	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 && em.colpending == 0 || em.flushEvery <= 0 {
 		return
 	}
 	em.tickAt(time.Now())
@@ -256,7 +298,7 @@ func (em *emitter) tick() {
 
 // tickAt is tick with the caller's already-taken timestamp.
 func (em *emitter) tickAt(now time.Time) {
-	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 && em.colpending == 0 || em.flushEvery <= 0 {
 		return
 	}
 	if em.oldest.IsZero() {
@@ -277,7 +319,7 @@ func (em *emitter) tickAt(now time.Time) {
 // count as buffered output here too. On the hot path (nothing
 // pending, or idle flush disabled) it is a plain channel receive.
 func recvBatch(inbox <-chan *[]message, em *emitter) *[]message {
-	if em.pending == 0 && em.cpending == 0 || em.flushEvery <= 0 {
+	if em.pending == 0 && em.cpending == 0 && em.colpending == 0 || em.flushEvery <= 0 {
 		return <-inbox
 	}
 	t := time.NewTimer(em.flushEvery)

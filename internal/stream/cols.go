@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+)
+
+// This file defines the typed columnar (struct-of-arrays) batch layout
+// used on hot edges. A Columns value carries a block fragment of items
+// as two parallel typed slices — no per-item interface boxing — and is
+// recycled through a per-kind sync.Pool. Markers never enter a
+// Columns batch: the transport seals and flushes column buffers when a
+// marker passes, so every marker still travels as a boxed Event and
+// the buffers-empty-at-cut invariant of the recovery and rescale
+// protocols is untouched.
+//
+// The layout is semantically invisible: a Columns batch denotes
+// exactly the item sequence EventAt(0..Len), and under U(K,V) any
+// interleaving of those items with other channels' items is the same
+// data trace (Theorem 4.3 licenses the re-batching).
+
+// Columns is one typed struct-of-arrays batch. The concrete type is
+// always *Cols[K,V] for the kind's key and value types; untyped
+// runtime code (transport, executors) manipulates batches through
+// this interface, and typed code (operator templates, spouts)
+// asserts down to the concrete type for tight loops.
+type Columns interface {
+	// Kind returns the batch's canonical layout descriptor.
+	Kind() *ColKind
+	// Len returns the number of rows.
+	Len() int
+	// EventAt boxes row i as an ordinary item event (the bridge to
+	// every boxed fallback path).
+	EventAt(i int) Event
+	// HashAt returns DefaultHash of row i's key, computed without
+	// boxing. The value is byte-identical to DefaultHash(EventAt(i).Key)
+	// so fields routing agrees across the typed and boxed paths.
+	HashAt(i int) int
+	// AppendRow appends row i of src (same kind) to this batch.
+	AppendRow(src Columns, i int)
+	// AppendEvent appends a boxed item event; panics if the event's
+	// key or value does not have the kind's types, and on markers.
+	AppendEvent(e Event)
+	// Slices returns the underlying typed slices ([]K, []V) boxed as
+	// any, for wire encoding.
+	Slices() (keys, vals any)
+	// Release resets the batch and returns it to the kind's pool. The
+	// caller must not touch the batch (or aliases of its slices)
+	// afterwards — dttlint rule DTT007 enforces this for operator
+	// implementations.
+	Release()
+}
+
+// Cols is the concrete typed batch: parallel key and value columns.
+type Cols[K, V any] struct {
+	kind *ColKind
+	hash func(K) int
+	// Keys and Vals are the parallel columns; Keys[i], Vals[i] is row i.
+	Keys []K
+	Vals []V
+}
+
+// Kind implements Columns.
+func (c *Cols[K, V]) Kind() *ColKind { return c.kind }
+
+// Len implements Columns.
+func (c *Cols[K, V]) Len() int { return len(c.Keys) }
+
+// EventAt implements Columns.
+func (c *Cols[K, V]) EventAt(i int) Event { return Event{Key: c.Keys[i], Value: c.Vals[i]} }
+
+// HashAt implements Columns.
+func (c *Cols[K, V]) HashAt(i int) int { return c.hash(c.Keys[i]) }
+
+// AppendRow implements Columns.
+func (c *Cols[K, V]) AppendRow(src Columns, i int) {
+	s := src.(*Cols[K, V])
+	c.Keys = append(c.Keys, s.Keys[i])
+	c.Vals = append(c.Vals, s.Vals[i])
+}
+
+// AppendEvent implements Columns.
+func (c *Cols[K, V]) AppendEvent(e Event) {
+	if e.IsMarker {
+		panic("stream: marker appended to a Columns batch")
+	}
+	c.Keys = append(c.Keys, e.Key.(K))
+	c.Vals = append(c.Vals, e.Value.(V))
+}
+
+// Append appends one typed row.
+func (c *Cols[K, V]) Append(k K, v V) {
+	c.Keys = append(c.Keys, k)
+	c.Vals = append(c.Vals, v)
+}
+
+// Slices implements Columns.
+func (c *Cols[K, V]) Slices() (any, any) { return c.Keys, c.Vals }
+
+// Release implements Columns.
+func (c *Cols[K, V]) Release() {
+	c.Keys = c.Keys[:0]
+	c.Vals = c.Vals[:0]
+	c.kind.pool.Put(c)
+}
+
+// ColKind is the canonical descriptor of one columnar layout: a
+// (key type, value type) pair. Kinds are canonicalized — ColKindFor
+// returns the same pointer for the same type pair — so the compiler's
+// edge-type selection and the transport's batch matching are pointer
+// comparisons.
+type ColKind struct {
+	name       string
+	key, val   reflect.Type
+	pool       sync.Pool
+	fromSlices func(keys, vals any) (Columns, error)
+}
+
+// Name returns the kind's wire name, e.g. "cols[int64,stream.Unit]".
+func (k *ColKind) Name() string { return k.name }
+
+// KeyType returns the key column's type.
+func (k *ColKind) KeyType() reflect.Type { return k.key }
+
+// ValType returns the value column's type.
+func (k *ColKind) ValType() reflect.Type { return k.val }
+
+// String renders the kind.
+func (k *ColKind) String() string { return k.name }
+
+// Get returns an empty pooled batch of this kind.
+func (k *ColKind) Get() Columns { return k.pool.Get().(Columns) }
+
+// FromSlices wraps decoded typed slices ([]K, []V boxed as any) in a
+// pooled batch, taking ownership of the slices. It is the wire-decode
+// counterpart of Columns.Slices.
+func (k *ColKind) FromSlices(keys, vals any) (Columns, error) {
+	return k.fromSlices(keys, vals)
+}
+
+var (
+	colKinds       sync.Map // [2]reflect.Type -> *ColKind
+	colKindsByName sync.Map // string -> *ColKind
+)
+
+// ColKindFor returns the canonical kind for the type pair (K, V),
+// creating (and gob-registering the slice types of) the kind on first
+// use. Calls with the same type arguments return the same pointer.
+func ColKindFor[K, V any]() *ColKind {
+	kt := reflect.TypeOf((*K)(nil)).Elem()
+	vt := reflect.TypeOf((*V)(nil)).Elem()
+	rk := [2]reflect.Type{kt, vt}
+	if k, ok := colKinds.Load(rk); ok {
+		return k.(*ColKind)
+	}
+	k := newColKind[K, V](kt, vt)
+	if prev, loaded := colKinds.LoadOrStore(rk, k); loaded {
+		return prev.(*ColKind)
+	}
+	// This goroutine won the canonical slot: publish the wire-name
+	// lookup and register the slice types so gob can carry them inside
+	// interface-typed frame fields.
+	colKindsByName.Store(k.name, k)
+	gob.Register([]K{})
+	gob.Register([]V{})
+	return k
+}
+
+// ColKindByName resolves a kind by its wire name; nil when no kind
+// with that name has been created in this process. The networked
+// runtime creates kinds on both sides by building the same topology,
+// so a decode-side miss is a topology mismatch, not a race.
+func ColKindByName(name string) *ColKind {
+	if k, ok := colKindsByName.Load(name); ok {
+		return k.(*ColKind)
+	}
+	return nil
+}
+
+func newColKind[K, V any](kt, vt reflect.Type) *ColKind {
+	k := &ColKind{
+		name: "cols[" + typeName(kt) + "," + typeName(vt) + "]",
+		key:  kt,
+		val:  vt,
+	}
+	hash := keyHashFor[K]()
+	k.pool.New = func() any { return &Cols[K, V]{kind: k, hash: hash} }
+	k.fromSlices = func(keys, vals any) (Columns, error) {
+		ks, ok := keys.([]K)
+		if !ok {
+			return nil, fmt.Errorf("stream: %s key slice is %T, want []%s", k.name, keys, typeName(kt))
+		}
+		vs, ok := vals.([]V)
+		if !ok {
+			return nil, fmt.Errorf("stream: %s value slice is %T, want []%s", k.name, vals, typeName(vt))
+		}
+		if len(ks) != len(vs) {
+			return nil, fmt.Errorf("stream: %s ragged columns: %d keys, %d values", k.name, len(ks), len(vs))
+		}
+		c := k.pool.Get().(*Cols[K, V])
+		c.Keys, c.Vals = ks, vs
+		return c, nil
+	}
+	return k
+}
+
+// typeName renders a type for the kind's wire name, qualifying by
+// package path when the short form is ambiguous across builds.
+func typeName(t reflect.Type) string {
+	if s := t.String(); s != "" {
+		return s
+	}
+	return t.Kind().String()
+}
+
+// keyHashFor returns the typed specialization of DefaultHash for key
+// type K. Each specialization hashes exactly the bytes DefaultHash
+// hashes for the boxed key, so typed and boxed routing always agree —
+// the property the rescale owner maps and fields groupings rely on.
+func keyHashFor[K any]() func(K) int {
+	var f func(K) int
+	switch p := any(&f).(type) {
+	case *func(int64) int:
+		*p = hashKeyInt64
+	case *func(int) int:
+		*p = func(k int) int { return hashKeyInt64(int64(k)) }
+	case *func(int32) int:
+		*p = func(k int32) int { return hashKeyInt64(int64(k)) }
+	case *func(uint64) int:
+		*p = hashKeyUint64
+	case *func(string) int:
+		*p = fnvString
+	case *func(Unit) int:
+		// There is exactly one unit key; hash it once.
+		h := DefaultHash(Unit{})
+		*p = func(Unit) int { return h }
+	default:
+		f = func(k K) int { return DefaultHash(k) }
+	}
+	return f
+}
+
+func hashKeyInt64(k int64) int {
+	var buf [20]byte
+	return fnvBytes(strconv.AppendInt(buf[:0], k, 10))
+}
+
+func hashKeyUint64(k uint64) int {
+	var buf [20]byte
+	return fnvBytes(strconv.AppendUint(buf[:0], k, 10))
+}
+
+// ColCombiner is the typed sender-side combining buffer used on
+// columnar combined edges (the columnar counterpart of the boxed
+// per-destination combining buffer). The transport folds rows (or
+// stray boxed items) into the buffer and drains it — into a batch of
+// the combiner's output kind — when a marker passes or the buffer
+// reaches its capacity.
+type ColCombiner interface {
+	// Fold folds row i of in into the buffer; false when in is not of
+	// the combiner's input kind (the caller then falls back to
+	// FoldEvent on the boxed row).
+	Fold(in Columns, i int) bool
+	// FoldEvent folds a boxed item event.
+	FoldEvent(e Event)
+	// Drain appends the buffered (key, aggregate) pairs to out (a
+	// batch of the combiner's output kind) and resets the buffer,
+	// returning the folded-in and drained-out row counts.
+	Drain(out Columns) (ins, outs int)
+	// Len returns the number of distinct buffered keys.
+	Len() int
+}

@@ -92,6 +92,59 @@ func TestRender(t *testing.T) {
 	}
 }
 
+func TestItemTagNonComparableAndNilKeys(t *testing.T) {
+	// ItemTag goes through fmt.Sprint, so keys that Go's == would
+	// panic on (slices, maps) must still tag deterministically — the
+	// tag is the rendering, not the identity.
+	if ItemTag([]int{1, 2}) != ItemTag([]int{1, 2}) {
+		t.Error("equal-rendering slice keys must get equal tags")
+	}
+	if ItemTag([]int{1, 2}) == ItemTag([]int{2, 1}) {
+		t.Error("differently-rendered slice keys must get different tags")
+	}
+	if ItemTag(map[string]int{"a": 1}) != ItemTag(map[string]int{"a": 1}) {
+		t.Error("equal-rendering map keys must get equal tags")
+	}
+	// A nil boxed key is the unit key of U(Ut, V) sources; it must tag
+	// consistently and distinctly from the string "<nil>"'s would-be
+	// collisions with real keys like the int render of nothing.
+	if ItemTag(nil) != ItemTag(nil) {
+		t.Error("nil keys must get equal tags")
+	}
+	if ItemTag(nil) == ItemTag(0) || ItemTag(nil) == ItemTag("") {
+		t.Error("nil key must not collide with zero-value keys")
+	}
+	// A typed nil inside the interface renders like untyped nil — both
+	// are "<nil>" — which is the documented iff-renders-equally rule.
+	var p *int
+	if ItemTag(p) != ItemTag(nil) {
+		t.Error("typed and untyped nil render equally, so tags must match")
+	}
+}
+
+func TestRenderNonComparableAndNilKeys(t *testing.T) {
+	// Render is the failure-message formatter; it must not panic on
+	// events whose keys are non-comparable or nil, since differential
+	// tests render whatever the runtime produced.
+	got := Render([]Event{
+		Item(nil, "v"),
+		Item([]int{3, 4}, 9),
+		Mark(Marker{Seq: 2, Timestamp: 30}),
+	})
+	want := "(<nil>,v) ([3 4],9) #2@30"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Equivalence via ToItems also bottoms out in ItemTag's fmt.Sprint
+	// path, so traces with non-comparable keys compare without panics.
+	typ := U("K", "V")
+	a := []Event{Item([]int{1}, "x"), Item([]int{2}, "y")}
+	b := []Event{Item([]int{2}, "y"), Item([]int{1}, "x")}
+	if !Equivalent(typ, a, b) {
+		t.Error("unordered slice-keyed items must commute")
+	}
+}
+
 func TestDefaultHashFastPathsMatchRendered(t *testing.T) {
 	// The typed fast paths must agree with the generic fmt-rendered
 	// FNV-1a they replace, so hash placement is independent of a key's

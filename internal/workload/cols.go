@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math/rand"
+
+	"datatrace/internal/stream"
+)
+
+// YahooColSource is the columnar form of one Yahoo partition source:
+// the same deterministic event/marker state machine as Partitions, but
+// able to hand items over as typed column rows (NextCols) instead of
+// boxed events. Its method set matches storm.ColSpout structurally, so
+// the queries layer can use it as a spout directly; markers and
+// end-of-stream always come through Next, per the ColSpout contract.
+//
+// Equivalence with the boxed Partitions iterators holds by
+// construction: both step an identical state machine over an identical
+// RNG stream (every partition generates all events and keeps its
+// round-robin share), so the delivered item/marker sequence is the
+// same however NextCols and Next calls interleave.
+type YahooColSource struct {
+	y *Yahoo
+	r *rand.Rand
+	// p of n is this partition's round-robin share.
+	p, n int
+	// keyed selects U(UID, YItem) rows (Query II's source type) instead
+	// of unit-keyed rows.
+	keyed    bool
+	second   int
+	inSecond int
+}
+
+// ColPartitions is Partitions in columnar form: n sub-sources sharing
+// the marker sequence, each usable as a storm.ColSpout. keyed selects
+// user-keyed rows (the KeyByUser rewrite, typed).
+func (y *Yahoo) ColPartitions(n int, keyed bool) []*YahooColSource {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*YahooColSource, n)
+	for p := 0; p < n; p++ {
+		parts[p] = &YahooColSource{
+			y: y, r: rand.New(rand.NewSource(y.cfg.Seed)),
+			p: p, n: n, keyed: keyed,
+		}
+	}
+	return parts
+}
+
+// ColKind reports the kind of batches NextCols fills.
+func (s *YahooColSource) ColKind() *stream.ColKind {
+	if s.keyed {
+		return stream.ColKindFor[int64, YahooEvent]()
+	}
+	return stream.ColKindFor[stream.Unit, YahooEvent]()
+}
+
+// Next returns the next event boxed — items, the per-second markers,
+// and end-of-stream — exactly as the Partitions iterators do.
+func (s *YahooColSource) Next() (stream.Event, bool) {
+	for {
+		if s.second >= s.y.cfg.Seconds {
+			return stream.Event{}, false
+		}
+		if s.inSecond == s.y.cfg.EventsPerSecond {
+			m := stream.Mark(stream.Marker{Seq: int64(s.second), Timestamp: int64(s.second+1) * 1000})
+			s.second++
+			s.inSecond = 0
+			return m, true
+		}
+		ev := s.y.randomEvent(s.r, s.second)
+		idx := s.inSecond
+		s.inSecond++
+		if idx%s.n == s.p {
+			if s.keyed {
+				return stream.Item(ev.UserID, ev), true
+			}
+			return stream.Item(stream.Unit{}, ev), true
+		}
+	}
+}
+
+// NextCols appends up to max item rows to out and returns the count;
+// 0 means the next event is a marker or end-of-stream (fetch it with
+// Next). No event is boxed on this path: rows go straight into the
+// batch's typed columns.
+func (s *YahooColSource) NextCols(out stream.Columns, max int) int {
+	appended := 0
+	if s.keyed {
+		tc := out.(*stream.Cols[int64, YahooEvent])
+		for appended < max && s.second < s.y.cfg.Seconds && s.inSecond < s.y.cfg.EventsPerSecond {
+			ev := s.y.randomEvent(s.r, s.second)
+			idx := s.inSecond
+			s.inSecond++
+			if idx%s.n == s.p {
+				tc.Append(ev.UserID, ev)
+				appended++
+			}
+		}
+		return appended
+	}
+	tc := out.(*stream.Cols[stream.Unit, YahooEvent])
+	for appended < max && s.second < s.y.cfg.Seconds && s.inSecond < s.y.cfg.EventsPerSecond {
+		ev := s.y.randomEvent(s.r, s.second)
+		idx := s.inSecond
+		s.inSecond++
+		if idx%s.n == s.p {
+			tc.Append(stream.Unit{}, ev)
+			appended++
+		}
+	}
+	return appended
+}

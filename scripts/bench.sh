@@ -2,20 +2,27 @@
 # bench.sh — the PR's benchmark snapshot, runnable locally and from
 # scripts/check.sh.
 #
-#   scripts/bench.sh                 # run + write BENCH_PR7.json
+#   scripts/bench.sh                 # run + write BENCH_PR9.json
 #   BENCH_REPS=5 scripts/bench.sh    # more interleaved repetitions
 #
 # Runs the generated Query I, IV and VI topology benchmarks (plus the
 # passes-off Query IV baseline) with allocation accounting, keeps each
 # benchmark's best ns/op over BENCH_REPS interleaved repetitions, and
-# writes BENCH_PR7.json: ns/op, events/sec (the benches' tuples/s
+# writes BENCH_PR9.json: ns/op, events/sec (the benches' tuples/s
 # metric) and allocs/op per benchmark, plus the chain-fusion +
-# combiner speedup on Query IV (passes on vs off).
+# combiner speedup on Query IV (passes on vs off) and the columnar
+# hot path's allocation reduction on Query IV against the boxed
+# baseline committed in BENCH_PR7.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_REPS="${BENCH_REPS:-3}"
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
+
+# The pre-columnar allocs/op on generated Query IV, read from the
+# committed PR 7 snapshot so the reported reduction always divides the
+# same baseline.
+BASE_ALLOCS="$(awk -F'"allocs_per_op": ' '/"BenchmarkQueryIVGenerated":/ { sub(/[^0-9].*/, "", $2); print $2; exit }' BENCH_PR7.json)"
 
 BENCHES=(
     BenchmarkQueryIGenerated
@@ -38,7 +45,7 @@ for i in $(seq "$BENCH_REPS"); do
     done
 done
 
-awk -v out="$OUT" '
+awk -v out="$OUT" -v base_allocs="$BASE_ALLOCS" '
     /^Benchmark/ {
         # Benchmark lines carry unit-tagged fields; pick each metric by
         # scanning for its unit token so the column order does not matter.
@@ -67,7 +74,12 @@ awk -v out="$OUT" '
         on = best["BenchmarkQueryIVGeneratedDense"] + 0
         off = best["BenchmarkQueryIVGeneratedDenseNoOpt"] + 0
         if (on > 0 && off > 0) sp = off / on; else sp = 0
-        printf "  \"query_iv_fusion_speedup\": %.3f\n}\n", sp >> out
+        printf "  \"query_iv_fusion_speedup\": %.3f,\n", sp >> out
+        # Allocation reduction of the columnar hot path: the boxed
+        # PR 7 allocs/op on generated Query IV over the current run.
+        cur = allocs["BenchmarkQueryIVGenerated"] + 0
+        if (cur > 0 && base_allocs + 0 > 0) ar = base_allocs / cur; else ar = 0
+        printf "  \"query_iv_alloc_reduction\": %.2f\n}\n", ar >> out
         if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
     }
 ' "$raw"
