@@ -5,11 +5,17 @@
 // Usage:
 //
 //	dttlint [-json] [-tests] [packages]
+//	dttlint -waivers [-json] [packages]
 //
 // Packages default to ./... relative to the working directory. Exit
 // status is 0 when the analysis is clean, 1 when diagnostics were
 // reported, and 2 when the analysis itself failed (unparseable or
 // ill-typed code, bad pattern).
+//
+// -waivers audits suppression debt instead of running the rules: it
+// lists every //lint:ignore directive (file:line, codes, reason; test
+// files always included) and exits 1 if any directive is malformed or
+// lacks a reason.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"datatrace/internal/lint"
 )
@@ -24,9 +31,13 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of file:line:col lines")
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	waivers := flag.Bool("waivers", false, "list every //lint:ignore directive instead of running the rules")
 	flag.Parse()
 
 	patterns := flag.Args()
+	if *waivers {
+		os.Exit(runWaivers(patterns, *jsonOut))
+	}
 	res, err := lint.Run(patterns, lint.Options{IncludeTests: *tests})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dttlint: %v\n", err)
@@ -43,10 +54,40 @@ func main() {
 		for _, d := range res.Diagnostics {
 			fmt.Println(d.String())
 		}
-		fmt.Fprintf(os.Stderr, "dttlint: %d package(s), %d finding(s), %dms\n",
-			len(res.Packages), len(res.Diagnostics), res.ElapsedMS)
+		fmt.Fprintf(os.Stderr, "dttlint: %d package(s), %d finding(s), %dms (load %d, summaries %d, rules %d)\n",
+			len(res.Packages), len(res.Diagnostics), res.ElapsedMS,
+			res.LoadMS, res.SummaryMS, res.RulesMS)
 	}
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runWaivers handles -waivers and returns the exit status.
+func runWaivers(patterns []string, jsonOut bool) int {
+	rep, err := lint.CollectWaivers(patterns, lint.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dttlint: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "dttlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, w := range rep.Waivers {
+			fmt.Printf("%s:%d [%s] %s\n", w.File, w.Line, strings.Join(w.Codes, ","), w.Reason)
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("%s:%d [MALFORMED] %s\n", p.File, p.Line, p.Message)
+		}
+		fmt.Fprintf(os.Stderr, "dttlint: %d waiver(s), %d problem(s)\n", len(rep.Waivers), len(rep.Problems))
+	}
+	if len(rep.Problems) > 0 {
+		return 1
+	}
+	return 0
 }

@@ -74,6 +74,7 @@ func JoinBlocks[K comparable, L, R any](
 		ID:     func() either[L, R] { return either[L, R]{} },
 		Combine: func(x, y either[L, R]) either[L, R] {
 			return either[L, R]{
+				//lint:ignore DTT008 list order is unobservable: the output type U(K, Pair) quotients per-key blocks to multisets (Definition 3.5), so append-merge is commutative at the trace level; pinned by TestJoinBlocksConsistent
 				Left:  append(append([]L(nil), x.Left...), y.Left...),
 				Right: append(append([]R(nil), x.Right...), y.Right...),
 			}

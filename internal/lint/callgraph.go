@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Call-graph construction for the interprocedural summary engine
+// (summary.go). The graph is static and bounded:
+//
+//   - direct calls to module functions and methods resolve through
+//     go/types object identity (generic instantiations resolve to
+//     their origin declaration, whose body is the one we have);
+//   - calls through an interface method fan out to every named module
+//     type whose method set implements the interface — but only when
+//     the implementation set is small (maxIfaceFanOut): a huge set
+//     (core.Instance has dozens of implementations once tests are
+//     loaded) would smear one implementation's effects over every
+//     caller, so broad dispatch is deliberately treated as opaque;
+//   - calls through function values (fields, locals) are opaque.
+//
+// Opaque calls contribute no effects: the engine under-approximates
+// dynamic dispatch and the per-rule intraprocedural checks remain the
+// backstop, exactly as before PR 10.
+
+// maxIfaceFanOut bounds interface-call resolution: a dispatch with
+// more module implementations than this is treated as opaque. A var
+// so the engine tests can pin the bound's behavior.
+var maxIfaceFanOut = 8
+
+// funcNode is one module function in the summary universe.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// engine holds the call graph and the per-function summaries for
+// every loaded module package (the analysis set plus its module
+// dependencies — helpers one package over still resolve).
+type engine struct {
+	ld    *loader
+	funcs map[*types.Func]*funcNode
+	sums  map[*types.Func]*summary
+	// callers records reverse call edges discovered while scanning,
+	// driving the fixpoint worklist.
+	callers map[*types.Func]map[*types.Func]bool
+	// named are the universe's named types, for interface fan-out.
+	named []types.Type
+	// ifaceMu guards ifaceCache: rules resolve call sites from
+	// per-package workers after the (single-threaded) fixpoint.
+	ifaceMu    sync.Mutex
+	ifaceCache map[*types.Func][]*types.Func
+}
+
+// newEngine indexes every function with a body in every loaded module
+// package. Deterministic order (package path, then file order) keeps
+// summaries — and therefore diagnostics — byte-stable across runs.
+func newEngine(ld *loader) *engine {
+	e := &engine{
+		ld:         ld,
+		funcs:      map[*types.Func]*funcNode{},
+		sums:       map[*types.Func]*summary{},
+		callers:    map[*types.Func]map[*types.Func]bool{},
+		ifaceCache: map[*types.Func][]*types.Func{},
+	}
+	for _, p := range e.universe() {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				e.funcs[fn] = &funcNode{fn: fn, decl: fd, pkg: p}
+			}
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				e.named = append(e.named, tn.Type())
+			}
+		}
+	}
+	return e
+}
+
+// universe returns the loaded module packages in deterministic order.
+func (e *engine) universe() []*Package {
+	paths := make([]string, 0, len(e.ld.pkgs))
+	for path := range e.ld.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, e.ld.pkgs[path])
+	}
+	return out
+}
+
+// node returns the indexed body for fn (resolving a generic
+// instantiation to its origin), or nil for functions outside the
+// universe (stdlib, interface methods, func values).
+func (e *engine) node(fn *types.Func) *funcNode {
+	if fn == nil {
+		return nil
+	}
+	if n := e.funcs[fn]; n != nil {
+		return n
+	}
+	return e.funcs[fn.Origin()]
+}
+
+// callees resolves one call expression to its static module callees.
+// The result is nil for opaque calls (func values, stdlib, broad
+// interface dispatch).
+func (e *engine) callees(p *Package, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if n := e.node(fn); n != nil {
+				return []*types.Func{n.fn}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil // field call: opaque
+			}
+			if types.IsInterface(fn.Type().(*types.Signature).Recv().Type()) {
+				return e.implementations(fn)
+			}
+			if n := e.node(fn); n != nil {
+				return []*types.Func{n.fn}
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F(...).
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := e.node(fn); n != nil {
+				return []*types.Func{n.fn}
+			}
+		}
+	}
+	return nil
+}
+
+// implementations resolves an interface method to the module methods
+// that can stand behind it, or nil when the set exceeds
+// maxIfaceFanOut (bounded dispatch) or is empty.
+func (e *engine) implementations(m *types.Func) []*types.Func {
+	e.ifaceMu.Lock()
+	defer e.ifaceMu.Unlock()
+	if cached, ok := e.ifaceCache[m]; ok {
+		return cached
+	}
+	iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	var impls []*types.Func
+	if iface != nil {
+		for _, t := range e.named {
+			if types.IsInterface(t) {
+				continue
+			}
+			if named, ok := t.(*types.Named); ok && named.TypeParams().Len() > 0 {
+				continue // uninstantiated generic: cannot implement
+			}
+			if !typeImplements(t, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, m.Pkg(), m.Name())
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if n := e.node(fn); n != nil {
+				impls = append(impls, n.fn)
+			}
+			if len(impls) > maxIfaceFanOut {
+				impls = nil
+				break
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool {
+		return e.posKey(impls[i]).less(e.posKey(impls[j]))
+	})
+	e.ifaceCache[m] = impls
+	return impls
+}
+
+// srcKey orders functions by source location independently of FileSet
+// offset assignment (which parallel parsing makes nondeterministic).
+type srcKey struct {
+	file      string
+	line, col int
+}
+
+func (k srcKey) less(o srcKey) bool {
+	if k.file != o.file {
+		return k.file < o.file
+	}
+	if k.line != o.line {
+		return k.line < o.line
+	}
+	return k.col < o.col
+}
+
+func (e *engine) posKey(fn *types.Func) srcKey {
+	p := e.ld.fset.Position(fn.Pos())
+	return srcKey{file: p.Filename, line: p.Line, col: p.Column}
+}
+
+// addEdge records caller → callee for the fixpoint worklist.
+func (e *engine) addEdge(caller, callee *types.Func) {
+	m := e.callers[callee]
+	if m == nil {
+		m = map[*types.Func]bool{}
+		e.callers[callee] = m
+	}
+	m[caller] = true
+}
+
+// funcDisplayName renders a function for call-chain traces:
+// plain functions by name, methods as (T).Name.
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return "(" + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -147,6 +147,16 @@ type hotCtx struct {
 	// emits are the context's emission callbacks: every function-typed
 	// parameter of the context function.
 	emits map[types.Object]bool
+	// tmpl and field name the template type and callback field for
+	// ctxTemplate contexts ("KeyedUnordered", "Combine"); empty
+	// otherwise. DTT008 keys its commutativity obligation on them.
+	tmpl  string
+	field string
+	// recv is the receiver object for ctxMethod contexts (nil
+	// otherwise); DTT010 uses it to recognize the entry-rebind idiom.
+	recv types.Object
+	// params is the context function's parameter list.
+	params *ast.FieldList
 	// desc names the context in diagnostics.
 	desc string
 }
@@ -204,8 +214,9 @@ func (a *analyzer) collectContexts(p *Package) []*hotCtx {
 				if !claimed[n] && a.isBoltShaped(p, n) {
 					out = append(out, &hotCtx{
 						kind: ctxClosure, pkg: p, body: n.Body, lit: n,
-						emits: funcTypeEmits(p, n.Type),
-						desc:  "bolt closure",
+						emits:  funcTypeEmits(p, n.Type),
+						params: n.Type.Params,
+						desc:   "bolt closure",
 					})
 				}
 			}
@@ -234,8 +245,10 @@ func (a *analyzer) templateContexts(p *Package, lit *ast.CompositeLit, typeName 
 		claimed[fl] = true
 		*out = append(*out, &hotCtx{
 			kind: ctxTemplate, pkg: p, body: fl.Body, lit: fl,
-			emits: funcTypeEmits(p, fl.Type),
-			desc:  fmt.Sprintf("%s callback of %s", key.Name, typeName),
+			emits:  funcTypeEmits(p, fl.Type),
+			params: fl.Type.Params,
+			tmpl:   typeName, field: key.Name,
+			desc: fmt.Sprintf("%s callback of %s", key.Name, typeName),
 		})
 	}
 }
@@ -267,8 +280,10 @@ func (a *analyzer) methodContext(p *Package, decl *ast.FuncDecl) *hotCtx {
 	recvName := types.TypeString(rt, types.RelativeTo(p.Types))
 	return &hotCtx{
 		kind: ctxMethod, pkg: p, body: decl.Body,
-		emits: emits,
-		desc:  fmt.Sprintf("method (%s).%s", recvName, decl.Name.Name),
+		emits:  emits,
+		recv:   receiverObject(p, decl),
+		params: decl.Type.Params,
+		desc:   fmt.Sprintf("method (%s).%s", recvName, decl.Name.Name),
 	}
 }
 

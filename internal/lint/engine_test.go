@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadEngine builds a summary engine over the enginefix package.
+func loadEngine(t *testing.T) (*engine, *Package) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := newLoader(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := ld.pathFor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ld.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(ld)
+	eng.build()
+	return eng, p
+}
+
+// fn looks up a package-level function.
+func fn(t *testing.T, p *Package, name string) *types.Func {
+	t.Helper()
+	f, ok := p.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in %s", name, p.Path)
+	}
+	return f
+}
+
+// method looks up a named type's method.
+func method(t *testing.T, p *Package, typeName, methodName string) *types.Func {
+	t.Helper()
+	tn, ok := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("no type %q in %s", typeName, p.Path)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, p.Types, methodName)
+	m, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no method %s.%s", typeName, methodName)
+	}
+	return m
+}
+
+// TestEngineRecursion: a self-recursive function reaches its own leaf
+// and the fixpoint terminates.
+func TestEngineRecursion(t *testing.T) {
+	eng, p := loadEngine(t)
+	s := eng.sum(fn(t, p, "Recur"))
+	if s == nil || s.nondet == nil {
+		t.Fatal("Recur: nondet effect not found")
+	}
+	if got := s.nondet.chainString(); got != "time.Now()" {
+		t.Errorf("Recur chain = %q, want time.Now()", got)
+	}
+}
+
+// TestEngineMutualRecursion: effects propagate across a Ping/Pong
+// cycle without diverging.
+func TestEngineMutualRecursion(t *testing.T) {
+	eng, p := loadEngine(t)
+	pong := eng.sum(fn(t, p, "Pong"))
+	if pong == nil || pong.spawn == nil {
+		t.Fatal("Pong: spawn effect not found")
+	}
+	if got := pong.spawn.chainString(); got != "go statement" {
+		t.Errorf("Pong chain = %q, want go statement", got)
+	}
+	ping := eng.sum(fn(t, p, "Ping"))
+	if ping == nil || ping.spawn == nil {
+		t.Fatal("Ping: spawn effect not propagated across the cycle")
+	}
+	if got := ping.spawn.chainString(); got != "Pong → go statement" {
+		t.Errorf("Ping chain = %q, want Pong → go statement", got)
+	}
+}
+
+// TestEngineInterfaceFanOut: dispatch through an interface unions the
+// implementations' effects; raising the fan-out bound to zero makes
+// the dispatch opaque.
+func TestEngineInterfaceFanOut(t *testing.T) {
+	eng, p := loadEngine(t)
+	s := eng.sum(fn(t, p, "CallIface"))
+	if s == nil || s.nondet == nil {
+		t.Fatal("CallIface: nondet not found through interface dispatch")
+	}
+	if got := s.nondet.chainString(); !strings.Contains(got, "(Noisy).Do") {
+		t.Errorf("CallIface chain = %q, want it to pass through (Noisy).Do", got)
+	}
+
+	old := maxIfaceFanOut
+	maxIfaceFanOut = 1 // fewer than the two Doer implementations
+	defer func() { maxIfaceFanOut = old }()
+	eng2, p2 := loadEngine(t)
+	if s2 := eng2.sum(fn(t, p2, "CallIface")); s2 == nil || s2.nondet != nil {
+		t.Error("CallIface: broad dispatch should be treated as opaque under the fan-out bound")
+	}
+}
+
+// TestEngineDepthBound: a ten-deep call chain is cut at
+// maxEffectDepth hops, and the bound is honored when overridden.
+func TestEngineDepthBound(t *testing.T) {
+	eng, p := loadEngine(t)
+	d7 := eng.sum(fn(t, p, "D7"))
+	if d7 == nil || d7.nondet == nil {
+		t.Fatal("D7: nondet should be within the default depth bound")
+	}
+	if d7.nondet.depth != maxEffectDepth {
+		t.Errorf("D7 depth = %d, want %d", d7.nondet.depth, maxEffectDepth)
+	}
+	if got := d7.nondet.chainString(); !strings.HasPrefix(got, "D6 → D5 → ") || !strings.HasSuffix(got, "D0 → time.Now()") {
+		t.Errorf("D7 chain = %q", got)
+	}
+	for _, name := range []string{"D8", "D9"} {
+		if s := eng.sum(fn(t, p, name)); s == nil || s.nondet != nil {
+			t.Errorf("%s: nondet should be cut by the depth bound", name)
+		}
+	}
+
+	old := maxEffectDepth
+	maxEffectDepth = 3
+	defer func() { maxEffectDepth = old }()
+	eng2, p2 := loadEngine(t)
+	if s := eng2.sum(fn(t, p2, "D2")); s == nil || s.nondet == nil {
+		t.Error("D2: should be within the overridden bound of 3")
+	}
+	if s := eng2.sum(fn(t, p2, "D3")); s == nil || s.nondet != nil {
+		t.Error("D3: should be cut by the overridden bound of 3")
+	}
+}
+
+// TestEngineParamEffects covers the per-parameter effect kinds.
+func TestEngineParamEffects(t *testing.T) {
+	eng, p := loadEngine(t)
+
+	if s := eng.sum(fn(t, p, "Invoke")); s == nil || s.callsParam[0] == nil {
+		t.Error("Invoke: callsParam[0] not recorded")
+	} else if len(s.mapEmitParam) != 0 {
+		t.Error("Invoke: mapEmitParam should be empty outside map ranges")
+	}
+	if s := eng.sum(fn(t, p, "InvokeInMap")); s == nil || s.mapEmitParam[1] == nil {
+		t.Error("InvokeInMap: mapEmitParam[1] not recorded")
+	}
+
+	if s := eng.sum(fn(t, p, "Escape")); s == nil || s.escapesParam[0] == nil {
+		t.Error("Escape: escapesParam[0] not recorded")
+	} else if got := s.escapesParam[0].chainString(); got != "stored in package variable sink" {
+		t.Errorf("Escape chain = %q", got)
+	}
+	if s := eng.sum(fn(t, p, "EscapeDeep")); s == nil || s.escapesParam[0] == nil {
+		t.Error("EscapeDeep: escape not propagated through the call")
+	} else if got := s.escapesParam[0].chainString(); got != "Escape → stored in package variable sink" {
+		t.Errorf("EscapeDeep chain = %q", got)
+	}
+
+	if s := eng.sum(fn(t, p, "WriteThrough")); s == nil || s.writesParam[0] == nil {
+		t.Error("WriteThrough: writesParam[0] not recorded")
+	}
+	if s := eng.sum(fn(t, p, "ReturnAlias")); s == nil || s.returnsParam[0] == nil {
+		t.Error("ReturnAlias: returnsParam[0] not recorded")
+	}
+
+	if s := eng.sum(method(t, p, "Box", "Set")); s == nil || s.recvWrite == nil {
+		t.Error("Box.Set: recvWrite not recorded")
+	}
+	if s := eng.sum(method(t, p, "Box", "Reset")); s == nil || s.recvWrite == nil {
+		t.Error("Box.Reset: recvWrite not inherited from Set")
+	} else if got := s.recvWrite.chainString(); got != `(Box).Set → writes field "n"` {
+		t.Errorf("Box.Reset chain = %q", got)
+	}
+
+	pr := paramPair{0, 1}
+	if s := eng.sum(fn(t, p, "Mix")); s == nil || s.nonCommut[pr] == nil {
+		t.Error("Mix: nonCommut{0,1} not recorded")
+	}
+	if s := eng.sum(fn(t, p, "MixDeep")); s == nil || s.nonCommut[pr] == nil {
+		t.Error("MixDeep: nonCommut not lifted through the call")
+	} else if got := s.nonCommut[pr].chainString(); got != "Mix → a - b" {
+		t.Errorf("MixDeep chain = %q", got)
+	}
+}
+
+// TestEngineFixpointStable: once build() converges, re-scanning any
+// function discovers nothing new.
+func TestEngineFixpointStable(t *testing.T) {
+	eng, _ := loadEngine(t)
+	for f, n := range eng.funcs {
+		if !eng.sums[f].covers(eng.scan(n)) {
+			t.Errorf("summary of %s is not a fixpoint", funcDisplayName(f))
+		}
+	}
+}

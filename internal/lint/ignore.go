@@ -1,7 +1,7 @@
 package lint
 
 import (
-	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -16,99 +16,165 @@ import (
 // itself is checked and malformed forms (missing code, unknown code,
 // missing reason) are reported as DTT000. DTT000 cannot be
 // suppressed — a directive cannot vouch for itself.
+//
+// Interprocedural findings are additionally suppressed at their leaf:
+// a directive on the offending line inside a helper (the time.Now
+// call, the stashing store) covers every finding the summary engine
+// derives from it, in every caller — one reasoned waiver per fact,
+// not one per call site.
 
 // directive is one parsed, well-formed //lint:ignore comment.
 type directive struct {
-	file  string          // module-root-relative file name
-	line  int             // 1-based line the comment sits on
-	codes map[string]bool // codes it suppresses
+	file   string          // module-root-relative file name
+	line   int             // 1-based line the comment sits on
+	codes  map[string]bool // codes it suppresses
+	reason string          // mandatory justification text
 }
 
 const ignorePrefix = "//lint:ignore"
 
-// collectDirectives parses every //lint:ignore comment in the
-// package, recording valid ones and reporting malformed ones.
-func (a *analyzer) collectDirectives(p *Package) {
+// parsedIgnore is the result of parsing one comment against the
+// //lint:ignore grammar. codes is nil exactly when the comment is
+// malformed, in which case problem says why.
+type parsedIgnore struct {
+	codeList []string
+	codes    map[string]bool
+	reason   string
+	problem  string
+}
+
+// parseIgnoreComment parses a comment's text; the second result is
+// false when the comment is not a //lint:ignore directive at all.
+func parseIgnoreComment(text string) (parsedIgnore, bool) {
+	var pi parsedIgnore
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return pi, false
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return pi, false // some other word, e.g. //lint:ignorefile
+	}
 	known := map[string]bool{}
 	for _, c := range Codes {
 		known[c] = true
 	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		pi.problem = "malformed //lint:ignore directive: expected \"//lint:ignore DTT00N reason\", got no code"
+		return pi, true
+	}
+	codes := map[string]bool{}
+	var list []string
+	for _, code := range strings.Split(fields[0], ",") {
+		if !known[code] {
+			pi.problem = "//lint:ignore names unknown code \"" + code + "\" (known codes: " + strings.Join(Codes[1:], ", ") + ")"
+			return pi, true
+		}
+		if code == CodeDirective {
+			pi.problem = "//lint:ignore cannot suppress " + CodeDirective + ": directive diagnostics are not suppressible"
+			return pi, true
+		}
+		if !codes[code] {
+			codes[code] = true
+			list = append(list, code)
+		}
+	}
+	if len(fields) < 2 {
+		pi.problem = "//lint:ignore " + fields[0] + " has no reason: every suppression must say why the finding is safe"
+		return pi, true
+	}
+	sort.Strings(list)
+	pi.codeList = list
+	pi.codes = codes
+	pi.reason = strings.Join(fields[1:], " ")
+	return pi, true
+}
+
+// collectDirectives parses every //lint:ignore comment in the
+// package, recording valid ones and reporting malformed ones.
+func (a *analyzer) collectDirectives(p *Package) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				a.parseDirective(c, known)
+				pi, ok := parseIgnoreComment(c.Text)
+				if !ok {
+					continue
+				}
+				if pi.problem != "" {
+					a.reportf(c.Pos(), CodeDirective, "%s", pi.problem)
+					continue
+				}
+				pos := a.ld.fset.Position(c.Pos())
+				a.direct = append(a.direct, directive{
+					file:   a.relFile(pos.Filename),
+					line:   pos.Line,
+					codes:  pi.codes,
+					reason: pi.reason,
+				})
 			}
 		}
 	}
 }
 
-// parseDirective handles one comment.
-func (a *analyzer) parseDirective(c *ast.Comment, known map[string]bool) {
-	text := c.Text
-	if !strings.HasPrefix(text, ignorePrefix) {
-		return
-	}
-	rest := text[len(ignorePrefix):]
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return // some other word, e.g. //lint:ignorefile
-	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		a.reportf(c.Pos(), CodeDirective,
-			"malformed //lint:ignore directive: expected \"//lint:ignore DTT00N reason\", got no code")
-		return
-	}
-	codes := map[string]bool{}
-	for _, code := range strings.Split(fields[0], ",") {
-		if !known[code] {
-			a.reportf(c.Pos(), CodeDirective,
-				"//lint:ignore names unknown code %q (known codes: %s)",
-				code, strings.Join(Codes[1:], ", "))
-			return
+// collectLeafDirectives parses (without reporting) every well-formed
+// directive in every loaded module package — the suppression set for
+// interprocedural leaves, which may sit in packages outside the
+// analyzed pattern set.
+func collectLeafDirectives(ld *loader) []directive {
+	var out []directive
+	for _, p := range ld.pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pi, ok := parseIgnoreComment(c.Text)
+					if !ok || pi.problem != "" {
+						continue
+					}
+					pos := ld.fset.Position(c.Pos())
+					out = append(out, directive{
+						file:   relTo(ld.root, pos.Filename),
+						line:   pos.Line,
+						codes:  pi.codes,
+						reason: pi.reason,
+					})
+				}
+			}
 		}
-		if code == CodeDirective {
-			a.reportf(c.Pos(), CodeDirective,
-				"//lint:ignore cannot suppress %s: directive diagnostics are not suppressible", CodeDirective)
-			return
-		}
-		codes[code] = true
 	}
-	if len(fields) < 2 {
-		a.reportf(c.Pos(), CodeDirective,
-			"//lint:ignore %s has no reason: every suppression must say why the finding is safe", fields[0])
-		return
-	}
-	pos := a.ld.fset.Position(c.Pos())
-	a.direct = append(a.direct, directive{
-		file:  a.relFile(pos.Filename),
-		line:  pos.Line,
-		codes: codes,
-	})
+	return out
 }
 
 // applyDirectives drops diagnostics covered by a directive on the
-// same line or the line above. DTT000 survives unconditionally.
-func applyDirectives(diags []Diagnostic, direct []directive) []Diagnostic {
-	if len(direct) == 0 {
+// same line or the line above — at the report site, or (for
+// interprocedural findings) at the leaf site. DTT000 survives
+// unconditionally.
+func applyDirectives(diags []Diagnostic, direct, leafDirect []directive) []Diagnostic {
+	if len(direct) == 0 && len(leafDirect) == 0 {
 		return diags
 	}
 	var kept []Diagnostic
 	for _, d := range diags {
-		if d.Code != CodeDirective && suppressed(d, direct) {
-			continue
+		if d.Code != CodeDirective {
+			if suppressed(d.File, d.Line, d.Code, direct) {
+				continue
+			}
+			if d.leafFile != "" && suppressed(d.leafFile, d.leafLine, d.Code, leafDirect) {
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}
 	return kept
 }
 
-// suppressed reports whether some directive covers the diagnostic.
-func suppressed(d Diagnostic, direct []directive) bool {
+// suppressed reports whether some directive covers a finding of the
+// given code at file:line.
+func suppressed(file string, line int, code string, direct []directive) bool {
 	for _, dir := range direct {
-		if dir.file != d.File || !dir.codes[d.Code] {
+		if dir.file != file || !dir.codes[code] {
 			continue
 		}
-		if dir.line == d.Line || dir.line == d.Line-1 {
+		if dir.line == line || dir.line == line-1 {
 			return true
 		}
 	}

@@ -31,12 +31,14 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
 // Diagnostic codes. DTT000 is reserved for malformed suppression
-// directives; DTT001–DTT007 are the streaming determinism rules.
+// directives; DTT001–DTT010 are the streaming determinism rules.
 const (
 	CodeDirective  = "DTT000"
 	CodeMapOrder   = "DTT001"
@@ -46,12 +48,16 @@ const (
 	CodeSideSpawn  = "DTT005"
 	CodeStateless  = "DTT006"
 	CodeRetainCols = "DTT007"
+	CodeNonCommut  = "DTT008"
+	CodeBatchLeak  = "DTT009"
+	CodeMarkerSeal = "DTT010"
 )
 
 // Codes lists every diagnostic code the analyzer can emit, in order.
 var Codes = []string{
 	CodeDirective, CodeMapOrder, CodeAmbient, CodeCapture,
 	CodeSnapshot, CodeSideSpawn, CodeStateless, CodeRetainCols,
+	CodeNonCommut, CodeBatchLeak, CodeMarkerSeal,
 }
 
 // Diagnostic is one analyzer finding.
@@ -66,6 +72,15 @@ type Diagnostic struct {
 	// Message explains the finding and the paper-level obligation it
 	// violates.
 	Message string `json:"message"`
+
+	// leafFile/leafLine locate the ultimate leaf site of an
+	// interprocedural finding (the time.Now call inside the helper,
+	// not the call to the helper). A //lint:ignore directive at the
+	// leaf suppresses every finding derived from it, so one reasoned
+	// waiver on the offending line covers the whole call chain. Zero
+	// for intraprocedural findings.
+	leafFile string
+	leafLine int
 }
 
 // String renders the diagnostic in the canonical
@@ -85,6 +100,12 @@ type Result struct {
 	// ElapsedMS is the wall-clock analysis time in milliseconds
 	// (loading + type-checking + rules).
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// LoadMS, SummaryMS and RulesMS break ElapsedMS into its phases:
+	// parsing + type-checking, the interprocedural summary fixpoint,
+	// and the (parallel) per-package rule pass.
+	LoadMS    int64 `json:"load_ms"`
+	SummaryMS int64 `json:"summary_ms"`
+	RulesMS   int64 `json:"rules_ms"`
 }
 
 // Options configures a Run.
@@ -130,15 +151,57 @@ func Run(patterns []string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &analyzer{ld: ld, hooks: hooks}
-	for _, p := range pkgs {
-		a.analyze(p)
+	loaded := time.Now()
+
+	// Interprocedural summaries over everything the loader pulled in
+	// (the analysis set plus its module dependencies), computed once
+	// before the rule phase; the rules only read them.
+	eng := newEngine(ld)
+	eng.build()
+	summarized := time.Now()
+
+	// The rule phase is embarrassingly parallel: packages are
+	// independent once loaded and summarized, and each worker gets its
+	// own child analyzer whose findings are merged (and re-sorted)
+	// afterwards, so the output is byte-stable regardless of
+	// scheduling.
+	children := make([]*analyzer, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range pkgs {
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			child := &analyzer{ld: ld, hooks: hooks, eng: eng}
+			child.analyze(p)
+			children[i] = child
+		}(i, p)
 	}
-	res := &Result{Module: ld.module, ElapsedMS: time.Since(start).Milliseconds()}
+	wg.Wait()
+	a := &analyzer{ld: ld, hooks: hooks, eng: eng}
+	for _, child := range children {
+		a.diags = append(a.diags, child.diags...)
+		a.direct = append(a.direct, child.direct...)
+	}
+	// Leaf-side suppression must see directives in every loaded
+	// package, not just the analyzed set: a waived leaf in a
+	// dependency package silences the findings it propagates into the
+	// analyzed packages.
+	a.leafDirect = collectLeafDirectives(ld)
+
+	res := &Result{
+		Module:    ld.module,
+		LoadMS:    loaded.Sub(start).Milliseconds(),
+		SummaryMS: summarized.Sub(loaded).Milliseconds(),
+	}
 	for _, p := range pkgs {
 		res.Packages = append(res.Packages, p.Path)
 	}
 	res.Diagnostics = a.finish()
+	res.RulesMS = time.Since(summarized).Milliseconds()
+	res.ElapsedMS = time.Since(start).Milliseconds()
 	return res, nil
 }
 
@@ -147,8 +210,12 @@ func Run(patterns []string, opts Options) (*Result, error) {
 type analyzer struct {
 	ld     *loader
 	hooks  *hooks
+	eng    *engine
 	diags  []Diagnostic
 	direct []directive
+	// leafDirect are directives from every loaded package, consulted
+	// only for leaf-side suppression of interprocedural findings.
+	leafDirect []directive
 }
 
 // reportf records a diagnostic at pos.
@@ -161,6 +228,21 @@ func (a *analyzer) reportf(pos token.Pos, code, format string, args ...any) {
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// reportEff records a diagnostic for an interprocedural effect: the
+// rendered message should already include eff's call chain, and the
+// effect's leaf position is attached so a //lint:ignore at the leaf
+// suppresses the finding.
+func (a *analyzer) reportEff(pos token.Pos, code string, eff *effect, format string, args ...any) {
+	a.reportf(pos, code, format, args...)
+	if eff == nil || eff.depth <= 1 {
+		return
+	}
+	leaf := a.ld.fset.Position(eff.leafPos)
+	d := &a.diags[len(a.diags)-1]
+	d.leafFile = a.relFile(leaf.Filename)
+	d.leafLine = leaf.Line
 }
 
 // relFile renders a file name relative to the module root.
@@ -177,6 +259,8 @@ func (a *analyzer) analyze(p *Package) {
 		a.rule002(c)
 		a.rule003(c)
 		a.rule005(c)
+		a.rule008(c)
+		a.rule010(c)
 	}
 	a.rule004(p)
 	a.rule006(p)
@@ -185,7 +269,7 @@ func (a *analyzer) analyze(p *Package) {
 
 // finish applies suppression, dedupes and orders the diagnostics.
 func (a *analyzer) finish() []Diagnostic {
-	kept := applyDirectives(a.diags, a.direct)
+	kept := applyDirectives(a.diags, a.direct, a.leafDirect)
 	sort.Slice(kept, func(i, j int) bool {
 		x, y := kept[i], kept[j]
 		if x.File != y.File {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked module package: the unit dttlint
@@ -163,13 +164,25 @@ func (ld *loader) load(path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	// Files parse in parallel: token.FileSet serializes its own base
+	// allocation, and everything downstream orders by (file, line,
+	// col) rather than global Pos, so the nondeterministic base
+	// assignment never reaches the output.
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
 	}
 	// In-package test files are kept; external test packages
 	// (package foo_test) cannot join this type-check unit.

@@ -20,29 +20,41 @@ import (
 // keys) and iterate that.
 func (a *analyzer) rule001(c *hotCtx) {
 	inspectShallow(c.body, func(n ast.Node) bool {
-		rs, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		if _, isMap := c.pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
-			return true
-		}
-		if pos, found := findEmitCall(c, rs.Body); found {
-			a.reportf(pos, CodeMapOrder,
-				"emission inside range over map %s in %s: map iteration order is nondeterministic, so the output trace depends on the hash seed — iterate a deterministic key slice (or sort the keys) instead",
-				exprString(rs.X), c.desc)
-			return true
-		}
-		for _, obj := range outerAppendTargets(c, rs) {
-			a.checkSortBeforeEmit(c, rs, obj)
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			rs := n
+			if _, isMap := c.pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pos, eff, found := a.findEmitCall(c, rs.Body); found {
+				a.reportEff(pos, CodeMapOrder, eff,
+					"emission inside range over map %s in %s%s: map iteration order is nondeterministic, so the output trace depends on the hash seed — iterate a deterministic key slice (or sort the keys) instead",
+					exprString(rs.X), c.desc, viaChain(eff))
+				return true
+			}
+			for _, obj := range outerAppendTargets(c, rs) {
+				a.checkSortBeforeEmit(c, rs, obj)
+			}
+		case *ast.CallExpr:
+			// A helper handed the emit callback that ranges a map
+			// around the invocation hides the same hazard one call
+			// deep.
+			for i, eff := range a.emitArgEffects(c, n, func(s *summary) map[int]*effect { return s.mapEmitParam }) {
+				a.reportEff(n.Pos(), CodeMapOrder, eff,
+					"%s is invoked inside a range over a map by this call (%s) in %s: map iteration order is nondeterministic, so the output trace depends on the hash seed — iterate a deterministic key slice in the helper instead",
+					emitArgName(c, n, i), eff.chainString(), c.desc)
+			}
 		}
 		return true
 	})
 }
 
-// findEmitCall looks for a direct call to one of the context's
-// emission callbacks inside n (not descending into nested literals).
-func findEmitCall(c *hotCtx, n ast.Node) (pos token.Pos, found bool) {
+// findEmitCall looks for a call that reaches one of the context's
+// emission callbacks inside n (not descending into nested literals):
+// either a direct invocation, or a call passing the callback to a
+// helper whose summary says it may invoke it — in which case the
+// returned effect carries the call chain.
+func (a *analyzer) findEmitCall(c *hotCtx, n ast.Node) (pos token.Pos, eff *effect, found bool) {
 	inspectShallow(n, func(m ast.Node) bool {
 		if found {
 			return false
@@ -51,17 +63,74 @@ func findEmitCall(c *hotCtx, n ast.Node) (pos token.Pos, found bool) {
 		if !ok {
 			return true
 		}
-		id, ok := call.Fun.(*ast.Ident)
-		if !ok {
-			return true
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := c.pkg.Info.Uses[id]; obj != nil && c.emits[obj] {
+				pos, eff, found = call.Pos(), nil, true
+				return false
+			}
 		}
-		if obj := c.pkg.Info.Uses[id]; obj != nil && c.emits[obj] {
-			pos, found = call.Pos(), true
+		for _, e := range a.emitArgEffects(c, call, func(s *summary) map[int]*effect { return s.callsParam }) {
+			pos, eff, found = call.Pos(), e, true
 			return false
 		}
 		return true
 	})
-	return pos, found
+	return pos, eff, found
+}
+
+// emitArgEffects resolves a call's static callees and reports, for
+// each argument that is one of the context's emission callbacks, the
+// selected summary effect on the corresponding callee parameter
+// (lifted to this call site). Keys are argument positions.
+func (a *analyzer) emitArgEffects(c *hotCtx, call *ast.CallExpr, sel func(*summary) map[int]*effect) map[int]*effect {
+	var out map[int]*effect
+	for _, callee := range a.eng.callees(c.pkg, call) {
+		cs := a.eng.sum(callee)
+		if cs == nil {
+			continue
+		}
+		sig := callee.Type().(*types.Signature)
+		for j, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pkg.Info.Uses[id]
+			if obj == nil || !c.emits[obj] {
+				continue
+			}
+			cj := calleeParamIndex(sig, j)
+			if cj < 0 {
+				continue
+			}
+			if eff := derived(call.Pos(), callee, sel(cs)[cj]); eff != nil {
+				if out == nil {
+					out = map[int]*effect{}
+				}
+				if out[j] == nil {
+					out[j] = eff
+				}
+			}
+		}
+	}
+	return out
+}
+
+// emitArgName names the emit argument at position i for diagnostics.
+func emitArgName(c *hotCtx, call *ast.CallExpr, i int) string {
+	if i < len(call.Args) {
+		return exprString(call.Args[i])
+	}
+	return "the emit callback"
+}
+
+// viaChain renders an interprocedural effect's call chain as a
+// diagnostic suffix, empty for direct findings.
+func viaChain(eff *effect) string {
+	if eff == nil {
+		return ""
+	}
+	return " (reached via " + eff.chainString() + ")"
 }
 
 // outerAppendTargets collects slice variables declared outside the
@@ -118,10 +187,10 @@ func (a *analyzer) checkSortBeforeEmit(c *hotCtx, rs *ast.RangeStmt, obj types.O
 		if stmtCallsSortPkg(c.pkg, s, obj) {
 			return // deterministically reordered before any emission
 		}
-		if pos, found := findEmitCall(c, s); found {
-			a.reportf(pos, CodeMapOrder,
-				"%q is filled by ranging over map %s and emitted without an intervening deterministic sort in %s: the emission order depends on the hash seed — sort %q (sort/slices) before emitting",
-				obj.Name(), exprString(rs.X), c.desc, obj.Name())
+		if pos, eff, found := a.findEmitCall(c, s); found {
+			a.reportEff(pos, CodeMapOrder, eff,
+				"%q is filled by ranging over map %s and emitted without an intervening deterministic sort in %s%s: the emission order depends on the hash seed — sort %q (sort/slices) before emitting",
+				obj.Name(), exprString(rs.X), c.desc, viaChain(eff), obj.Name())
 			return
 		}
 	}

@@ -22,6 +22,22 @@ func (a *analyzer) rule002(c *hotCtx) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			a.checkAmbientCall(c, n)
+			// Interprocedural: a module helper whose summary reaches
+			// a clock read, random draw or multi-way select carries
+			// the same hazard into this hot path.
+			for _, callee := range a.eng.callees(c.pkg, n) {
+				cs := a.eng.sum(callee)
+				if cs == nil || cs.nondet == nil {
+					continue
+				}
+				eff := derived(n.Pos(), callee, cs.nondet)
+				if eff == nil {
+					continue
+				}
+				a.reportEff(n.Pos(), CodeAmbient, eff,
+					"call in %s reaches ambient nondeterminism: %s — the output is no longer a function of the input trace, so replay after marker-cut recovery diverges; derive time from marker timestamps and key sampling on event fields instead",
+					c.desc, eff.chainString())
+			}
 		case *ast.SelectStmt:
 			clauses := 0
 			if n.Body != nil {

@@ -31,9 +31,77 @@ func (a *analyzer) rule003(c *hotCtx) {
 			}
 		case *ast.IncDecStmt:
 			a.checkCaptureWrite(c, n.X, n.Pos())
+		case *ast.CallExpr:
+			a.checkCaptureCall(c, n)
 		}
 		return true
 	})
+}
+
+// checkCaptureCall flags calls that mutate a captured variable one
+// level removed: a method whose summary writes its receiver, invoked
+// on a captured variable, or a captured variable passed to a helper
+// that writes through that parameter.
+func (a *analyzer) checkCaptureCall(c *hotCtx, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base := a.capturedVar(c, sel.X); base != nil {
+			for _, callee := range a.eng.callees(c.pkg, call) {
+				cs := a.eng.sum(callee)
+				if cs == nil {
+					continue
+				}
+				eff := derived(call.Pos(), callee, cs.recvWrite)
+				if eff == nil {
+					continue
+				}
+				a.reportEff(call.Pos(), CodeCapture, eff,
+					"%s calls a method that mutates captured variable %q declared outside the callback (%s): template callbacks are shared by every parallel instance, so this is cross-instance mutable state — keep state in the template's state/aggregate parameters",
+					c.desc, base.Name(), eff.chainString())
+				return
+			}
+		}
+	}
+	for _, callee := range a.eng.callees(c.pkg, call) {
+		cs := a.eng.sum(callee)
+		if cs == nil || len(cs.writesParam) == 0 {
+			continue
+		}
+		sig := callee.Type().(*types.Signature)
+		for j, arg := range call.Args {
+			base := a.capturedVar(c, arg)
+			if base == nil {
+				continue
+			}
+			cj := calleeParamIndex(sig, j)
+			if cj < 0 {
+				continue
+			}
+			eff := derived(call.Pos(), callee, cs.writesParam[cj])
+			if eff == nil {
+				continue
+			}
+			a.reportEff(call.Pos(), CodeCapture, eff,
+				"%s passes captured variable %q declared outside the callback to a helper that writes through it (%s): template callbacks are shared by every parallel instance, so this is cross-instance mutable state — keep state in the template's state/aggregate parameters",
+				c.desc, base.Name(), eff.chainString())
+		}
+	}
+}
+
+// capturedVar resolves e to a variable captured from outside the
+// callback literal, or nil.
+func (a *analyzer) capturedVar(c *hotCtx, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := c.pkg.Info.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() || obj.Name() == "_" {
+		return nil
+	}
+	if obj.Pos() >= c.lit.Pos() && obj.Pos() < c.lit.End() {
+		return nil // declared inside the callback
+	}
+	return obj
 }
 
 // checkCaptureWrite reports a write whose ultimate target is a

@@ -30,6 +30,23 @@ func (a *analyzer) rule005(c *hotCtx) {
 			a.reportf(n.Pos(), CodeSideSpawn,
 				"raw channel send in %s: events bypassing emit skip the batched transport, fault accounting and the transactional flush, so marker cuts are no longer consistent — emit through the runtime instead",
 				c.desc)
+		case *ast.CallExpr:
+			// Interprocedural: a helper that spawns a goroutine or
+			// sends on a raw channel moves work outside the runtime's
+			// delivery discipline just the same.
+			for _, callee := range a.eng.callees(c.pkg, n) {
+				cs := a.eng.sum(callee)
+				if cs == nil || cs.spawn == nil {
+					continue
+				}
+				eff := derived(n.Pos(), callee, cs.spawn)
+				if eff == nil {
+					continue
+				}
+				a.reportEff(n.Pos(), CodeSideSpawn, eff,
+					"call in %s reaches a side channel: %s — work escaping the executor bypasses the transactional flush and marker-cut recovery; emit synchronously and use deployment parallelism instead",
+					c.desc, eff.chainString())
+			}
 		}
 		return true
 	})

@@ -60,11 +60,16 @@ func (a *analyzer) hasColumnsParam(p *Package, fd *ast.FuncDecl) bool {
 	return false
 }
 
-// checkColRetention runs the taint walk over one method body.
+// checkColRetention runs the taint walk over one method body. It
+// reports both DTT007 (the method itself retains an alias) and DTT009
+// (the method hands an alias to a helper whose summary retains it —
+// the interprocedural seam the summary engine closes).
 func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 	recvObj := receiverObject(p, fd)
-	// Taint roots: the Columns-typed parameters.
+	// Taint roots: the Columns-typed parameters. taintVia remembers
+	// the call chain that laundered the alias (nil for direct taint).
 	tainted := map[types.Object]bool{}
+	taintVia := map[types.Object]*effect{}
 	for _, field := range fd.Type.Params.List {
 		t := p.Info.TypeOf(field.Type)
 		if t == nil || !types.Identical(t, a.hooks.streamColumns) {
@@ -81,14 +86,17 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 	}
 
 	// exprTainted reports whether evaluating e yields the batch or an
-	// alias of its columns. Indexing is a value copy and therefore
-	// clean; selectors (tc.Keys), sub-slices, type assertions and the
-	// Slices() accessor keep the alias.
-	var exprTainted func(e ast.Expr) bool
-	exprTainted = func(e ast.Expr) bool {
+	// alias of its columns, plus the interprocedural chain when the
+	// alias crossed a call (a helper that returns its argument).
+	// Indexing is a value copy and therefore clean; selectors
+	// (tc.Keys), sub-slices, type assertions and the Slices() accessor
+	// keep the alias.
+	var exprTainted func(e ast.Expr) (bool, *effect)
+	exprTainted = func(e ast.Expr) (bool, *effect) {
 		switch e := e.(type) {
 		case *ast.Ident:
-			return tainted[p.Info.ObjectOf(e)]
+			obj := p.Info.ObjectOf(e)
+			return tainted[obj], taintVia[obj]
 		case *ast.ParenExpr:
 			return exprTainted(e.X)
 		case *ast.TypeAssertExpr:
@@ -106,36 +114,57 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 				if kv, ok := elt.(*ast.KeyValueExpr); ok {
 					elt = kv.Value
 				}
-				if exprTainted(elt) {
-					return true
+				if t, via := exprTainted(elt); t {
+					return true, via
 				}
 			}
-			return false
+			return false, nil
 		case *ast.CallExpr:
 			switch fn := e.Fun.(type) {
 			case *ast.Ident:
 				if fn.Name == "append" {
 					for _, arg := range e.Args {
-						if exprTainted(arg) {
-							return true
+						if t, via := exprTainted(arg); t {
+							return true, via
 						}
 					}
 				}
 			case *ast.SelectorExpr:
 				// batch.Slices() hands out the typed column slices.
-				if fn.Sel.Name == "Slices" && exprTainted(fn.X) {
-					return true
+				if fn.Sel.Name == "Slices" {
+					if t, via := exprTainted(fn.X); t {
+						return true, via
+					}
 				}
 			}
-			return false
+			// A module helper that returns an alias of its argument
+			// launders the taint through the call.
+			for _, callee := range a.eng.callees(p, e) {
+				cs := a.eng.sum(callee)
+				if cs == nil || len(cs.returnsParam) == 0 {
+					continue
+				}
+				sig := callee.Type().(*types.Signature)
+				for j, arg := range e.Args {
+					cj := calleeParamIndex(sig, j)
+					if cj < 0 || cs.returnsParam[cj] == nil {
+						continue
+					}
+					if t, _ := exprTainted(arg); t {
+						return true, derived(e.Pos(), callee, cs.returnsParam[cj])
+					}
+				}
+			}
+			return false, nil
 		default:
-			return false
+			return false, nil
 		}
 	}
 
 	type fieldStore struct {
 		field string
 		pos   token.Pos
+		via   *effect
 	}
 	var stores []fieldStore
 	clears := map[string]token.Pos{} // field → latest nil-assignment
@@ -144,6 +173,10 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 	// function literals: a closure that writes a tainted alias to a
 	// field retains it just the same.
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			a.checkBatchEscape(p, fd, call, exprTainted)
+			return true
+		}
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -162,13 +195,13 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 			if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
 				_, isNil = p.Info.ObjectOf(id).(*types.Nil)
 			}
-			rt := exprTainted(rhs)
+			rt, via := exprTainted(rhs)
 
 			// Receiver-field target: recv.f, recv.f[i], chains.
 			if recvObj != nil {
 				if field := receiverFieldTarget(p, lhs, recvObj); field != "" {
 					if rt {
-						stores = append(stores, fieldStore{field, as.Pos()})
+						stores = append(stores, fieldStore{field, as.Pos(), via})
 					} else if isNil {
 						if prev, ok := clears[field]; !ok || as.Pos() > prev {
 							clears[field] = as.Pos()
@@ -181,9 +214,9 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 			if rt {
 				if root := rootIdent(lhs); root != nil {
 					if obj := p.Info.ObjectOf(root); obj != nil && obj.Parent() == p.Types.Scope() {
-						a.reportf(as.Pos(), CodeRetainCols,
-							"%s stores a column batch alias in package variable %q: the batch belongs to a recycled arena and is reused after the call, so the retained slice silently becomes a later block's rows — copy the rows out instead",
-							fd.Name.Name, root.Name)
+						a.reportEff(as.Pos(), CodeRetainCols, via,
+							"%s stores a column batch alias in package variable %q%s: the batch belongs to a recycled arena and is reused after the call, so the retained slice silently becomes a later block's rows — copy the rows out instead",
+							fd.Name.Name, root.Name, viaChain(via))
 						continue
 					}
 				}
@@ -191,6 +224,9 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 				if id, ok := lhs.(*ast.Ident); ok {
 					if obj := p.Info.ObjectOf(id); obj != nil {
 						tainted[obj] = true
+						if taintVia[obj] == nil {
+							taintVia[obj] = via
+						}
 					}
 				}
 			}
@@ -202,9 +238,41 @@ func (a *analyzer) checkColRetention(p *Package, fd *ast.FuncDecl) {
 		if pos, ok := clears[s.field]; ok && pos > s.pos {
 			continue // stash-and-clear: alias dropped before return
 		}
-		a.reportf(s.pos, CodeRetainCols,
-			"%s retains a column batch alias in receiver field %q past the call: the batch belongs to a recycled arena and its columns are overwritten by a later batch, turning the field into cross-block state the marker-cut invariant forbids — copy the rows out, or clear the field (= nil) before returning",
-			fd.Name.Name, s.field)
+		a.reportEff(s.pos, CodeRetainCols, s.via,
+			"%s retains a column batch alias in receiver field %q past the call%s: the batch belongs to a recycled arena and its columns are overwritten by a later batch, turning the field into cross-block state the marker-cut invariant forbids — copy the rows out, or clear the field (= nil) before returning",
+			fd.Name.Name, s.field, viaChain(s.via))
+	}
+}
+
+// checkBatchEscape is DTT009: a tainted batch alias passed to a
+// helper whose summary retains it (receiver field, package variable,
+// goroutine, channel — or a deeper callee that does). DTT007 sees the
+// store only when it happens in the ProcessCols body itself; this
+// closes the call-boundary seam.
+func (a *analyzer) checkBatchEscape(p *Package, fd *ast.FuncDecl, call *ast.CallExpr, exprTainted func(ast.Expr) (bool, *effect)) {
+	for _, callee := range a.eng.callees(p, call) {
+		cs := a.eng.sum(callee)
+		if cs == nil || len(cs.escapesParam) == 0 {
+			continue
+		}
+		sig := callee.Type().(*types.Signature)
+		for j, arg := range call.Args {
+			cj := calleeParamIndex(sig, j)
+			if cj < 0 || cs.escapesParam[cj] == nil {
+				continue
+			}
+			t, _ := exprTainted(arg)
+			if !t {
+				continue
+			}
+			eff := derived(call.Pos(), callee, cs.escapesParam[cj])
+			if eff == nil {
+				continue
+			}
+			a.reportEff(call.Pos(), CodeBatchLeak, eff,
+				"%s passes a column batch alias (%s) to a helper that retains it: %s — the batch belongs to a recycled arena and is reused after the call, so the retained alias silently becomes a later block's rows; copy the rows out before handing them off",
+				fd.Name.Name, exprString(arg), eff.chainString())
+		}
 	}
 }
 

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DTT010 — marker/flush protocol typestate.
+//
+// A marker seals an epoch: the recovery and rescale machinery (PR 2,
+// PR 7) both assume that when an operator forwards a marker, every
+// event of the sealed epoch has already been emitted — the
+// buffers-empty-at-cut invariant is exactly "nothing of epoch N is
+// emitted after N's marker". Two code shapes break that typestate:
+//
+//  1. Emit after seal: in an `if e.IsMarker` branch, emitting data
+//     after forwarding the marker pushes epoch-N output past N's cut
+//     — on recovery it is replayed into epoch N+1, on rescale it is
+//     routed by the wrong placement table. The flush-then-forward
+//     order the core templates use is the only correct one.
+//
+//  2. Emit retention: storing the per-call emit callback anywhere
+//     that outlives the call — a goroutine, a channel, a package
+//     variable, a conditionally-written field, or a helper that
+//     stashes it (caught through the summary engine). The runtime
+//     threads a fresh emit through every Next/Flush call precisely so
+//     it can rewire delivery at rescale barriers and route flushes
+//     into transactional send blocks; a retained emit bypasses the
+//     rewiring and emits into a dead epoch.
+//
+// The one sanctioned form is the entry rebind the framework itself
+// uses: an unconditional top-level `recv.field = emit` at the start
+// of the method body, which overwrites the field on every call and
+// therefore never carries a stale callback across calls.
+func (a *analyzer) rule010(c *hotCtx) {
+	a.checkEmitAfterSeal(c)
+	a.checkEmitRetention(c)
+}
+
+// checkEmitAfterSeal flags data emissions after the marker forward in
+// an `if e.IsMarker` branch (part 1 above). Template callbacks are
+// out of scope: the template runtime owns marker forwarding there.
+func (a *analyzer) checkEmitAfterSeal(c *hotCtx) {
+	if c.kind == ctxTemplate {
+		return
+	}
+	events := a.eventParams(c)
+	if len(events) == 0 || len(c.emits) == 0 {
+		return
+	}
+	inspectShallow(c.body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ev := isMarkerCond(c, ifs.Cond, events)
+		if ev == nil {
+			return true
+		}
+		// Find the marker forward — emit(ev) — among the branch's
+		// statements, then flag any emission after it.
+		forwarded := false
+		for _, s := range ifs.Body.List {
+			if !forwarded {
+				if isMarkerForward(c, s, ev) {
+					forwarded = true
+				}
+				continue
+			}
+			if pos, eff, found := a.findEmitCall(c, s); found {
+				a.reportEff(pos, CodeMarkerSeal, eff,
+					"emission after the marker forward in %s%s: the marker seals the epoch, so output emitted after it lands past the cut — recovery replays it into the next epoch and rescale routes it with the wrong placement table; flush first, forward the marker last",
+					c.desc, viaChain(eff))
+			}
+		}
+		return true
+	})
+}
+
+// eventParams collects the context's stream.Event-typed parameter
+// objects.
+func (a *analyzer) eventParams(c *hotCtx) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if c.params == nil {
+		return out
+	}
+	for _, field := range c.params.List {
+		t := c.pkg.Info.TypeOf(field.Type)
+		if t == nil || !types.Identical(t, a.hooks.streamEvent) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := c.pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isMarkerCond recognizes `ev.IsMarker` (possibly parenthesized, or
+// the left conjunct of &&) over an event parameter, returning the
+// event object.
+func isMarkerCond(c *hotCtx, cond ast.Expr, events map[types.Object]bool) types.Object {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return isMarkerCond(c, b.X, events)
+	}
+	sel, ok := cond.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "IsMarker" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pkg.Info.ObjectOf(id)
+	if obj == nil || !events[obj] {
+		return nil
+	}
+	return obj
+}
+
+// isMarkerForward reports whether s is `emit(ev)` for one of the
+// context's emit callbacks.
+func isMarkerForward(c *hotCtx, s ast.Stmt, ev types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := c.pkg.Info.Uses[fn]; obj == nil || !c.emits[obj] {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && c.pkg.Info.ObjectOf(arg) == ev
+}
+
+// checkEmitRetention flags stores, captures and hand-offs that let
+// the per-call emit callback outlive the call (part 2 above).
+func (a *analyzer) checkEmitRetention(c *hotCtx) {
+	if len(c.emits) == 0 {
+		return
+	}
+	// emitAliases: locals assigned a value referencing the callback
+	// (e.g. a closure wrapping it). Two passes reach chains.
+	aliases := map[types.Object]bool{}
+	refsEmit := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := c.pkg.Info.ObjectOf(id); obj != nil && (c.emits[obj] || aliases[obj]) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(c.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !refsEmit(as.Rhs[i]) {
+					continue
+				}
+				if obj := c.pkg.Info.ObjectOf(id); obj != nil && obj.Parent() != c.pkg.Types.Scope() {
+					aliases[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// The sanctioned entry rebind: unconditional top-level
+	// `recv.field = emit` statements (overwritten every call, so
+	// never stale).
+	exempt := map[ast.Stmt]bool{}
+	if c.kind == ctxMethod && c.recv != nil {
+		for _, s := range c.body.List {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			id, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := c.pkg.Info.ObjectOf(id); obj == nil || !c.emits[obj] {
+				continue
+			}
+			if receiverFieldTarget(c.pkg, as.Lhs[0], c.recv) != "" {
+				exempt[s] = true
+			}
+		}
+	}
+
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if exempt[n] {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				} else if i < len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else {
+					continue
+				}
+				if !refsEmit(rhs) {
+					continue
+				}
+				if c.kind == ctxMethod && c.recv != nil {
+					if field := receiverFieldTarget(c.pkg, lhs, c.recv); field != "" {
+						a.reportf(n.Pos(), CodeMarkerSeal,
+							"emit callback stored in receiver field %q outside the unconditional entry rebind in %s: a conditionally-retained emit goes stale across rescale barriers and transactional flushes, emitting into a dead epoch — rebind the field unconditionally at entry, or read it through the receiver",
+							field, c.desc)
+						continue
+					}
+				}
+				if c.kind != ctxTemplate { // template pkg-var writes are DTT003's finding
+					if root := rootIdent(lhs); root != nil {
+						if obj := c.pkg.Info.ObjectOf(root); obj != nil && obj.Parent() == c.pkg.Types.Scope() {
+							a.reportf(n.Pos(), CodeMarkerSeal,
+								"emit callback stored in package variable %q in %s: the runtime threads a fresh emit through every call so it can rewire delivery at rescale barriers — a retained emit bypasses that and emits into a dead epoch",
+								root.Name, c.desc)
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if refsEmit(n.Call) || goLitRefsEmit(c, n, aliases) {
+				a.reportf(n.Pos(), CodeMarkerSeal,
+					"emit callback captured by a goroutine in %s: the goroutine can outlive the call and emit past the epoch's marker cut, breaking the buffers-empty-at-cut invariant — emit synchronously before returning",
+					c.desc)
+			}
+		case *ast.SendStmt:
+			if refsEmit(n.Value) {
+				a.reportf(n.Pos(), CodeMarkerSeal,
+					"emit callback sent on a channel in %s: the receiver can invoke it after the epoch is sealed, emitting past the marker cut — emit synchronously before returning",
+					c.desc)
+			}
+		case *ast.CallExpr:
+			a.checkEmitEscapeCall(c, n, aliases)
+		}
+		return true
+	})
+}
+
+// goLitRefsEmit reports whether a go statement's function-literal
+// body references the emit callback (the literal is the call's Fun,
+// which ast.Inspect of n.Call covers, but spelled out for clarity of
+// the alias set).
+func goLitRefsEmit(c *hotCtx, g *ast.GoStmt, aliases map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pkg.Info.ObjectOf(id); obj != nil && (c.emits[obj] || aliases[obj]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEmitEscapeCall flags passing the emit callback to a helper
+// whose summary retains it.
+func (a *analyzer) checkEmitEscapeCall(c *hotCtx, call *ast.CallExpr, aliases map[types.Object]bool) {
+	for _, callee := range a.eng.callees(c.pkg, call) {
+		cs := a.eng.sum(callee)
+		if cs == nil || len(cs.escapesParam) == 0 {
+			continue
+		}
+		sig := callee.Type().(*types.Signature)
+		for j, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pkg.Info.ObjectOf(id)
+			if obj == nil || !(c.emits[obj] || aliases[obj]) {
+				continue
+			}
+			cj := calleeParamIndex(sig, j)
+			if cj < 0 || cs.escapesParam[cj] == nil {
+				continue
+			}
+			eff := derived(call.Pos(), callee, cs.escapesParam[cj])
+			if eff == nil {
+				continue
+			}
+			a.reportEff(call.Pos(), CodeMarkerSeal, eff,
+				"emit callback passed to a helper that retains it in %s: %s — the runtime threads a fresh emit through every call so it can rewire delivery at rescale barriers; a stashed emit goes stale and emits into a dead epoch",
+				c.desc, eff.chainString())
+		}
+	}
+}

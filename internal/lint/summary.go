@@ -1,0 +1,770 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Per-function summaries: the interprocedural half of the analyzer.
+//
+// Every rule in this package states an obligation about what happens
+// inside a hot path — no ambient nondeterminism, no side channels, no
+// retained arena aliases. Before PR 10 each rule could see only the
+// hot function's own body, so a `time.Now()` or a batch stash one
+// helper call deep was invisible. The engine closes that seam: it
+// computes, for every function with a body in the loaded module
+// packages, a small effect summary —
+//
+//	nondet       reaches a wall-clock read, random draw or
+//	             multi-way select
+//	spawn        reaches a goroutine spawn or raw channel send
+//	callsParam   may invoke its i-th (function-typed) parameter
+//	mapEmitParam may invoke its i-th parameter from inside a
+//	             range over a map
+//	escapesParam may retain an alias of its i-th parameter past
+//	             the call (receiver field, package variable,
+//	             goroutine capture, channel send, or a callee that
+//	             does any of those)
+//	writesParam  may write through its i-th parameter
+//	returnsParam may return an alias of its i-th parameter
+//	recvWrite    writes a field of its receiver (directly or via
+//	             its own methods)
+//	nonCommut    combines two parameters with a non-commutative
+//	             operation (subtraction, division, string
+//	             concatenation)
+//	appendMix    appends one parameter('s elements) to another —
+//	             order-sensitive slice accumulation
+//
+// — and propagates them bottom-up over the static call graph
+// (callgraph.go) to a fixpoint. Effects are monotone and the depth of
+// a propagated chain is bounded (maxEffectDepth), so the worklist
+// terminates on recursion and mutual recursion. Every propagated
+// effect carries its provenance: the call chain from the summarized
+// function down to the leaf site, which the rules print in
+// diagnostics and which leaf-site suppression uses (a `//lint:ignore`
+// on the leaf silences every finding derived from it).
+
+// maxEffectDepth bounds how many call hops an effect propagates: a
+// chain deeper than this is treated as out of analysis range. A var
+// so the engine tests can pin the bound's behavior.
+var maxEffectDepth = 8
+
+// effect is one interprocedural fact with provenance.
+type effect struct {
+	// pos is the site in the summarized function itself: a leaf site
+	// (the time.Now call) or the call that inherits the effect.
+	pos token.Pos
+	// chain is the provenance from this function down to the leaf,
+	// e.g. ["stamp", "time.Now()"]. Its last element describes the
+	// leaf itself.
+	chain []string
+	// depth is the chain length; leaves have depth 1.
+	depth int
+	// leafPos is the ultimate leaf site, for leaf-side suppression.
+	leafPos token.Pos
+}
+
+// localEffect is a leaf fact discovered in the scanned body itself.
+func localEffect(pos token.Pos, desc string) *effect {
+	return &effect{pos: pos, chain: []string{desc}, depth: 1, leafPos: pos}
+}
+
+// derived lifts a callee effect to a call site, extending the chain;
+// nil when the effect is nil or out of depth range.
+func derived(pos token.Pos, callee *types.Func, eff *effect) *effect {
+	if eff == nil || eff.depth >= maxEffectDepth {
+		return nil
+	}
+	chain := make([]string, 0, len(eff.chain)+1)
+	chain = append(chain, funcDisplayName(callee))
+	chain = append(chain, eff.chain...)
+	return &effect{pos: pos, chain: chain, depth: eff.depth + 1, leafPos: eff.leafPos}
+}
+
+// chainString renders provenance for diagnostics.
+func (e *effect) chainString() string { return strings.Join(e.chain, " → ") }
+
+// paramPair is an ordered pair of parameter indices (i < j).
+type paramPair [2]int
+
+// summary is one function's effect summary.
+type summary struct {
+	nondet       *effect
+	spawn        *effect
+	recvWrite    *effect
+	callsParam   map[int]*effect
+	mapEmitParam map[int]*effect
+	escapesParam map[int]*effect
+	writesParam  map[int]*effect
+	returnsParam map[int]*effect
+	nonCommut    map[paramPair]*effect
+	appendMix    map[paramPair]*effect
+}
+
+func newSummary() *summary {
+	return &summary{
+		callsParam:   map[int]*effect{},
+		mapEmitParam: map[int]*effect{},
+		escapesParam: map[int]*effect{},
+		writesParam:  map[int]*effect{},
+		returnsParam: map[int]*effect{},
+		nonCommut:    map[paramPair]*effect{},
+		appendMix:    map[paramPair]*effect{},
+	}
+}
+
+// setEff records an effect if none is present (first discovery wins,
+// keeping summaries — and their provenance — deterministic).
+func setEff(dst **effect, e *effect) {
+	if e != nil && *dst == nil {
+		*dst = e
+	}
+}
+
+// setIdx records an indexed effect if none is present.
+func setIdx(m map[int]*effect, i int, e *effect) {
+	if e != nil && m[i] == nil {
+		m[i] = e
+	}
+}
+
+// setPair records a pair effect if none is present.
+func setPair(m map[paramPair]*effect, k paramPair, e *effect) {
+	if e != nil && m[k] == nil {
+		m[k] = e
+	}
+}
+
+// covers reports whether s has every effect o has — the fixpoint's
+// "nothing new" check (effects are monotone, so growth is the only
+// possible change).
+func (s *summary) covers(o *summary) bool {
+	has := func(e, f *effect) bool { return e != nil || f == nil }
+	if !has(s.nondet, o.nondet) || !has(s.spawn, o.spawn) || !has(s.recvWrite, o.recvWrite) {
+		return false
+	}
+	idx := func(a, b map[int]*effect) bool {
+		for k := range b {
+			if a[k] == nil {
+				return false
+			}
+		}
+		return true
+	}
+	pair := func(a, b map[paramPair]*effect) bool {
+		for k := range b {
+			if a[k] == nil {
+				return false
+			}
+		}
+		return true
+	}
+	return idx(s.callsParam, o.callsParam) && idx(s.mapEmitParam, o.mapEmitParam) &&
+		idx(s.escapesParam, o.escapesParam) && idx(s.writesParam, o.writesParam) &&
+		idx(s.returnsParam, o.returnsParam) && pair(s.nonCommut, o.nonCommut) &&
+		pair(s.appendMix, o.appendMix)
+}
+
+// build computes every summary to fixpoint. Single-threaded: the
+// parallel per-package rule phase that follows reads the results
+// without locks. The iteration is round-based over a
+// position-independent node order (package path, file, line), so
+// which effect chain gets recorded first — and therefore every
+// diagnostic message — is byte-identical across runs even though
+// parallel parsing assigns FileSet offsets nondeterministically.
+func (e *engine) build() {
+	nodes := make([]*funcNode, 0, len(e.funcs))
+	for _, n := range e.funcs {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return e.posKey(nodes[i].fn).less(e.posKey(nodes[j].fn))
+	})
+	for _, n := range nodes {
+		e.sums[n.fn] = newSummary()
+	}
+	// Effects are monotone and chain depth is bounded, so the rounds
+	// terminate; the cap is a safety net, far above any real depth.
+	for round := 0; round < 4*maxEffectDepth; round++ {
+		changed := false
+		for _, n := range nodes {
+			fresh := e.scan(n)
+			if !e.sums[n.fn].covers(fresh) {
+				e.sums[n.fn] = fresh
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// sum returns fn's summary (resolving generic instantiations), or nil
+// for functions outside the universe.
+func (e *engine) sum(fn *types.Func) *summary {
+	if fn == nil {
+		return nil
+	}
+	if s := e.sums[fn]; s != nil {
+		return s
+	}
+	return e.sums[fn.Origin()]
+}
+
+// ---------------------------------------------------------------------------
+// Per-function scan.
+// ---------------------------------------------------------------------------
+
+// scanner walks one function body, deriving its summary from local
+// facts plus the current summaries of its static callees.
+type scanner struct {
+	e       *engine
+	n       *funcNode
+	sum     *summary
+	params  map[types.Object]int // declared parameter → index
+	funcs   map[types.Object]int // function-typed parameter → index
+	recvObj types.Object
+	// aliases maps locals to the parameter indices they may alias.
+	aliases map[types.Object]map[int]bool
+}
+
+// scan computes a fresh summary for one function.
+func (e *engine) scan(n *funcNode) *summary {
+	recv := receiverObject(n.pkg, n.decl)
+	return e.scanBody(n.pkg, n.decl.Type.Params, n.decl.Body, recv)
+}
+
+// scanBody summarizes one function body given its parameter list —
+// the shared core behind declared-function scans and the rules'
+// on-demand summaries of template callback literals (DTT008).
+func (e *engine) scanBody(p *Package, params *ast.FieldList, body *ast.BlockStmt, recv types.Object) *summary {
+	s := &scanner{
+		e: e, n: &funcNode{pkg: p}, sum: newSummary(),
+		params:  map[types.Object]int{},
+		funcs:   map[types.Object]int{},
+		aliases: map[types.Object]map[int]bool{},
+		recvObj: recv,
+	}
+	i := 0
+	if params != nil {
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					i++
+					continue
+				}
+				s.params[obj] = i
+				if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+					s.funcs[obj] = i
+				}
+				if refLike(obj.Type()) {
+					s.aliases[obj] = map[int]bool{i: true}
+				}
+				i++
+			}
+		}
+	}
+	s.walk(body, false)
+	return s.sum
+}
+
+// refLike reports whether values of t can carry an alias into or out
+// of a call (pointer, slice, map, chan, func, interface); basic and
+// struct values are copies.
+func refLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// walk traverses n in syntactic order, tracking whether the current
+// position is inside a range over a map. Nested function literals are
+// not summarized as part of this function (matching the per-context
+// discipline of the rules); their parameter captures still count as
+// aliases wherever the literal value flows.
+func (s *scanner) walk(n ast.Node, inMap bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			s.walk(m.X, inMap)
+			over := inMap
+			if t := s.n.pkg.Info.TypeOf(m.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					over = true
+				}
+			}
+			s.walk(m.Body, over)
+			return false
+		default:
+			s.handle(m, inMap)
+			return true
+		}
+	})
+}
+
+// handle processes one node.
+func (s *scanner) handle(n ast.Node, inMap bool) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		s.call(n, inMap)
+	case *ast.SelectStmt:
+		if n.Body != nil && len(n.Body.List) >= 2 {
+			setEff(&s.sum.nondet, localEffect(n.Pos(), "multi-way select"))
+		}
+	case *ast.GoStmt:
+		setEff(&s.sum.spawn, localEffect(n.Pos(), "go statement"))
+		for i := range s.referencedParams(n.Call) {
+			setIdx(s.sum.escapesParam, i, localEffect(n.Pos(), "captured by a goroutine"))
+		}
+	case *ast.SendStmt:
+		setEff(&s.sum.spawn, localEffect(n.Pos(), "raw channel send"))
+		for i := range s.aliasesOf(n.Value) {
+			setIdx(s.sum.escapesParam, i, localEffect(n.Pos(), "sent on a channel"))
+		}
+	case *ast.AssignStmt:
+		s.assign(n)
+	case *ast.IncDecStmt:
+		s.writeSink(n.X, nil, n.Pos())
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			for i := range s.aliasesOf(r) {
+				setIdx(s.sum.returnsParam, i, localEffect(n.Pos(), "returned"))
+			}
+		}
+	case *ast.BinaryExpr:
+		s.binary(n)
+	}
+}
+
+// call processes one call expression: ambient leaves, parameter
+// invocations, and propagation from static callees.
+func (s *scanner) call(call *ast.CallExpr, inMap bool) {
+	p := s.n.pkg
+	// Leaf: wall-clock / random draws (same set rule002 rejects).
+	if fn := calledFunc(p, call); fn != nil && fn.Pkg() != nil {
+		switch path := fn.Pkg().Path(); {
+		case path == "time" && ambientTimeFuncs[fn.Name()]:
+			setEff(&s.sum.nondet, localEffect(call.Pos(), "time."+fn.Name()+"()"))
+		case path == "math/rand" || path == "math/rand/v2":
+			setEff(&s.sum.nondet, localEffect(call.Pos(), path+"."+fn.Name()+"()"))
+		}
+	}
+	// Leaf: invoking a function-typed parameter.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			if i, ok := s.funcs[obj]; ok {
+				eff := localEffect(call.Pos(), obj.Name()+"(...)")
+				setIdx(s.sum.callsParam, i, eff)
+				if inMap {
+					setIdx(s.sum.mapEmitParam, i,
+						localEffect(call.Pos(), obj.Name()+"(...) inside a map range"))
+				}
+			}
+		}
+	}
+	// Append is handled as an alias source (aliasesOf) and a mixing
+	// sink (binary/appendMix below via direct args).
+	if isBuiltinAppend(p, call) && len(call.Args) >= 2 {
+		base := s.directParams(call.Args[0])
+		for _, arg := range call.Args[1:] {
+			for i := range base {
+				for j := range s.directParams(arg) {
+					if i != j {
+						setPair(s.sum.appendMix, orderedPair(i, j),
+							localEffect(call.Pos(), "append("+exprString(call.Args[0])+", "+exprString(arg)+")"))
+					}
+				}
+			}
+		}
+	}
+	// Propagate from static callees.
+	for _, callee := range s.e.callees(p, call) {
+		if s.n.fn != nil {
+			s.e.addEdge(s.n.fn, callee) // rule-phase scans (fn nil) must not mutate the graph
+		}
+		cs := s.e.sum(callee)
+		if cs == nil {
+			continue
+		}
+		setEff(&s.sum.nondet, derived(call.Pos(), callee, cs.nondet))
+		setEff(&s.sum.spawn, derived(call.Pos(), callee, cs.spawn))
+		// A method call on our own receiver inherits its field writes.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.recvObj != nil {
+			if id, ok := sel.X.(*ast.Ident); ok && p.Info.ObjectOf(id) == s.recvObj {
+				setEff(&s.sum.recvWrite, derived(call.Pos(), callee, cs.recvWrite))
+			}
+		}
+		sig := callee.Type().(*types.Signature)
+		direct := make([]map[int]bool, len(call.Args))
+		for j, arg := range call.Args {
+			cj := calleeParamIndex(sig, j)
+			if cj < 0 {
+				continue
+			}
+			// Function-typed parameter passed through.
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if i, ok := s.funcs[obj]; ok {
+						if eff := derived(call.Pos(), callee, cs.callsParam[cj]); eff != nil {
+							setIdx(s.sum.callsParam, i, eff)
+							if inMap {
+								setIdx(s.sum.mapEmitParam, i, eff)
+							}
+						}
+						setIdx(s.sum.mapEmitParam, i, derived(call.Pos(), callee, cs.mapEmitParam[cj]))
+					}
+				}
+			}
+			// Alias-carrying arguments.
+			for i := range s.aliasesOf(arg) {
+				setIdx(s.sum.escapesParam, i, derived(call.Pos(), callee, cs.escapesParam[cj]))
+				setIdx(s.sum.writesParam, i, derived(call.Pos(), callee, cs.writesParam[cj]))
+			}
+			direct[j] = s.directParams(arg)
+		}
+		// Non-commutative mixing through a call: both our parameters
+		// handed to a callee that mixes the corresponding pair.
+		for pr, eff := range cs.nonCommut {
+			s.mixThrough(call, callee, sig, direct, pr, eff, s.sum.nonCommut)
+		}
+		for pr, eff := range cs.appendMix {
+			s.mixThrough(call, callee, sig, direct, pr, eff, s.sum.appendMix)
+		}
+	}
+}
+
+// mixThrough lifts a callee's parameter-pair effect to the caller's
+// parameter pair when both positions are passed caller parameters.
+func (s *scanner) mixThrough(call *ast.CallExpr, callee *types.Func, sig *types.Signature, direct []map[int]bool, pr paramPair, eff *effect, dst map[paramPair]*effect) {
+	var a, b []int
+	for j := range direct {
+		cj := calleeParamIndex(sig, j)
+		for i := range direct[j] {
+			if cj == pr[0] {
+				a = append(a, i)
+			}
+			if cj == pr[1] {
+				b = append(b, i)
+			}
+		}
+	}
+	for _, i := range a {
+		for _, j := range b {
+			if i != j {
+				setPair(dst, orderedPair(i, j), derived(call.Pos(), callee, eff))
+			}
+		}
+	}
+}
+
+// assign processes one assignment statement: alias propagation and
+// escape/write sinks.
+func (s *scanner) assign(as *ast.AssignStmt) {
+	multi := len(as.Lhs) > 1 && len(as.Rhs) == 1
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if multi {
+			rhs = as.Rhs[0]
+		} else if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+		var rhsAl map[int]bool
+		if rhs != nil && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+			rhsAl = s.aliasesOf(rhs)
+		}
+		s.writeSink(lhs, rhsAl, as.Pos())
+	}
+	// Non-commutative compound assignment: x -= y, x /= y, s += t.
+	if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		switch as.Tok {
+		case token.SUB_ASSIGN, token.QUO_ASSIGN:
+			s.mixSink(as.Lhs[0], as.Rhs[0], as.Pos(),
+				exprString(as.Lhs[0])+" "+as.Tok.String()+" "+exprString(as.Rhs[0]))
+		case token.ADD_ASSIGN:
+			if t := s.n.pkg.Info.TypeOf(as.Lhs[0]); t != nil && isString(t) {
+				s.mixSink(as.Lhs[0], as.Rhs[0], as.Pos(),
+					exprString(as.Lhs[0])+" += "+exprString(as.Rhs[0]))
+			}
+		}
+	}
+}
+
+// writeSink classifies one write target, recording receiver-field
+// writes, parameter writes, and any escape of rhs aliases.
+func (s *scanner) writeSink(lhs ast.Expr, rhsAl map[int]bool, pos token.Pos) {
+	p := s.n.pkg
+	escape := func(desc string) {
+		for i := range rhsAl {
+			setIdx(s.sum.escapesParam, i, localEffect(pos, desc))
+		}
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := p.Info.ObjectOf(id)
+		if obj == nil || obj.Name() == "_" {
+			return
+		}
+		if obj.Parent() == p.Types.Scope() {
+			escape("stored in package variable " + obj.Name())
+			return
+		}
+		if len(rhsAl) > 0 {
+			al := s.aliases[obj]
+			if al == nil {
+				al = map[int]bool{}
+				s.aliases[obj] = al
+			}
+			for i := range rhsAl {
+				al[i] = true
+			}
+		}
+		return
+	}
+	// Receiver-field target: recv.f, recv.f[i], chains.
+	if s.recvObj != nil {
+		if field := receiverFieldTarget(p, lhs, s.recvObj); field != "" {
+			setEff(&s.sum.recvWrite, localEffect(pos, fmt.Sprintf("writes field %q", field)))
+			escape(fmt.Sprintf("stored in receiver field %q", field))
+			return
+		}
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := p.Info.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if i, ok := s.params[obj]; ok {
+		setIdx(s.sum.writesParam, i, localEffect(pos, "writes through parameter "+obj.Name()))
+		escape("stored through parameter " + obj.Name())
+		return
+	}
+	if obj.Parent() == p.Types.Scope() {
+		escape("stored in package variable " + obj.Name())
+		return
+	}
+	// Write into a local structure: the alias stays reachable from
+	// the local's object.
+	if len(rhsAl) > 0 {
+		al := s.aliases[obj]
+		if al == nil {
+			al = map[int]bool{}
+			s.aliases[obj] = al
+		}
+		for i := range rhsAl {
+			al[i] = true
+		}
+	}
+}
+
+// binary records non-commutative parameter mixing: x - y, x / y, and
+// string x + y where each side references exactly one distinct
+// parameter.
+func (s *scanner) binary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.SUB, token.QUO:
+		s.mixSink(b.X, b.Y, b.Pos(), exprString(b))
+	case token.ADD:
+		if t := s.n.pkg.Info.TypeOf(b); t != nil && isString(t) {
+			s.mixSink(b.X, b.Y, b.Pos(), exprString(b))
+		}
+	}
+}
+
+// mixSink records a nonCommut pair when lhs references exactly one
+// parameter and rhs exactly one other: `x.Sum - y.Sum` mixes, while
+// `x.Sum / x.Count` (one aggregate's own fields) and symmetric forms
+// like `(x.A+y.A) - (x.B+y.B)` do not.
+func (s *scanner) mixSink(lhs, rhs ast.Expr, pos token.Pos, desc string) {
+	l, r := s.directParams(lhs), s.directParams(rhs)
+	if len(l) != 1 || len(r) != 1 {
+		return
+	}
+	var i, j int
+	for k := range l {
+		i = k
+	}
+	for k := range r {
+		j = k
+	}
+	if i == j {
+		return
+	}
+	setPair(s.sum.nonCommut, orderedPair(i, j), localEffect(pos, desc))
+}
+
+// directParams returns the parameter indices an expression references
+// (through plain identifiers and locals assigned from them) — used
+// for value-level mixing, where alias-carrying types are irrelevant.
+func (s *scanner) directParams(e ast.Expr) map[int]bool {
+	out := map[int]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := s.n.pkg.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if i, ok := s.params[obj]; ok {
+			out[i] = true
+		}
+		for i := range s.aliases[obj] {
+			out[i] = true
+		}
+		return true
+	})
+	return out
+}
+
+// referencedParams returns every parameter referenced anywhere under
+// n, descending into function literals (goroutine capture).
+func (s *scanner) referencedParams(n ast.Node) map[int]bool {
+	out := map[int]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := s.n.pkg.Info.ObjectOf(id); obj != nil {
+				if i, ok := s.params[obj]; ok {
+					out[i] = true
+				}
+				for i := range s.aliases[obj] {
+					out[i] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// aliasesOf reports which parameters' memory evaluating e may alias.
+// Element reads of value types are copies and carry nothing; append
+// aliases its first argument's backing array; calls to module
+// functions alias through their returnsParam summary; a function
+// literal aliases everything it captures.
+func (s *scanner) aliasesOf(e ast.Expr) map[int]bool {
+	p := s.n.pkg
+	if t := p.Info.TypeOf(e); t != nil && !refLike(t) {
+		if _, isLit := e.(*ast.CompositeLit); !isLit {
+			return nil
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return s.aliases[p.Info.ObjectOf(e)]
+	case *ast.ParenExpr:
+		return s.aliasesOf(e.X)
+	case *ast.TypeAssertExpr:
+		return s.aliasesOf(e.X)
+	case *ast.SelectorExpr:
+		return s.aliasesOf(e.X)
+	case *ast.SliceExpr:
+		return s.aliasesOf(e.X)
+	case *ast.IndexExpr:
+		return s.aliasesOf(e.X)
+	case *ast.StarExpr:
+		return s.aliasesOf(e.X)
+	case *ast.UnaryExpr:
+		return s.aliasesOf(e.X)
+	case *ast.FuncLit:
+		return s.referencedParams(e.Body)
+	case *ast.CompositeLit:
+		out := map[int]bool{}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			for i := range s.aliasesOf(elt) {
+				out[i] = true
+			}
+		}
+		return out
+	case *ast.CallExpr:
+		if isBuiltinAppend(p, e) && len(e.Args) > 0 {
+			return s.aliasesOf(e.Args[0])
+		}
+		if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return s.aliasesOf(e.Args[0]) // conversion keeps the alias
+		}
+		out := map[int]bool{}
+		for _, callee := range s.e.callees(p, e) {
+			cs := s.e.sum(callee)
+			if cs == nil || len(cs.returnsParam) == 0 {
+				continue
+			}
+			sig := callee.Type().(*types.Signature)
+			for j, arg := range e.Args {
+				cj := calleeParamIndex(sig, j)
+				if cj < 0 || cs.returnsParam[cj] == nil {
+					continue
+				}
+				for i := range s.aliasesOf(arg) {
+					out[i] = true
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// calledFunc resolves a call's target to a *types.Func (for ambient
+// leaf detection), or nil.
+func calledFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeParamIndex maps an argument position to the callee's declared
+// parameter index, folding variadic tails onto the last parameter.
+func calleeParamIndex(sig *types.Signature, arg int) int {
+	n := sig.Params().Len()
+	if arg < n {
+		return arg
+	}
+	if sig.Variadic() && n > 0 {
+		return n - 1
+	}
+	return -1
+}
+
+// orderedPair normalizes a parameter pair.
+func orderedPair(i, j int) paramPair {
+	if i > j {
+		i, j = j, i
+	}
+	return paramPair{i, j}
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,98 @@
+// Package enginefix is the summary-engine unit-test fixture: small
+// functions whose summaries engine_test.go asserts directly
+// (recursion, mutual recursion, interface fan-out, the depth bound,
+// and each per-parameter effect kind).
+package enginefix
+
+import "time"
+
+// Recur reaches the clock through self-recursion: the fixpoint must
+// terminate and still record the nondet effect.
+func Recur(n int) int64 {
+	if n == 0 {
+		return time.Now().UnixNano()
+	}
+	return Recur(n - 1)
+}
+
+// Ping and Pong are mutually recursive; Pong owns the spawn leaf and
+// Ping inherits it across the cycle.
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+func Pong(n int) {
+	go func() {}()
+	Ping(n)
+}
+
+// Doer fans out through an interface: CallIface's effects are the
+// union over implementations.
+type Doer interface{ Do() }
+
+// Quiet is a pure implementation.
+type Quiet struct{}
+
+func (Quiet) Do() {}
+
+// Noisy reads the clock.
+type Noisy struct{}
+
+func (Noisy) Do() { _ = time.Since(time.Time{}) }
+
+// CallIface dispatches through the interface.
+func CallIface(d Doer) { d.Do() }
+
+// D0..D9 form a call chain ten deep rooted at a clock read; the
+// depth bound cuts propagation at maxEffectDepth hops.
+func D0() int64 { return time.Now().UnixNano() }
+func D1() int64 { return D0() }
+func D2() int64 { return D1() }
+func D3() int64 { return D2() }
+func D4() int64 { return D3() }
+func D5() int64 { return D4() }
+func D6() int64 { return D5() }
+func D7() int64 { return D6() }
+func D8() int64 { return D7() }
+func D9() int64 { return D8() }
+
+// Invoke calls its function parameter.
+func Invoke(f func(int)) { f(1) }
+
+// InvokeInMap calls its function parameter inside a range over a map.
+func InvokeInMap(m map[string]int, f func(int)) {
+	for _, v := range m {
+		f(v)
+	}
+}
+
+// sink is the package-level escape target.
+var sink []int64
+
+// Escape stores its parameter in a package variable.
+func Escape(rows []int64) { sink = rows }
+
+// EscapeDeep escapes one call down.
+func EscapeDeep(rows []int64) { Escape(rows) }
+
+// WriteThrough writes through its pointer parameter.
+func WriteThrough(p *int) { *p = 1 }
+
+// ReturnAlias returns a sub-slice of its parameter.
+func ReturnAlias(rows []int64) []int64 { return rows[1:] }
+
+// Box has a method that writes its receiver, and one that does so
+// through another method.
+type Box struct{ n int }
+
+func (b *Box) Set(v int) { b.n = v }
+
+func (b *Box) Reset() { b.Set(0) }
+
+// Mix subtracts its second parameter from its first.
+func Mix(a, b int64) int64 { return a - b }
+
+// MixDeep mixes its parameters through Mix.
+func MixDeep(x, y int64) int64 { return Mix(x, y) }

@@ -51,3 +51,17 @@ var BadBolt storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Ev
 		emit(stream.Item(k, 1)) // want DTT001
 	}
 })
+
+// fanOut ranges a map and invokes the callback per entry — a hazard
+// invisible at the call site without the summary engine.
+func fanOut(m map[any]int, f func(stream.Event)) {
+	for k, v := range m {
+		f(stream.Item(k, int64(v)))
+	}
+}
+
+// BadHelper hides the map range one call deep.
+var BadHelper storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	seen := map[any]int{e.Key: 1}
+	fanOut(seen, emit) // want DTT001
+})

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"datatrace/internal/core"
+	"datatrace/internal/storm"
 	"datatrace/internal/stream"
 )
 
@@ -42,3 +43,12 @@ func OkSlice() core.Operator {
 		},
 	}
 }
+
+// forward invokes the callback outside any map range: passing emit
+// to it is fine.
+func forward(f func(stream.Event), e stream.Event) { f(e) }
+
+// OkHelper delegates emission to a helper with deterministic order.
+var OkHelper storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	forward(emit, e)
+})

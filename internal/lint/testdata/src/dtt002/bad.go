@@ -48,3 +48,20 @@ var BadSelect storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.
 		emit(x)
 	}
 })
+
+// nowish looks pure at the call site; the clock is two calls down.
+func nowish() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+// BadHelperClock reaches the wall clock through two helper calls.
+func BadHelperClock() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-helper-clock",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			emit(key, int(nowish())) // want DTT002
+		},
+	}
+}

@@ -28,3 +28,23 @@ func OkMarker() core.Operator {
 // Randomness outside a hot context (test-data generation at package
 // init) is not the analyzer's business.
 var warmup = rand.New(rand.NewSource(1)).Intn(10)
+
+// latency reads the clock for measurement only; the waiver at the
+// leaf silences the derived finding in every caller.
+func latency() int64 {
+	//lint:ignore DTT002 fixture: measurement-only clock read, waived at the leaf for all callers
+	return time.Now().UnixNano()
+}
+
+// OkWaivedLeaf calls a helper whose clock read carries a leaf waiver.
+func OkWaivedLeaf() core.Operator {
+	return &core.Stateless[string, int, string, int]{
+		OpName: "ok-waived-leaf",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			_ = latency()
+			emit(key, value)
+		},
+	}
+}

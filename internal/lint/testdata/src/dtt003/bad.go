@@ -53,3 +53,29 @@ func BadField() core.Operator {
 		},
 	}
 }
+
+// bump writes through its pointer parameter.
+func bump(c *config) { c.limit++ }
+
+type tally struct{ n int }
+
+// inc mutates its receiver.
+func (t *tally) inc() { t.n++ }
+
+// BadHelperWrite mutates captured state one call deep: a helper that
+// writes through its parameter, and a method that writes its
+// receiver.
+func BadHelperWrite() core.Operator {
+	cfg := &config{}
+	total := &tally{}
+	return &core.Stateless[string, int, string, int]{
+		OpName: "bad-helper-write",
+		In:     stream.U("K", "V"),
+		Out:    stream.U("K", "V"),
+		OnItem: func(emit core.Emit[string, int], key string, value int) {
+			bump(cfg)   // want DTT003
+			total.inc() // want DTT003
+			emit(key, cfg.limit+total.n)
+		},
+	}
+}

@@ -30,3 +30,11 @@ var BadSend storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Ev
 	side <- e // want DTT005
 	emit(e)
 })
+
+// fireAndForget spawns its argument on a fresh goroutine.
+func fireAndForget(f func()) { go f() }
+
+// BadHelperSpawn leaks work through a helper spawn.
+var BadHelperSpawn storm.Bolt = storm.BoltFunc(func(e stream.Event, emit func(stream.Event)) {
+	fireAndForget(func() { emit(e) }) // want DTT005
+})

@@ -15,3 +15,16 @@ func (b *okBolt) Next(e stream.Event, emit func(stream.Event)) {
 }
 
 var _ storm.Bolt = (*okBolt)(nil)
+
+// double is a pure helper: calling it moves no work off the executor.
+func double(v int64) int64 { return 2 * v }
+
+// okHelperBolt calls a pure helper and emits synchronously.
+type okHelperBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *okHelperBolt) Next(e stream.Event, emit func(stream.Event)) {
+	emit(stream.Item(e.Key, double(1)))
+}
+
+var _ storm.Bolt = (*okHelperBolt)(nil)

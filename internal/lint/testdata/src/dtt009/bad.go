@@ -1,0 +1,43 @@
+// Package dtt009 exercises DTT009: ProcessCols/ProcessBatch handing
+// a column batch alias to a helper whose summary retains it. DTT007
+// sees only stores in the method body itself; this closes the
+// call-boundary seam.
+package dtt009
+
+import (
+	"datatrace/internal/stream"
+)
+
+// holder stashes whatever slice it is given in a receiver field.
+type holder struct{ keep []int64 }
+
+func (h *holder) grab(rows []int64) { h.keep = rows }
+
+// last is a package-level stash one call away.
+var last []int64
+
+func remember(rows []int64) { last = rows }
+
+// keepAll launders the stash through a second call level.
+func keepAll(rows []int64) { remember(rows) }
+
+// leaky hands arena aliases to all three retaining helpers.
+type leaky struct {
+	h holder
+}
+
+// Next implements core.Instance (boxed fallback path).
+func (l *leaky) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessCols leaks the batch's columns through helper calls: every
+// callee stores the slice past the call, so the retained rows
+// silently become a later block's rows.
+func (l *leaky) ProcessCols(in, out stream.Columns) {
+	tc := in.(*stream.Cols[int64, int64])
+	l.h.grab(tc.Keys) // want DTT009
+	remember(tc.Vals) // want DTT009
+	keepAll(tc.Keys)  // want DTT009
+	for i := range tc.Keys {
+		out.AppendRow(in, i)
+	}
+}

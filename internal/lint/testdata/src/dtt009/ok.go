@@ -1,0 +1,37 @@
+package dtt009
+
+import (
+	"datatrace/internal/stream"
+)
+
+// total only reads its argument; nothing escapes.
+func total(rows []int64) int64 {
+	var s int64
+	for _, v := range rows {
+		s += v
+	}
+	return s
+}
+
+// safe copies rows out before handing them to a retaining helper and
+// passes live aliases only to read-only helpers.
+type safe struct {
+	h    holder
+	sums []int64
+}
+
+// Next implements core.Instance.
+func (s *safe) Next(e stream.Event, emit func(stream.Event)) { emit(e) }
+
+// ProcessCols is clean: the retaining helper receives an owned copy,
+// and the read-only helper returns a value.
+func (s *safe) ProcessCols(in, out stream.Columns) {
+	tc := in.(*stream.Cols[int64, int64])
+	cp := make([]int64, len(tc.Keys))
+	copy(cp, tc.Keys)
+	s.h.grab(cp) // owned copy: no arena alias escapes
+	s.sums = append(s.sums, total(tc.Vals))
+	for i := range tc.Keys {
+		out.AppendRow(in, i)
+	}
+}

@@ -1,0 +1,90 @@
+// Package dtt010 exercises DTT010: the marker/flush protocol
+// typestate. A forwarded marker seals the epoch (nothing of the
+// sealed epoch may be emitted after it), and the per-call emit
+// callback must not outlive the call except through the sanctioned
+// unconditional entry rebind.
+package dtt010
+
+import (
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// sealBolt emits data after forwarding the marker: the output lands
+// past the epoch cut.
+type sealBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *sealBolt) Next(e stream.Event, emit func(stream.Event)) {
+	if e.IsMarker {
+		emit(e)
+		emit(stream.Item("late", 1)) // want DTT010
+		return
+	}
+	emit(e)
+}
+
+var _ storm.Bolt = (*sealBolt)(nil)
+
+// flushVia invokes the callback it is handed — an emission hidden one
+// call deep.
+func flushVia(f func(stream.Event)) { f(stream.Item("x", 1)) }
+
+// sealHelperBolt reaches the post-seal emission through a helper.
+type sealHelperBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *sealHelperBolt) Next(e stream.Event, emit func(stream.Event)) {
+	if e.IsMarker {
+		emit(e)
+		flushVia(emit) // want DTT010
+	}
+}
+
+var _ storm.Bolt = (*sealHelperBolt)(nil)
+
+// holdBolt retains emit in a receiver field conditionally: the cached
+// callback goes stale across rescale barriers.
+type holdBolt struct {
+	out func(stream.Event)
+}
+
+// Next implements storm.Bolt.
+func (b *holdBolt) Next(e stream.Event, emit func(stream.Event)) {
+	if b.out == nil {
+		b.out = emit // want DTT010
+	}
+	b.out(e)
+}
+
+var _ storm.Bolt = (*holdBolt)(nil)
+
+// globalEmit is the worst place for a per-call callback to land.
+var globalEmit func(stream.Event)
+
+// leakBolt stores emit in a package variable.
+type leakBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *leakBolt) Next(e stream.Event, emit func(stream.Event)) {
+	globalEmit = emit // want DTT010
+	globalEmit(e)
+}
+
+var _ storm.Bolt = (*leakBolt)(nil)
+
+// stash and saveEmit retain the callback one call away.
+var stash func(stream.Event)
+
+func saveEmit(f func(stream.Event)) { stash = f }
+
+// stashBolt hands emit to a helper that stashes it.
+type stashBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *stashBolt) Next(e stream.Event, emit func(stream.Event)) {
+	saveEmit(emit) // want DTT010
+	emit(e)
+}
+
+var _ storm.Bolt = (*stashBolt)(nil)

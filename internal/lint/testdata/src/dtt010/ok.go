@@ -1,0 +1,43 @@
+package dtt010
+
+import (
+	"datatrace/internal/storm"
+	"datatrace/internal/stream"
+)
+
+// okBolt is the framework idiom: unconditional entry rebind, flush
+// before the marker forward, marker forwarded last.
+type okBolt struct {
+	out func(stream.Event)
+	buf []stream.Event
+}
+
+// Next implements storm.Bolt.
+func (b *okBolt) Next(e stream.Event, emit func(stream.Event)) {
+	b.out = emit // unconditional entry rebind: overwritten every call
+	if e.IsMarker {
+		for _, p := range b.buf {
+			emit(p)
+		}
+		b.buf = b.buf[:0]
+		emit(e) // forward the marker last: the epoch is flushed
+		return
+	}
+	b.buf = append(b.buf, e)
+}
+
+var _ storm.Bolt = (*okBolt)(nil)
+
+// relay invokes the callback synchronously and never stores it.
+func relay(f func(stream.Event), e stream.Event) { f(e) }
+
+// relayBolt hands emit to a helper that only invokes it — the
+// callback does not outlive the call.
+type relayBolt struct{}
+
+// Next implements storm.Bolt.
+func (b *relayBolt) Next(e stream.Event, emit func(stream.Event)) {
+	relay(emit, e)
+}
+
+var _ storm.Bolt = (*relayBolt)(nil)

@@ -37,6 +37,7 @@ func KMeans(points [][]float64, k int, maxIter int, seed int64) (*KMeansResult, 
 	if maxIter <= 0 {
 		maxIter = 100
 	}
+	//lint:ignore DTT002 deterministic for the caller-provided seed: a fresh rand.Source seeded per call, never ambient global state; query call sites pass a constant seed
 	r := rand.New(rand.NewSource(seed))
 	centroids := seedPlusPlus(points, k, r)
 	assign := make([]int, len(points))

@@ -2,13 +2,13 @@
 # bench.sh — the PR's benchmark snapshot, runnable locally and from
 # scripts/check.sh.
 #
-#   scripts/bench.sh                 # run + write BENCH_PR9.json
+#   scripts/bench.sh                 # run + write BENCH_PR10.json
 #   BENCH_REPS=5 scripts/bench.sh    # more interleaved repetitions
 #
 # Runs the generated Query I, IV and VI topology benchmarks (plus the
 # passes-off Query IV baseline) with allocation accounting, keeps each
 # benchmark's best ns/op over BENCH_REPS interleaved repetitions, and
-# writes BENCH_PR9.json: ns/op, events/sec (the benches' tuples/s
+# writes BENCH_PR10.json: ns/op, events/sec (the benches' tuples/s
 # metric) and allocs/op per benchmark, plus the chain-fusion +
 # combiner speedup on Query IV (passes on vs off) and the columnar
 # hot path's allocation reduction on Query IV against the boxed
@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_REPS="${BENCH_REPS:-3}"
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 
 # The pre-columnar allocs/op on generated Query IV, read from the
 # committed PR 7 snapshot so the reported reduction always divides the

@@ -29,10 +29,17 @@ go build ./...
 echo "== dttlint (streaming determinism analyzer, self-check) =="
 # The analyzer's own determinism contract, enforced on the repository
 # that defines it: any DTT00N finding (or analysis failure) fails the
-# gate before the test steps run. -tests holds test bolts to the same
+# gate before the test steps run — including the PR 10 interprocedural
+# rules (DTT008 commutativity, DTT009 batch-alias escape, DTT010
+# marker/flush typestate). -tests holds test bolts to the same
 # standard.
 go run ./cmd/dttlint ./...
 go run ./cmd/dttlint -tests ./...
+
+echo "== dttlint -waivers (suppression-debt audit) =="
+# Every //lint:ignore directive in the module must name a known rule
+# and carry a reason; a reasonless or malformed waiver fails the gate.
+go run ./cmd/dttlint -waivers ./...
 
 echo "== go test -race =="
 go test -race ./...
@@ -117,7 +124,7 @@ echo "== fusion benchmark gate (alloc-ratio floor + dense timing guard) =="
 #      ratios must stay >= FUSION_FLOOR (default 0.90): fusion may be
 #      within noise of parity, but must never make the dense point
 #      materially slower. Raise it on a quiet machine to pin the
-#      real margin; query_iv_fusion_speedup in BENCH_PR9.json tracks
+#      real margin; query_iv_fusion_speedup in BENCH_PR10.json tracks
 #      the trend.
 fgate="$(
     AFLOOR="${FUSION_ALLOC_FLOOR:-1.25}"
@@ -159,9 +166,9 @@ case "$fgate" in
     *) echo "fusion benchmark gate failed: alloc ratio below floor or dense point materially slower with passes on" >&2; exit 1 ;;
 esac
 
-echo "== benchmark snapshot + allocation gate (scripts/bench.sh vs BENCH_PR9.json) =="
+echo "== benchmark snapshot + allocation gate (scripts/bench.sh vs BENCH_PR10.json) =="
 # A fresh snapshot is written to a scratch file and compared against
-# the committed BENCH_PR9.json: any benchmark whose allocs/op grew by
+# the committed BENCH_PR10.json: any benchmark whose allocs/op grew by
 # more than 10% over the committed baseline fails the gate. For the
 # workload-paced benchmarks allocs/op is exactly reproducible
 # run-to-run (the Go allocator does not care about machine load), so
@@ -194,11 +201,11 @@ agate="$(awk '
         }
         print (bad ? "FAIL" : "PASS")
     }
-' BENCH_PR9.json "$snap")"
+' BENCH_PR10.json "$snap")"
 echo "$agate"
 case "$agate" in
     *PASS) ;;
-    *) echo "allocation gate failed: allocs/op grew >10% over committed BENCH_PR9.json" >&2; exit 1 ;;
+    *) echo "allocation gate failed: allocs/op grew >10% over committed BENCH_PR10.json" >&2; exit 1 ;;
 esac
 
 echo "== fuzz smokes (${FUZZTIME} each) =="
